@@ -1,0 +1,41 @@
+"""Figure 4 — relative accuracy: histogram of the mapped ratio of means.
+
+Paper reference (Spin (R) series): 30.5 % of spinning connections are
+within 25 % of the stack RTT; 36.0 % are within a factor of two; 51.7 %
+overestimate by more than a factor of three — the distribution is
+polarized between an accurate core and a heavily inflated tail.
+"""
+
+from repro.analysis.accuracy import accuracy_study
+from repro.analysis.report import render_histogram
+
+
+def test_fig4_relative_accuracy(benchmark, accuracy_records):
+    study = benchmark.pedantic(
+        accuracy_study, args=(accuracy_records,), rounds=1, iterations=1
+    )
+    series = study.spin_received
+    print()
+    print("mapped ratio histogram, Spin (R):")
+    print(render_histogram(series.ratio_histogram))
+    print(
+        f"within 25 %: {series.within_25pct_share * 100:.1f} %   "
+        f"within 2x: {series.within_factor2_share * 100:.1f} %   "
+        f"over 3x: {series.over_factor3_share * 100:.1f} %"
+    )
+
+    assert series.connections > 400
+
+    # The accurate core (paper: 30.5 % within 25 %).
+    assert 0.20 < series.within_25pct_share < 0.45
+
+    # Within a factor of two adds only a little (paper: 36.0 %): the
+    # distribution is polarized.
+    assert series.within_factor2_share >= series.within_25pct_share
+    assert series.within_factor2_share - series.within_25pct_share < 0.20
+
+    # The inflated tail (paper: 51.7 % beyond 3x).
+    assert 0.35 < series.over_factor3_share < 0.70
+
+    # Grease (filtered) connections are few compared to Spin ones.
+    assert study.grease_received.connections < series.connections * 0.10

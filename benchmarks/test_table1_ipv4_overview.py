@@ -1,0 +1,47 @@
+"""Table 1 — IPv4 adoption overview for CW 20, 2023.
+
+Paper reference values (shape targets, not absolute counts):
+
+* domain spin share of QUIC domains: toplists 6.9 %, CZDS 10.2 %,
+  com/net/org 11.1 %;
+* IP spin share of QUIC IPs: toplists 15.2 %, CZDS 45.3 %,
+  com/net/org 46.4 %;
+* the zone views pack far more QUIC domains per QUIC IP than the
+  toplists (shared hosting).
+"""
+
+from repro.analysis.report import render_support_overview
+from repro.analysis.support import support_overview
+from repro.internet.population import ListGroup
+
+
+def test_table1_ipv4_overview(benchmark, cw20_scan_v4, population):
+    overview = benchmark.pedantic(
+        support_overview, args=(cw20_scan_v4, population), rounds=1, iterations=1
+    )
+    print()
+    print(render_support_overview(overview))
+
+    toplists = overview.row(ListGroup.TOPLISTS)
+    czds = overview.row(ListGroup.CZDS)
+    cno = overview.row(ListGroup.COM_NET_ORG)
+
+    # Funnel sanity at scale.
+    assert czds.domains_quic > 2_000
+    assert toplists.domains_quic > 500
+
+    # Domain-level spin shares (paper: 6.9 / 10.2 / 11.1 %).
+    assert 0.04 < toplists.domain_spin_share < 0.11
+    assert 0.07 < czds.domain_spin_share < 0.145
+    assert 0.075 < cno.domain_spin_share < 0.15
+    # Zone views outspin the toplists; com/net/org >= CZDS overall.
+    assert czds.domain_spin_share > toplists.domain_spin_share
+    assert cno.domain_spin_share >= czds.domain_spin_share * 0.9
+
+    # IP-level spin shares (paper: ~15 % toplists vs ~45-50 % zones).
+    assert 0.06 < toplists.ip_spin_share < 0.25
+    assert 0.33 < czds.ip_spin_share < 0.68
+    assert czds.ip_spin_share > toplists.ip_spin_share * 1.8
+
+    # Shared hosting density: zone QUIC IPs serve many domains each.
+    assert czds.domains_per_quic_ip > 2.0 * toplists.domains_per_quic_ip

@@ -1,0 +1,38 @@
+"""Table 3 — how QUIC domains set the spin bit (CW 20, 2023, IPv4).
+
+Paper reference: ~92.8 % of toplist / ~89.4 % of CZDS QUIC domains send
+all-zero; all-one is rare (0.16 / 0.28 %); the grease filter removes a
+tiny fraction (0.01 / 0.024 %); the Spin column equals Table 1's.
+"""
+
+from repro.analysis.config import configuration_table
+from repro.analysis.report import render_configuration_table
+from repro.analysis.support import support_overview
+from repro.internet.population import ListGroup
+
+
+def test_table3_spin_configuration(benchmark, cw20_scan_v4, population):
+    table = benchmark.pedantic(
+        configuration_table, args=(cw20_scan_v4, population), rounds=1, iterations=1
+    )
+    print()
+    print(render_configuration_table(table))
+
+    czds = table.row(ListGroup.CZDS)
+    toplists = table.row(ListGroup.TOPLISTS)
+
+    # Zeroing dominates among non-participants.
+    assert czds.all_zero_share > 0.82
+    assert toplists.all_zero_share > 0.85
+    # All-one deployments are rare but present in the zone view.
+    assert czds.all_one_share < 0.02
+    # The grease filter removes only a small number of candidates.
+    assert czds.grease_share < 0.02
+    assert toplists.grease_share < 0.02
+    # All-zero is by far the most common disabling strategy.
+    assert czds.all_zero > 50 * max(czds.all_one, 1)
+
+    # Consistency with Table 1: the Spin columns are the same metric.
+    overview = support_overview(cw20_scan_v4, population)
+    assert czds.spin == overview.row(ListGroup.CZDS).domains_spin
+    assert toplists.spin == overview.row(ListGroup.TOPLISTS).domains_spin

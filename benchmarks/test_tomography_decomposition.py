@@ -1,0 +1,104 @@
+"""Extension — spin-based RTT decomposition (network tomography).
+
+The paper's discussion cites network tomography (Coates et al. 2002) as
+a practical application of spin-bit measurements.  RFC 9312's two-
+direction observation splits each spin period at the measurement point:
+upstream (observer → server → observer) plus downstream (observer →
+client → observer) equals the full period.  This bench verifies the
+decomposition law and its sensitivity to the observer's position.
+"""
+
+import pytest
+
+from repro._util.rng import derive_rng, fork_rng
+from repro.core.spin import EndpointRole, SpinPolicy
+from repro.core.tomography import SpinTomographyObserver
+from repro.netsim.delays import UniformDelay
+from repro.netsim.events import Simulator
+from repro.netsim.path import PathProfile, duplex_paths
+from repro.quic.connection import ConnectionConfig, QuicEndpoint
+from repro.web.http3 import ResponsePlan, _ClientApp, _ServerApp
+
+ONE_WAY_MS = 35.0
+CONNECTIONS = 40
+
+
+def _run_position(position: float, seed: int) -> SpinTomographyObserver:
+    simulator = Simulator()
+    rng = derive_rng(seed, "tomo-bench", position)
+    observer = SpinTomographyObserver(short_dcid_length=8)
+    client = QuicEndpoint(
+        simulator, EndpointRole.CLIENT, ConnectionConfig(), SpinPolicy.SPIN,
+        fork_rng(rng, "c"),
+    )
+    server = QuicEndpoint(
+        simulator, EndpointRole.SERVER, ConnectionConfig(), SpinPolicy.SPIN,
+        fork_rng(rng, "s"),
+    )
+    profile = PathProfile(
+        propagation_delay_ms=ONE_WAY_MS, jitter=UniformDelay(0.0, 0.4)
+    )
+    uplink, downlink = duplex_paths(
+        simulator, profile, profile,
+        client.receive_datagram, server.receive_datagram, fork_rng(rng, "p"),
+    )
+    uplink.install_tap(observer.on_client_datagram, position=position)
+    downlink.install_tap(observer.on_server_datagram, position=1.0 - position)
+    client.attach_transport(uplink.send)
+    server.attach_transport(downlink.send)
+    plan = ResponsePlan(server_header="x", think_time_ms=20.0, write_sizes=(200_000,))
+    _ClientApp(simulator, client, "www.tomo.bench")
+    _ServerApp(simulator, server, [plan])
+    client.connect()
+    simulator.run()
+    return observer
+
+
+def _median(values):
+    ordered = sorted(values)
+    return ordered[len(ordered) // 2]
+
+
+def test_tomography_decomposition(benchmark):
+    def run_all():
+        results = {}
+        for position in (0.2, 0.5, 0.8):
+            samples = []
+            for seed in range(CONNECTIONS):
+                observer = _run_position(position, seed)
+                samples.extend(observer.samples[1:])  # steady state
+            results[position] = samples
+        return results
+
+    results = benchmark.pedantic(run_all, rounds=1, iterations=1)
+    print()
+    for position, samples in results.items():
+        up = _median([s.upstream_ms for s in samples])
+        down = _median([s.downstream_ms for s in samples])
+        print(
+            f"  observer at {position:.0%}: upstream {up:6.1f} ms, "
+            f"downstream {down:6.1f} ms, period {up + down:6.1f} ms "
+            f"({len(samples)} samples)"
+        )
+
+    for position, samples in results.items():
+        assert len(samples) > 50
+        for sample in samples:
+            # Conservation law: the components always sum to the period,
+            # which is bounded below by the true RTT.
+            assert sample.total_ms >= 2 * ONE_WAY_MS - 2.0
+
+        up = _median([s.upstream_ms for s in samples])
+        down = _median([s.downstream_ms for s in samples])
+        # Geometry: the upstream share tracks the observer's distance
+        # to the server (plus the server-side turnaround).
+        expected_up = 2 * (1.0 - position) * ONE_WAY_MS
+        assert up == pytest.approx(expected_up, abs=8.0)
+        expected_down = 2 * position * ONE_WAY_MS
+        assert down == pytest.approx(expected_down, abs=12.0)
+
+    # Moving the tap toward the server monotonically shrinks upstream.
+    medians = [
+        _median([s.upstream_ms for s in results[p]]) for p in (0.2, 0.5, 0.8)
+    ]
+    assert medians[0] > medians[1] > medians[2]

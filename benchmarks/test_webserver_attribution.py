@@ -1,0 +1,41 @@
+"""Section 4.2 (webserver support) — server-header attribution.
+
+Paper reference: "by far the most connections reach LiteSpeed
+webservers, making up more than 80 % of all connections ... while
+another 7 % are served by imunify360-webshield", concluding that the
+overwhelming share of spin-bit support traces back to a single stack.
+"""
+
+from repro.analysis.webserver import webserver_shares
+
+
+def test_webserver_attribution(benchmark, cw20_scan_v4):
+    records = cw20_scan_v4.connection_records()
+    shares = benchmark.pedantic(
+        webserver_shares, args=(records,), kwargs={"spinning_only": True},
+        rounds=1, iterations=1,
+    )
+    print()
+    for share in shares[:6]:
+        print(
+            f"  {share.server_header:30s} {share.connections:6d}"
+            f"  {share.share * 100:5.1f} %"
+        )
+
+    by_header = {share.server_header: share for share in shares}
+    litespeed = by_header.get("LiteSpeed")
+    assert litespeed is not None
+    assert litespeed.share > 0.75  # paper: >80 %
+
+    imunify = next(
+        (share for share in shares if "imunify360" in share.server_header), None
+    )
+    assert imunify is not None
+    assert 0.01 < imunify.share < 0.15  # paper: ~7 %
+
+    # Together the LiteSpeed family carries (almost) all spin support.
+    assert litespeed.share + imunify.share > 0.85
+
+    # No hyperscaler header appears among spinning connections.
+    assert "cloudflare" not in by_header
+    assert "Fastly" not in by_header

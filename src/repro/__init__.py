@@ -1,0 +1,94 @@
+"""repro — reproduction of "Does It Spin? On the Adoption and Use of
+QUIC's Spin Bit" (Kunze, Sander, Wehrle; ACM IMC 2023).
+
+The package rebuilds the paper's entire measurement system against a
+synthetic, calibrated Internet (see DESIGN.md):
+
+* :mod:`repro.core` — the spin-bit mechanism, passive observer, grease
+  filter, accuracy metrics, RFC 9312 heuristics, and the VEC extension;
+* :mod:`repro.quic` — byte-level QUIC v1 endpoints with RFC 9002 RTT
+  estimation;
+* :mod:`repro.netsim` — deterministic discrete-event network paths;
+* :mod:`repro.qlog` — qlog-compatible trace capture with the spin-bit
+  extension;
+* :mod:`repro.web` — HTTP/3 exchanges, server stack profiles, and the
+  zgrab2-equivalent scanner;
+* :mod:`repro.internet` — providers, AS database, domain population;
+* :mod:`repro.campaign` — weekly/longitudinal measurement scheduling;
+* :mod:`repro.analysis` — the aggregations behind Tables 1-4 and
+  Figures 2-4.
+
+Quickstart::
+
+    from repro import build_population, Scanner, support_overview
+
+    population = build_population()
+    dataset = Scanner(population).scan()
+    overview = support_overview(dataset, population)
+"""
+
+from repro.analysis import (
+    accuracy_study,
+    compliance_histogram,
+    configuration_table,
+    organization_table,
+    support_overview,
+    webserver_shares,
+)
+from repro.campaign import DEFAULT_CAMPAIGN, CalendarWeek, Campaign, CampaignRunner
+from repro.core import (
+    GreaseFilterVariant,
+    SpinBehaviour,
+    SpinObserver,
+    SpinPolicy,
+    compare_means,
+    is_greasing,
+    mapped_ratio,
+    observe_recorder,
+)
+from repro.internet import (
+    ListGroup,
+    Population,
+    PopulationConfig,
+    build_default_asdb,
+    build_population,
+)
+from repro.qlog import TraceRecorder, read_qlog, recorder_to_qlog, write_qlog
+from repro.web import ResponsePlan, ScanConfig, Scanner, run_exchange
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "CalendarWeek",
+    "Campaign",
+    "CampaignRunner",
+    "DEFAULT_CAMPAIGN",
+    "GreaseFilterVariant",
+    "ListGroup",
+    "Population",
+    "PopulationConfig",
+    "ResponsePlan",
+    "ScanConfig",
+    "Scanner",
+    "SpinBehaviour",
+    "SpinObserver",
+    "SpinPolicy",
+    "TraceRecorder",
+    "__version__",
+    "accuracy_study",
+    "build_default_asdb",
+    "build_population",
+    "compare_means",
+    "compliance_histogram",
+    "configuration_table",
+    "is_greasing",
+    "mapped_ratio",
+    "observe_recorder",
+    "organization_table",
+    "read_qlog",
+    "recorder_to_qlog",
+    "run_exchange",
+    "support_overview",
+    "webserver_shares",
+    "write_qlog",
+]

@@ -1,0 +1,43 @@
+"""Deterministic random-number management.
+
+Every stochastic component in the simulator draws from a
+:class:`random.Random` instance that is *derived* from a parent seed and
+a stable label.  This keeps large simulations reproducible while making
+sub-components statistically independent: reordering noise on one path
+does not perturb the spin policy chosen by an unrelated server.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import random
+
+__all__ = ["derive_rng", "fork_rng"]
+
+
+def derive_rng(seed: int | str, *labels: object) -> random.Random:
+    """Create a :class:`random.Random` derived from ``seed`` and ``labels``.
+
+    The derivation hashes the seed together with the labels, so the same
+    ``(seed, labels)`` pair always yields an identical stream and two
+    different label tuples yield independent streams.
+
+    >>> derive_rng(7, "path", 3).random() == derive_rng(7, "path", 3).random()
+    True
+    >>> derive_rng(7, "a").random() == derive_rng(7, "b").random()
+    False
+    """
+    digest = hashlib.sha256(
+        ("|".join([str(seed), *[str(label) for label in labels]])).encode("utf-8")
+    ).digest()
+    return random.Random(int.from_bytes(digest[:8], "big"))
+
+
+def fork_rng(rng: random.Random, *labels: object) -> random.Random:
+    """Derive an independent child generator from an existing one.
+
+    Draws a 64-bit value from ``rng`` (advancing it once) and combines it
+    with ``labels``; useful when a component needs to hand stable streams
+    to dynamically created children.
+    """
+    return derive_rng(rng.getrandbits(64), *labels)

@@ -1,0 +1,190 @@
+"""Statistics primitives for the analysis pipeline.
+
+The analysis modules (Tables 1-4, Figures 2-4) only need a handful of
+well-specified operations: means, percentiles, binomial probabilities for
+the RFC-compliance reference curves of Figure 2, and a histogram type
+whose bins can be rendered as the relative histograms the paper plots.
+Implementing them here (instead of pulling in scipy at import time) keeps
+the core library light; numpy is used only where it clearly pays off.
+"""
+
+from __future__ import annotations
+
+import bisect
+import math
+import random
+from dataclasses import dataclass, field
+from typing import Iterable, Sequence
+
+__all__ = [
+    "Histogram",
+    "binomial_pmf",
+    "mean",
+    "percentile",
+    "weighted_choice",
+]
+
+
+def mean(values: Iterable[float]) -> float:
+    """Arithmetic mean; raises :class:`ValueError` on an empty input."""
+    total = 0.0
+    count = 0
+    for value in values:
+        total += value
+        count += 1
+    if count == 0:
+        raise ValueError("mean() of an empty sequence")
+    return total / count
+
+
+def percentile(values: Sequence[float], q: float) -> float:
+    """Linear-interpolation percentile, ``q`` in [0, 100].
+
+    Matches numpy's default ("linear") method so results are consistent
+    with any numpy-based post-processing users run on exported data.
+    """
+    if not values:
+        raise ValueError("percentile() of an empty sequence")
+    if not 0.0 <= q <= 100.0:
+        raise ValueError(f"percentile q must be in [0, 100], got {q}")
+    ordered = sorted(values)
+    if len(ordered) == 1:
+        return ordered[0]
+    rank = (q / 100.0) * (len(ordered) - 1)
+    low = math.floor(rank)
+    high = math.ceil(rank)
+    if low == high:
+        return ordered[low]
+    fraction = rank - low
+    return ordered[low] * (1.0 - fraction) + ordered[high] * fraction
+
+
+def binomial_pmf(k: int, n: int, p: float) -> float:
+    """P[X = k] for X ~ Binomial(n, p).
+
+    Used for the RFC 9000 / RFC 9312 reference curves in Figure 2: if a
+    compliant endpoint disables the spin bit independently on one in
+    ``N`` connections, the number of weeks (out of ``n`` sampled) in
+    which a weekly one-shot connection spins is Binomial(n, 1 - 1/N).
+    """
+    if not 0.0 <= p <= 1.0:
+        raise ValueError(f"p must be in [0, 1], got {p}")
+    if k < 0 or k > n:
+        return 0.0
+    return math.comb(n, k) * (p**k) * ((1.0 - p) ** (n - k))
+
+
+def weighted_choice(rng: random.Random, items: Sequence[object], weights: Sequence[float]):
+    """Pick one item with probability proportional to its weight.
+
+    A tiny, allocation-free alternative to ``random.choices(...)[0]`` for
+    hot loops; weights must be non-negative and not all zero.
+    """
+    if len(items) != len(weights):
+        raise ValueError("items and weights must have the same length")
+    total = 0.0
+    cumulative = []
+    for weight in weights:
+        if weight < 0:
+            raise ValueError("weights must be non-negative")
+        total += weight
+        cumulative.append(total)
+    if total <= 0:
+        raise ValueError("at least one weight must be positive")
+    point = rng.random() * total
+    index = bisect.bisect_right(cumulative, point)
+    if index >= len(items):  # guard against floating-point edge at total
+        index = len(items) - 1
+    return items[index]
+
+
+@dataclass
+class Histogram:
+    """A relative histogram over explicit bin edges.
+
+    ``edges`` are the ``n + 1`` boundaries of ``n`` bins; samples outside
+    the outer edges are accumulated into ``underflow`` / ``overflow`` so
+    no observation is silently dropped — the paper's figures likewise
+    show open-ended first/last bins.
+    """
+
+    edges: Sequence[float]
+    counts: list[int] = field(default_factory=list)
+    underflow: int = 0
+    overflow: int = 0
+
+    def __post_init__(self) -> None:
+        if len(self.edges) < 2:
+            raise ValueError("a histogram needs at least two bin edges")
+        if any(b >= a for a, b in zip(self.edges[1:], self.edges[:-1])):
+            raise ValueError("bin edges must be strictly increasing")
+        if not self.counts:
+            self.counts = [0] * (len(self.edges) - 1)
+        elif len(self.counts) != len(self.edges) - 1:
+            raise ValueError("counts length must be len(edges) - 1")
+
+    def add(self, value: float) -> None:
+        """Record one observation."""
+        if value < self.edges[0]:
+            self.underflow += 1
+            return
+        if value >= self.edges[-1]:
+            self.overflow += 1
+            return
+        index = bisect.bisect_right(self.edges, value) - 1
+        self.counts[index] += 1
+
+    def extend(self, values: Iterable[float]) -> None:
+        """Record many observations."""
+        for value in values:
+            self.add(value)
+
+    @property
+    def total(self) -> int:
+        """Total number of observations, including under/overflow."""
+        return sum(self.counts) + self.underflow + self.overflow
+
+    def fractions(self) -> list[float]:
+        """Per-bin relative frequencies (under/overflow included in the norm)."""
+        total = self.total
+        if total == 0:
+            return [0.0] * len(self.counts)
+        return [count / total for count in self.counts]
+
+    def fraction_below(self, edge: float) -> float:
+        """Fraction of observations strictly below ``edge``.
+
+        ``edge`` must coincide with a bin boundary; this is how the
+        paper-style summary statements ("x % of connections are within
+        25 ms") are computed from the histogram.
+        """
+        if edge not in self.edges:
+            raise ValueError(f"{edge} is not a bin edge of this histogram")
+        total = self.total
+        if total == 0:
+            return 0.0
+        index = list(self.edges).index(edge)
+        return (self.underflow + sum(self.counts[:index])) / total
+
+    def fraction_at_least(self, edge: float) -> float:
+        """Fraction of observations at or above ``edge`` (a bin boundary)."""
+        return 1.0 - self.fraction_below(edge)
+
+    def as_dict(self) -> dict:
+        """JSON-serializable representation (for artifact export)."""
+        return {
+            "edges": list(self.edges),
+            "counts": list(self.counts),
+            "underflow": self.underflow,
+            "overflow": self.overflow,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "Histogram":
+        """Inverse of :meth:`as_dict`."""
+        return cls(
+            edges=list(data["edges"]),
+            counts=list(data["counts"]),
+            underflow=int(data.get("underflow", 0)),
+            overflow=int(data.get("overflow", 0)),
+        )

@@ -1,0 +1,33 @@
+"""Time-unit conventions for the whole package.
+
+All simulated timestamps and durations in :mod:`repro` are expressed in
+**milliseconds** as ``float`` values, matching the unit the paper reports
+(RTTs in ms) and the unit qlog uses for event times.  These helpers exist
+so conversions are explicit at module boundaries (e.g. when a QUIC
+``ack_delay`` field is carried in microseconds on the wire).
+"""
+
+from __future__ import annotations
+
+MS_PER_SECOND = 1000.0
+US_PER_MS = 1000.0
+
+
+def seconds_to_ms(seconds: float) -> float:
+    """Convert seconds to milliseconds."""
+    return seconds * MS_PER_SECOND
+
+
+def ms_to_seconds(ms: float) -> float:
+    """Convert milliseconds to seconds."""
+    return ms / MS_PER_SECOND
+
+
+def us_to_ms(us: float) -> float:
+    """Convert microseconds to milliseconds."""
+    return us / US_PER_MS
+
+
+def ms_to_us(ms: float) -> float:
+    """Convert milliseconds to microseconds."""
+    return ms * US_PER_MS

@@ -1,0 +1,89 @@
+"""The paper's analysis pipeline: Tables 1-4, Figures 2-4, and the
+Section 6 extension studies (artifacts, filters, long connections,
+version distribution)."""
+
+from repro.analysis.artifacts import export_records, load_records, read_records
+from repro.analysis.filter_study import FilterOutcome, FilterStudy, run_filter_study
+from repro.analysis.longform import (
+    SamplePositionProfile,
+    per_sample_deviation_profile,
+    windowed_accuracy,
+)
+from repro.analysis.paper_report import PaperReport, generate_paper_report
+from repro.analysis.timeline import render_spin_timeline
+from repro.analysis.versions import VersionShare, version_distribution
+
+from repro.analysis.accuracy import (
+    ABS_DIFF_EDGES_MS,
+    RATIO_EDGES,
+    AccuracyStudy,
+    ReorderingImpact,
+    SeriesSummary,
+    accuracy_study,
+)
+from repro.analysis.asorg import OrgRow, OrgTable, organization_table
+from repro.analysis.compliance import (
+    ComplianceHistogram,
+    compliance_histogram,
+    rfc_reference_shares,
+)
+from repro.analysis.config import (
+    ConfigurationRow,
+    ConfigurationTable,
+    configuration_table,
+)
+from repro.analysis.report import (
+    render_compliance_histogram,
+    render_configuration_table,
+    render_histogram,
+    render_org_table,
+    render_series_summary,
+    render_support_overview,
+    render_table,
+)
+from repro.analysis.support import SupportOverview, SupportRow, support_overview
+from repro.analysis.webserver import WebserverShare, webserver_shares
+
+__all__ = [
+    "ABS_DIFF_EDGES_MS",
+    "FilterOutcome",
+    "FilterStudy",
+    "SamplePositionProfile",
+    "VersionShare",
+    "export_records",
+    "load_records",
+    "per_sample_deviation_profile",
+    "read_records",
+    "run_filter_study",
+    "version_distribution",
+    "windowed_accuracy",
+    "AccuracyStudy",
+    "ComplianceHistogram",
+    "ConfigurationRow",
+    "ConfigurationTable",
+    "OrgRow",
+    "OrgTable",
+    "RATIO_EDGES",
+    "ReorderingImpact",
+    "SeriesSummary",
+    "SupportOverview",
+    "SupportRow",
+    "WebserverShare",
+    "accuracy_study",
+    "compliance_histogram",
+    "configuration_table",
+    "organization_table",
+    "render_compliance_histogram",
+    "render_configuration_table",
+    "render_histogram",
+    "render_org_table",
+    "render_series_summary",
+    "PaperReport",
+    "generate_paper_report",
+    "render_spin_timeline",
+    "render_support_overview",
+    "render_table",
+    "rfc_reference_shares",
+    "support_overview",
+    "webserver_shares",
+]

@@ -1,0 +1,208 @@
+"""RTT accuracy analysis — Figures 3 and 4 of the paper (Section 5).
+
+For every connection with spin activity the per-connection means of the
+spin-bit and stack RTT series are compared:
+
+* Figure 3: histogram of the absolute difference ``spin - QUIC`` (ms);
+* Figure 4: histogram of the mapped ratio of the means.
+
+Four series are produced, crossing the behaviour group (``Spin`` vs.
+``Grease``) with the packet ordering (``R`` received vs. ``S`` sorted by
+packet number), plus the Section 5.2 reordering-impact summary.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable
+
+from repro._util.stats import Histogram
+from repro.core.metrics import AccuracyResult, compare_means
+from repro.web.scanner import ConnectionRecord
+
+__all__ = [
+    "AccuracyStudy",
+    "ReorderingImpact",
+    "SeriesSummary",
+    "accuracy_study",
+    "ABS_DIFF_EDGES_MS",
+    "RATIO_EDGES",
+]
+
+#: Figure 3 bin edges (ms); under/overflow hold the open-ended tails.
+ABS_DIFF_EDGES_MS = (-200.0, -100.0, -50.0, -25.0, 0.0, 25.0, 50.0, 100.0, 200.0)
+
+#: Figure 4 bin edges for the mapped ratio.  No value falls in (-1, 1);
+#: the central bin [-1.25, 1.25) therefore holds the "within 25 %"
+#: connections.
+RATIO_EDGES = (-3.0, -2.0, -1.25, 1.25, 2.0, 3.0)
+
+
+@dataclass
+class SeriesSummary:
+    """One (group, ordering) series: histograms plus headline shares."""
+
+    label: str
+    results: list[AccuracyResult] = field(default_factory=list)
+    abs_histogram: Histogram = field(
+        default_factory=lambda: Histogram(edges=ABS_DIFF_EDGES_MS)
+    )
+    ratio_histogram: Histogram = field(
+        default_factory=lambda: Histogram(edges=RATIO_EDGES)
+    )
+
+    def add(self, result: AccuracyResult) -> None:
+        self.results.append(result)
+        self.abs_histogram.add(result.absolute_ms)
+        self.ratio_histogram.add(result.ratio)
+
+    @property
+    def connections(self) -> int:
+        return len(self.results)
+
+    # -- Figure 3 headline numbers ------------------------------------
+
+    @property
+    def overestimate_share(self) -> float:
+        """Paper: 97.7 % of Spin (R) results overestimate the RTT."""
+        if not self.results:
+            return 0.0
+        return sum(1 for r in self.results if r.absolute_ms > 0) / len(self.results)
+
+    @property
+    def underestimate_share(self) -> float:
+        if not self.results:
+            return 0.0
+        return sum(1 for r in self.results if r.absolute_ms < 0) / len(self.results)
+
+    @property
+    def within_25ms_share(self) -> float:
+        """Paper: 28.8 % of connections within |spin - QUIC| <= 25 ms."""
+        if not self.results:
+            return 0.0
+        return sum(1 for r in self.results if abs(r.absolute_ms) <= 25.0) / len(
+            self.results
+        )
+
+    @property
+    def over_200ms_share(self) -> float:
+        """Paper: 41.3 % overestimate by more than 200 ms."""
+        if not self.results:
+            return 0.0
+        return sum(1 for r in self.results if r.absolute_ms > 200.0) / len(self.results)
+
+    # -- Figure 4 headline numbers ------------------------------------
+
+    @property
+    def within_25pct_share(self) -> float:
+        """Paper: 30.5 % of spinning connections within 25 % of the RTT."""
+        if not self.results:
+            return 0.0
+        return sum(1 for r in self.results if abs(r.ratio) <= 1.25) / len(self.results)
+
+    @property
+    def within_factor2_share(self) -> float:
+        """Paper: 36.0 % within a factor of two."""
+        if not self.results:
+            return 0.0
+        return sum(1 for r in self.results if abs(r.ratio) <= 2.0) / len(self.results)
+
+    @property
+    def over_factor3_share(self) -> float:
+        """Paper: 51.7 % overestimate by more than a factor of three."""
+        if not self.results:
+            return 0.0
+        return sum(1 for r in self.results if r.ratio > 3.0) / len(self.results)
+
+
+@dataclass
+class ReorderingImpact:
+    """Section 5.2's R-vs-S comparison."""
+
+    connections_compared: int = 0
+    connections_changed: int = 0
+    changed_below_1ms: int = 0
+    changed_improved: int = 0
+
+    @property
+    def changed_share(self) -> float:
+        """Paper: differing results for only 0.28 % of connections."""
+        if not self.connections_compared:
+            return 0.0
+        return self.connections_changed / self.connections_compared
+
+    @property
+    def below_1ms_share(self) -> float:
+        """Paper: 98.7 % of the differences are below 1 ms."""
+        if not self.connections_changed:
+            return 0.0
+        return self.changed_below_1ms / self.connections_changed
+
+    @property
+    def improved_share(self) -> float:
+        """Paper: sorting improves accuracy in 93.1 % of changed cases."""
+        if not self.connections_changed:
+            return 0.0
+        return self.changed_improved / self.connections_changed
+
+
+@dataclass
+class AccuracyStudy:
+    """The full Section 5 output: four series plus reordering impact."""
+
+    spin_received: SeriesSummary
+    spin_sorted: SeriesSummary
+    grease_received: SeriesSummary
+    grease_sorted: SeriesSummary
+    reordering: ReorderingImpact
+
+
+def accuracy_study(connections: Iterable[ConnectionRecord]) -> AccuracyStudy:
+    """Run the Section 5 analysis over spin-active connection records.
+
+    Connections without spin-bit RTT samples or without stack samples
+    cannot be compared and are skipped (candidates with a single edge
+    yield no interval).
+    """
+    study = AccuracyStudy(
+        spin_received=SeriesSummary("Spin (R)"),
+        spin_sorted=SeriesSummary("Spin (S)"),
+        grease_received=SeriesSummary("Grease (R)"),
+        grease_sorted=SeriesSummary("Grease (S)"),
+        reordering=ReorderingImpact(),
+    )
+    for connection in connections:
+        if not connection.shows_spin_activity:
+            continue
+        stack_rtts = connection.stack_rtts_ms
+        received = connection.spin_rtts_received_ms
+        sorted_series = connection.spin_rtts_sorted_ms
+        if not stack_rtts or not received or not sorted_series:
+            continue
+        # Degenerate series (all-zero intervals from identically
+        # timestamped packets, or a non-positive stack baseline) have no
+        # meaningful ratio and are excluded, like empty ones.
+        if (
+            sum(received) <= 0.0
+            or sum(sorted_series) <= 0.0
+            or sum(stack_rtts) <= 0.0
+        ):
+            continue
+        result_r = compare_means(received, stack_rtts)
+        result_s = compare_means(sorted_series, stack_rtts)
+        if connection.behaviour.value == "grease":
+            study.grease_received.add(result_r)
+            study.grease_sorted.add(result_s)
+        else:
+            study.spin_received.add(result_r)
+            study.spin_sorted.add(result_s)
+            impact = study.reordering
+            impact.connections_compared += 1
+            delta = abs(result_r.absolute_ms - result_s.absolute_ms)
+            if received != sorted_series:
+                impact.connections_changed += 1
+                if delta < 1.0:
+                    impact.changed_below_1ms += 1
+                if abs(result_s.absolute_ms) <= abs(result_r.absolute_ms):
+                    impact.changed_improved += 1
+    return study

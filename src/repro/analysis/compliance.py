@@ -1,0 +1,88 @@
+"""RFC-compliance analysis — Figure 2 of the paper.
+
+RFC 9000 mandates that endpoints actively using the spin bit "MUST"
+disable it on at least one in every 16 connections (one in eight per
+RFC 9312).  The paper probes this longitudinally: select ``n = 12``
+measurement weeks, keep the domains that spun at least once and had a
+working connection in every week, and histogram in how many weeks each
+domain spun.  Reference curves computed from probability theory show how
+often a compliant, always-spinning endpoint would be expected to spin in
+``k`` of ``n`` one-shot weekly measurements: Binomial(n, 15/16) for
+RFC 9000 and Binomial(n, 7/8) for RFC 9312.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro._util.stats import binomial_pmf
+from repro.campaign.runner import LongitudinalResult
+
+__all__ = ["ComplianceHistogram", "compliance_histogram", "rfc_reference_shares"]
+
+
+@dataclass(frozen=True)
+class ComplianceHistogram:
+    """Figure 2's data: observed shares and the two RFC references.
+
+    Index ``k - 1`` of each list holds the share of domains that spun in
+    exactly ``k`` of the ``n_weeks`` selected weeks (``k >= 1``, since
+    the selection keeps only domains that spun at least once).
+    """
+
+    n_weeks: int
+    considered_domains: int
+    observed_shares: list[float]
+    rfc9000_shares: list[float]
+    rfc9312_shares: list[float]
+
+    @property
+    def share_spinning_every_week(self) -> float:
+        """Observed share of domains with spin activity in all weeks."""
+        return self.observed_shares[-1]
+
+    def observed_cumulative_at_most(self, k: int) -> float:
+        """Observed share of domains spinning in at most ``k`` weeks."""
+        if not 1 <= k <= self.n_weeks:
+            raise ValueError(f"k must be in [1, {self.n_weeks}]")
+        return sum(self.observed_shares[:k])
+
+
+def rfc_reference_shares(n_weeks: int, disable_one_in_n: int) -> list[float]:
+    """Expected shares for a compliant endpoint, conditioned on k >= 1.
+
+    A domain whose server spins every week except for the mandated
+    1-in-N per-connection disable shows spin activity in a weekly
+    one-shot measurement with probability ``1 - 1/N``; over ``n``
+    independent weeks the spin-week count is binomial.  Shares are
+    renormalized over ``k >= 1`` to match the paper's selection of
+    domains that spun at least once.
+    """
+    p = 1.0 - 1.0 / disable_one_in_n
+    raw = [binomial_pmf(k, n_weeks, p) for k in range(1, n_weeks + 1)]
+    total = sum(raw)
+    return [value / total for value in raw]
+
+
+def compliance_histogram(result: LongitudinalResult) -> ComplianceHistogram:
+    """Compute Figure 2 from a longitudinal measurement result."""
+    n_weeks = len(result.datasets)
+    activity = result.weekly_spin_activity()
+    counts = [0] * n_weeks  # index k-1: domains spinning in exactly k weeks
+    considered = 0
+    for flags in activity.values():
+        k = sum(flags)
+        if k == 0:
+            continue  # never spun in the selected weeks: not in Fig. 2
+        considered += 1
+        counts[k - 1] += 1
+    observed = [
+        count / considered if considered else 0.0 for count in counts
+    ]
+    return ComplianceHistogram(
+        n_weeks=n_weeks,
+        considered_domains=considered,
+        observed_shares=observed,
+        rfc9000_shares=rfc_reference_shares(n_weeks, 16),
+        rfc9312_shares=rfc_reference_shares(n_weeks, 8),
+    )

@@ -1,0 +1,87 @@
+"""Spin-bit configuration analysis — Table 3 of the paper.
+
+Classifies every QUIC-enabled domain of a scan into All Zero / All One /
+Spin / Grease (Section 4.3): how do deployments that do not participate
+in the mechanism disable it, and how many candidates does the grease
+filter remove?
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.classify import SpinBehaviour, classify_domain
+from repro.internet.population import ListGroup, Population
+from repro.web.scanner import ScanDataset
+
+__all__ = ["ConfigurationRow", "ConfigurationTable", "configuration_table"]
+
+
+@dataclass(frozen=True)
+class ConfigurationRow:
+    """One population view's Table 3 row."""
+
+    group: ListGroup
+    quic_domains: int
+    all_zero: int
+    all_one: int
+    spin: int
+    grease: int
+
+    @property
+    def all_zero_share(self) -> float:
+        return self.all_zero / self.quic_domains if self.quic_domains else 0.0
+
+    @property
+    def all_one_share(self) -> float:
+        return self.all_one / self.quic_domains if self.quic_domains else 0.0
+
+    @property
+    def grease_share(self) -> float:
+        return self.grease / self.quic_domains if self.quic_domains else 0.0
+
+    @property
+    def spin_share(self) -> float:
+        return self.spin / self.quic_domains if self.quic_domains else 0.0
+
+
+@dataclass(frozen=True)
+class ConfigurationTable:
+    """Table 3 for all three population views."""
+
+    week_label: str
+    ip_version: int
+    rows: dict[ListGroup, ConfigurationRow]
+
+    def row(self, group: ListGroup) -> ConfigurationRow:
+        return self.rows[group]
+
+
+def configuration_table(dataset: ScanDataset, population: Population) -> ConfigurationTable:
+    """Aggregate domain-level spin behaviour per population view."""
+    rows: dict[ListGroup, ConfigurationRow] = {}
+    results_by_name = {result.domain.name: result for result in dataset.results}
+
+    for group in ListGroup:
+        counters = {behaviour: 0 for behaviour in SpinBehaviour}
+        quic_domains = 0
+        for domain in population.group_members(group):
+            result = results_by_name.get(domain.name)
+            if result is None or not result.quic_support:
+                continue
+            quic_domains += 1
+            behaviour = classify_domain(
+                [c.behaviour for c in result.connections if c.success]
+            )
+            counters[behaviour] += 1
+        rows[group] = ConfigurationRow(
+            group=group,
+            quic_domains=quic_domains,
+            all_zero=counters[SpinBehaviour.ALL_ZERO],
+            all_one=counters[SpinBehaviour.ALL_ONE],
+            spin=counters[SpinBehaviour.SPIN],
+            grease=counters[SpinBehaviour.GREASE],
+        )
+    return ConfigurationTable(
+        week_label=dataset.week_label, ip_version=dataset.ip_version, rows=rows
+    )

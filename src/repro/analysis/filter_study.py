@@ -1,0 +1,117 @@
+"""RFC 9312 filtering study on measured scan data.
+
+The paper's conclusion calls for "studying the usefulness of filtering
+techniques described in RFC 9312" on real measurement data — exactly
+the follow-up its released dataset enables.  This module applies the
+observer heuristics of :mod:`repro.core.heuristics` to a set of scanned
+connections and reports how each filter chain changes the Section 5.1
+accuracy picture.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable
+
+from repro.core.heuristics import DynamicThresholdFilter, StaticThresholdFilter
+from repro.core.metrics import AccuracyResult, compare_means
+from repro.core.observer import spin_rtts_from_edges
+from repro.web.scanner import ConnectionRecord
+
+__all__ = ["FilterOutcome", "FilterStudy", "run_filter_study"]
+
+
+@dataclass
+class FilterOutcome:
+    """Accuracy results of one filter variant over the connection set."""
+
+    label: str
+    results: list[AccuracyResult]
+    connections_lost: int = 0
+
+    @property
+    def connections(self) -> int:
+        return len(self.results)
+
+    @property
+    def within_25pct_share(self) -> float:
+        if not self.results:
+            return 0.0
+        return sum(1 for r in self.results if abs(r.ratio) <= 1.25) / len(self.results)
+
+    @property
+    def underestimate_share(self) -> float:
+        if not self.results:
+            return 0.0
+        return sum(1 for r in self.results if r.absolute_ms < 0) / len(self.results)
+
+    @property
+    def median_abs_ms(self) -> float:
+        if not self.results:
+            return 0.0
+        ordered = sorted(abs(r.absolute_ms) for r in self.results)
+        return ordered[len(ordered) // 2]
+
+
+@dataclass
+class FilterStudy:
+    """All filter variants side by side."""
+
+    raw: FilterOutcome
+    static: FilterOutcome
+    hold_time: FilterOutcome
+    combined: FilterOutcome
+
+    def outcomes(self) -> list[FilterOutcome]:
+        return [self.raw, self.static, self.hold_time, self.combined]
+
+
+def run_filter_study(
+    records: Iterable[ConnectionRecord],
+    static_floor_ms: float = 1.0,
+    hold_fraction: float = 0.125,
+) -> FilterStudy:
+    """Apply the RFC 9312 filter chains to spin-active connections.
+
+    Each variant recomputes the per-connection accuracy from the
+    filtered sample series; connections whose series empties out under a
+    filter are counted in ``connections_lost`` instead of skewing the
+    averages.
+    """
+    static_filter = StaticThresholdFilter(min_rtt_ms=static_floor_ms)
+    hold_filter = DynamicThresholdFilter(fraction=hold_fraction)
+
+    raw = FilterOutcome("raw", [])
+    static = FilterOutcome(f"static >= {static_floor_ms:g} ms", [])
+    hold = FilterOutcome(f"hold-time {hold_fraction:g}", [])
+    combined = FilterOutcome("static + hold-time", [])
+
+    for record in records:
+        observation = record.observation
+        if not observation.spins:
+            continue
+        stack = record.stack_rtts_ms
+        base = observation.rtts_received_ms
+        if not stack or not base:
+            continue
+        raw.results.append(compare_means(base, stack))
+
+        static_series = static_filter.filter_rtts(base)
+        _append(static, static_series, stack)
+
+        hold_series = spin_rtts_from_edges(
+            hold_filter.filter_edges(observation.edges_received)
+        )
+        _append(hold, hold_series, stack)
+
+        combined_series = static_filter.filter_rtts(hold_series)
+        _append(combined, combined_series, stack)
+
+    return FilterStudy(raw=raw, static=static, hold_time=hold, combined=combined)
+
+
+def _append(outcome: FilterOutcome, series: list[float], stack: list[float]) -> None:
+    if series:
+        outcome.results.append(compare_means(series, stack))
+    else:
+        outcome.connections_lost += 1

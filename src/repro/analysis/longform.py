@@ -1,0 +1,101 @@
+"""Spin-bit accuracy over longer connections (paper Section 6).
+
+The paper's scans fetch one landing page per connection and note that
+end-host delays are "most prominent at connection starts, ... while
+measurements tend to stabilize over longer durations" — and explicitly
+suggest studying spin-bit accuracy on longer connections.  This module
+provides that study's primitives:
+
+* :func:`per_sample_deviation_profile` — how far the k-th spin sample of
+  a connection deviates from the connection's minimum stack RTT, showing
+  whether estimates stabilize as connections age;
+* :func:`windowed_accuracy` — the Section 5.1 metrics recomputed on only
+  the samples after a warm-up prefix, quantifying how much a patient
+  observer gains.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Sequence
+
+from repro._util.stats import percentile
+from repro.core.metrics import AccuracyResult, compare_means
+
+__all__ = [
+    "SamplePositionProfile",
+    "per_sample_deviation_profile",
+    "windowed_accuracy",
+]
+
+
+@dataclass(frozen=True)
+class SamplePositionProfile:
+    """Median relative deviation of the k-th spin sample (k = 0, 1, …).
+
+    ``medians[k]`` is the median over connections of
+    ``sample_k / min(stack RTT)``; 1.0 means the k-th sample matches the
+    true round-trip time.
+    """
+
+    medians: list[float]
+    counts: list[int]
+
+    def stabilizes(self, warmup: int = 1, tolerance: float = 1.5) -> bool:
+        """Whether post-warm-up samples sit within ``tolerance`` x RTT."""
+        tail = self.medians[warmup:]
+        if not tail:
+            return False
+        return all(m <= tolerance for m in tail)
+
+
+def per_sample_deviation_profile(
+    connections: Iterable[tuple[Sequence[float], Sequence[float]]],
+    max_position: int = 12,
+) -> SamplePositionProfile:
+    """Build the sample-position profile.
+
+    ``connections`` yields ``(spin_rtts_ms, stack_rtts_ms)`` pairs.
+    Connections without stack samples are skipped.
+    """
+    buckets: list[list[float]] = [[] for _ in range(max_position)]
+    for spin_rtts, stack_rtts in connections:
+        if not stack_rtts or not spin_rtts:
+            continue
+        reference = min(stack_rtts)
+        if reference <= 0:
+            continue
+        for position, sample in enumerate(spin_rtts[:max_position]):
+            buckets[position].append(sample / reference)
+    medians = []
+    counts = []
+    for bucket in buckets:
+        counts.append(len(bucket))
+        medians.append(percentile(bucket, 50.0) if bucket else 0.0)
+    while medians and counts[-1] == 0:
+        medians.pop()
+        counts.pop()
+    return SamplePositionProfile(medians=medians, counts=counts)
+
+
+def windowed_accuracy(
+    connections: Iterable[tuple[Sequence[float], Sequence[float]]],
+    skip_first: int = 2,
+) -> tuple[list[AccuracyResult], list[AccuracyResult]]:
+    """Section 5.1 metrics with and without a warm-up window.
+
+    Returns ``(full, windowed)`` accuracy results per connection; the
+    windowed variant drops the first ``skip_first`` spin samples
+    (connections without enough samples are excluded from *both* lists
+    so the comparison stays paired).
+    """
+    if skip_first < 0:
+        raise ValueError("skip_first must be non-negative")
+    full: list[AccuracyResult] = []
+    windowed: list[AccuracyResult] = []
+    for spin_rtts, stack_rtts in connections:
+        if not stack_rtts or len(spin_rtts) <= skip_first:
+            continue
+        full.append(compare_means(spin_rtts, stack_rtts))
+        windowed.append(compare_means(spin_rtts[skip_first:], stack_rtts))
+    return full, windowed

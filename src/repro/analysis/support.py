@@ -1,0 +1,117 @@
+"""Adoption aggregation — Tables 1 (IPv4) and 4 (IPv6) of the paper.
+
+For each population view (Toplists, CZDS, com/net/org) two rows are
+computed:
+
+* **#Domains** — total domains, resolved domains, domains with at least
+  one QUIC connection, and the share of QUIC domains with spin-bit
+  activity;
+* **#IPs** — distinct resolved IPs, distinct IPs with a QUIC
+  connection, and the share of QUIC IPs with spin-bit activity.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.internet.population import ListGroup, Population
+from repro.web.scanner import ScanDataset
+
+__all__ = ["SupportOverview", "SupportRow", "support_overview"]
+
+
+@dataclass(frozen=True)
+class SupportRow:
+    """One population view's adoption numbers (a Table 1/4 block)."""
+
+    group: ListGroup
+    domains_total: int
+    domains_resolved: int
+    domains_quic: int
+    domains_spin: int
+    ips_resolved: int
+    ips_quic: int
+    ips_spin: int
+
+    @property
+    def domain_spin_share(self) -> float:
+        """Spin domains as a fraction of QUIC domains (Table 1 Spin %)."""
+        return self.domains_spin / self.domains_quic if self.domains_quic else 0.0
+
+    @property
+    def ip_spin_share(self) -> float:
+        """Spin IPs as a fraction of QUIC IPs."""
+        return self.ips_spin / self.ips_quic if self.ips_quic else 0.0
+
+    @property
+    def domains_per_quic_ip(self) -> float:
+        """QUIC domains per QUIC IP (the paper's density observation)."""
+        return self.domains_quic / self.ips_quic if self.ips_quic else 0.0
+
+
+@dataclass(frozen=True)
+class SupportOverview:
+    """All three population views of one weekly scan."""
+
+    week_label: str
+    ip_version: int
+    rows: dict[ListGroup, SupportRow]
+
+    def row(self, group: ListGroup) -> SupportRow:
+        return self.rows[group]
+
+
+def support_overview(dataset: ScanDataset, population: Population) -> SupportOverview:
+    """Aggregate one weekly scan into the Table 1/Table 4 layout.
+
+    Domain-level spin activity uses the paper's candidate criterion
+    (both spin values seen on at least one connection) *after* grease
+    filtering, matching the Spin column that Tables 1 and 3 share.
+    """
+    rows: dict[ListGroup, SupportRow] = {}
+    results_by_name = {result.domain.name: result for result in dataset.results}
+
+    for group in ListGroup:
+        members = population.group_members(group)
+        domains_total = len(members)
+        domains_resolved = 0
+        domains_quic = 0
+        domains_spin = 0
+        ips_resolved: set = set()
+        ips_quic: set = set()
+        ips_spin: set = set()
+
+        for domain in members:
+            result = results_by_name.get(domain.name)
+            if result is None or not result.resolved:
+                continue
+            domains_resolved += 1
+            if result.resolved_ip is not None:
+                ips_resolved.add(result.resolved_ip)
+            if not result.quic_support:
+                continue
+            domains_quic += 1
+            domain_spins = False
+            for connection in result.connections:
+                if not connection.success:
+                    continue
+                ips_quic.add(connection.ip)
+                if connection.behaviour.value == "spin":
+                    domain_spins = True
+                    ips_spin.add(connection.ip)
+            if domain_spins:
+                domains_spin += 1
+
+        rows[group] = SupportRow(
+            group=group,
+            domains_total=domains_total,
+            domains_resolved=domains_resolved,
+            domains_quic=domains_quic,
+            domains_spin=domains_spin,
+            ips_resolved=len(ips_resolved),
+            ips_quic=len(ips_quic),
+            ips_spin=len(ips_spin),
+        )
+    return SupportOverview(
+        week_label=dataset.week_label, ip_version=dataset.ip_version, rows=rows
+    )

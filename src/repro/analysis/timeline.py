@@ -1,0 +1,68 @@
+"""Per-connection spin-signal timeline rendering (a Fig. 1 companion).
+
+The paper's Figure 1 explains the spin mechanism with a timeline of
+packets and edges; this module renders the same picture for a *measured*
+connection, as text, from its trace: one line per received 1-RTT packet
+with arrival time, packet number, spin value, edge markers, and the
+derived RTT samples.  Useful for debugging deployments and for the
+documentation examples.
+"""
+
+from __future__ import annotations
+
+from repro.core.observer import observe_recorder
+from repro.qlog.recorder import TraceRecorder
+
+__all__ = ["render_spin_timeline"]
+
+
+def render_spin_timeline(recorder: TraceRecorder, max_packets: int = 60) -> str:
+    """Render the received spin signal of one connection as text.
+
+    Shows at most ``max_packets`` packets (head and tail if truncated),
+    marks value flips as edges, and annotates each edge after the first
+    with the RTT sample it closes.
+    """
+    events = recorder.received_short_header_packets()
+    observation = observe_recorder(recorder)
+    edge_times = {edge.time_ms: index for index, edge in enumerate(observation.edges_received)}
+
+    lines = [
+        f"received 1-RTT packets: {len(events)}; edges: "
+        f"{len(observation.edges_received)}; spin RTT samples: "
+        f"{len(observation.rtts_received_ms)}"
+    ]
+
+    if len(events) > max_packets:
+        head = events[: max_packets // 2]
+        tail = events[-(max_packets - len(head)) :]
+        segments = [(head, False), (tail, True)]
+    else:
+        segments = [(events, False)]
+
+    previous_value: bool | None = None
+    for segment, is_tail in segments:
+        if is_tail:
+            lines.append("  ...")
+            previous_value = None  # unknown across the gap
+        for event in segment:
+            value = "1" if event.spin_bit else "0"
+            marker = ""
+            if event.time_ms in edge_times:
+                index = edge_times[event.time_ms]
+                marker = "  <- edge"
+                if index >= 1:
+                    sample = observation.rtts_received_ms[index - 1]
+                    marker += f" (sample {sample:.1f} ms)"
+            elif previous_value is not None and event.spin_bit != (previous_value == "1"):
+                marker = "  <- edge"
+            wave = ("_" if value == "0" else "#") * 6
+            lines.append(
+                f"  t={event.time_ms:9.1f} ms  pn={event.packet_number:5d}  "
+                f"spin={value} {wave}{marker}"
+            )
+            previous_value = value
+    if observation.rtts_received_ms:
+        mean = sum(observation.rtts_received_ms) / len(observation.rtts_received_ms)
+        lines.append(f"mean spin RTT estimate: {mean:.1f} ms")
+    return "\n".join(lines)

@@ -1,0 +1,61 @@
+"""QUIC version distribution of successful connections.
+
+The paper's scanner supports QUIC v1 plus drafts 27/29/32/34 precisely
+because real deployments still answered with draft versions in the
+measurement period (cf. Zirngibl et al. 2021).  This aggregation shows
+which wire versions connections ended up on after version negotiation —
+context for the adoption tables and a consistency check that the
+negotiation machinery sees use.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable
+
+from repro.quic.version import QuicVersion
+from repro.web.scanner import ConnectionRecord
+
+__all__ = ["VersionShare", "version_distribution"]
+
+
+@dataclass(frozen=True)
+class VersionShare:
+    """One wire version's share of successful connections."""
+
+    version: int
+    label: str
+    connections: int
+    share: float
+
+
+def _label(version: int) -> str:
+    try:
+        parsed = QuicVersion(version)
+    except ValueError:
+        return f"unknown (0x{version:08x})"
+    if parsed is QuicVersion.VERSION_1:
+        return "QUIC v1"
+    return parsed.name.replace("_", "-").lower()
+
+
+def version_distribution(records: Iterable[ConnectionRecord]) -> list[VersionShare]:
+    """Per-version connection counts, descending by share."""
+    counts: dict[int, int] = {}
+    total = 0
+    for record in records:
+        if not record.success or record.negotiated_version is None:
+            continue
+        counts[record.negotiated_version] = counts.get(record.negotiated_version, 0) + 1
+        total += 1
+    shares = [
+        VersionShare(
+            version=version,
+            label=_label(version),
+            connections=count,
+            share=count / total,
+        )
+        for version, count in counts.items()
+    ]
+    shares.sort(key=lambda entry: (-entry.connections, entry.version))
+    return shares

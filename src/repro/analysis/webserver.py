@@ -1,0 +1,55 @@
+"""Webserver attribution (Section 4.2, "Webserver support").
+
+The paper inspects the HTTP ``server`` header of connections that could
+be unambiguously matched to qlog traces and finds LiteSpeed behind more
+than 80 % of the (spin-supporting) connections, with another ~7 % served
+by imunify360-webshield.  This module computes those shares from the
+scanner's connection records, whose server headers were parsed from the
+actual response bytes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable
+
+from repro.web.scanner import ConnectionRecord
+
+__all__ = ["WebserverShare", "webserver_shares"]
+
+
+@dataclass(frozen=True)
+class WebserverShare:
+    """One server software's share of a connection set."""
+
+    server_header: str
+    connections: int
+    share: float
+
+
+def webserver_shares(
+    connections: Iterable[ConnectionRecord],
+    spinning_only: bool = True,
+) -> list[WebserverShare]:
+    """Connection share per ``server`` header, descending.
+
+    ``spinning_only`` restricts the denominator to connections with
+    (unfiltered) spin activity — the population whose stack provenance
+    the paper traces back to LiteSpeed.
+    """
+    counts: dict[str, int] = {}
+    total = 0
+    for connection in connections:
+        if not connection.success:
+            continue
+        if spinning_only and connection.behaviour.value != "spin":
+            continue
+        header = connection.server_header or "<none>"
+        counts[header] = counts.get(header, 0) + 1
+        total += 1
+    shares = [
+        WebserverShare(server_header=header, connections=count, share=count / total)
+        for header, count in counts.items()
+    ]
+    shares.sort(key=lambda entry: (-entry.connections, entry.server_header))
+    return shares

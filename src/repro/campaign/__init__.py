@@ -1,0 +1,15 @@
+"""Measurement-campaign orchestration: calendar, weekly and longitudinal runs."""
+
+from repro.campaign.followup import FollowUpResult, FollowUpStudy
+from repro.campaign.runner import CampaignRunner, LongitudinalResult
+from repro.campaign.schedule import DEFAULT_CAMPAIGN, CalendarWeek, Campaign
+
+__all__ = [
+    "Campaign",
+    "CampaignRunner",
+    "CalendarWeek",
+    "DEFAULT_CAMPAIGN",
+    "FollowUpResult",
+    "FollowUpStudy",
+    "LongitudinalResult",
+]

@@ -1,0 +1,141 @@
+"""Two-phase RFC-compliance measurement (the paper's Section 6 proposal).
+
+The weekly one-shot methodology behind Figure 2 convolves the RFC 9000
+1-in-16 disable rule with long-term deployment churn; the paper's
+discussion proposes a cleaner design: *first identify domains with an
+enabled spin bit in a large-scale measurement and then follow up with
+multiple measurements of a smaller target set, e.g., querying them
+n = 16 times*.  Repeated probes within the same week hold the
+deployment state fixed, so the per-connection disable probability can
+be estimated directly.
+
+:class:`FollowUpStudy` implements exactly that: phase one is any weekly
+scan; phase two re-queries the spin-identified domains ``n`` times in
+the same week and estimates the disable rate from the probe outcomes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro._util.stats import binomial_pmf
+from repro.internet.population import DomainRecord, Population
+from repro.web.scanner import ScanConfig, ScanDataset, Scanner
+
+__all__ = ["FollowUpResult", "FollowUpStudy"]
+
+
+@dataclass
+class FollowUpResult:
+    """Outcome of the repeated-probe phase."""
+
+    week_label: str
+    probes_per_domain: int
+    #: Domain name → number of probes with spin activity.
+    spin_counts: dict[str, int] = field(default_factory=dict)
+    #: Domain name → number of probes with a working QUIC connection.
+    connected_counts: dict[str, int] = field(default_factory=dict)
+
+    @property
+    def domains_probed(self) -> int:
+        return len(self.spin_counts)
+
+    def active_domains(self) -> list[str]:
+        """Domains that spun in at least one probe (spin-enabled this
+        week) and connected in every probe."""
+        return [
+            name
+            for name, spins in self.spin_counts.items()
+            if spins > 0
+            and self.connected_counts.get(name, 0) == self.probes_per_domain
+        ]
+
+    def estimated_disable_rate(self) -> float:
+        """The measured per-connection disable probability.
+
+        Averaged over the spin-enabled domains: the complement of the
+        fraction of probes that showed spin activity.  For a compliant
+        RFC 9000 endpoint this estimates 1/16 = 6.25 % (1/8 = 12.5 %
+        under the RFC 9312 reading), free of the deployment-churn bias
+        that affects week-spaced samples.
+        """
+        active = self.active_domains()
+        if not active:
+            return 0.0
+        total_probes = len(active) * self.probes_per_domain
+        total_spins = sum(self.spin_counts[name] for name in active)
+        return 1.0 - total_spins / total_probes
+
+    def expected_count_distribution(self, disable_one_in_n: int) -> list[float]:
+        """Reference P[k spinning probes] for a compliant endpoint."""
+        p = 1.0 - 1.0 / disable_one_in_n
+        return [
+            binomial_pmf(k, self.probes_per_domain, p)
+            for k in range(self.probes_per_domain + 1)
+        ]
+
+    def observed_count_distribution(self) -> list[float]:
+        """Observed share of active domains per spin-probe count."""
+        active = self.active_domains()
+        counts = [0] * (self.probes_per_domain + 1)
+        for name in active:
+            counts[self.spin_counts[name]] += 1
+        total = len(active)
+        return [count / total if total else 0.0 for count in counts]
+
+
+class FollowUpStudy:
+    """Runs the two-phase measurement over a synthetic population."""
+
+    def __init__(self, population: Population, scan_config: ScanConfig | None = None):
+        self.population = population
+        self.scanner = Scanner(population, scan_config)
+
+    def identify_candidates(
+        self, week_label: str = "cw20-2023", ip_version: int = 4
+    ) -> tuple[ScanDataset, list[DomainRecord]]:
+        """Phase one: full scan; returns it plus the spin-active domains."""
+        dataset = self.scanner.scan(week_label=week_label, ip_version=ip_version)
+        candidates = [
+            result.domain for result in dataset.results if result.shows_spin_activity
+        ]
+        return dataset, candidates
+
+    def probe(
+        self,
+        candidates: list[DomainRecord],
+        probes: int = 16,
+        week_label: str = "cw20-2023",
+        ip_version: int = 4,
+    ) -> FollowUpResult:
+        """Phase two: query each candidate ``probes`` times in-week."""
+        if probes < 1:
+            raise ValueError("at least one probe is required")
+        result = FollowUpResult(week_label=week_label, probes_per_domain=probes)
+        for domain in candidates:
+            result.spin_counts[domain.name] = 0
+            result.connected_counts[domain.name] = 0
+        for probe_index in range(1, probes + 1):
+            dataset = self.scanner.scan(
+                week_label=week_label,
+                ip_version=ip_version,
+                domains=candidates,
+                probe=probe_index,
+            )
+            for scan_result in dataset.results:
+                name = scan_result.domain.name
+                if scan_result.quic_support:
+                    result.connected_counts[name] += 1
+                if scan_result.shows_spin_activity:
+                    result.spin_counts[name] += 1
+        return result
+
+    def run(
+        self,
+        probes: int = 16,
+        week_label: str = "cw20-2023",
+        ip_version: int = 4,
+    ) -> FollowUpResult:
+        """Both phases in sequence."""
+        _, candidates = self.identify_candidates(week_label, ip_version)
+        return self.probe(candidates, probes, week_label, ip_version)

@@ -1,0 +1,95 @@
+"""Campaign execution: repeated weekly scans over one population.
+
+Ties the calendar (:mod:`repro.campaign.schedule`) to the scanner: one
+:class:`ScanDataset` per (week, IP version).  The longitudinal runner
+used by Figure 2 scans the same domains in each selected week, so the
+per-connection 1-in-16 spin disabling and the deployment churn model
+both leave their statistical fingerprint in the week-over-week data.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.campaign.schedule import Campaign, CalendarWeek
+from repro.internet.population import DomainRecord, Population
+from repro.web.scanner import ScanConfig, ScanDataset, Scanner
+
+__all__ = ["CampaignRunner", "LongitudinalResult"]
+
+
+@dataclass
+class LongitudinalResult:
+    """Per-week scans of a fixed domain set (Figure 2's raw material)."""
+
+    weeks: list[CalendarWeek]
+    datasets: list[ScanDataset]
+
+    def weekly_spin_activity(self) -> dict[str, list[bool]]:
+        """Map domain name → per-week spin-activity flags.
+
+        Only domains with a *working connection in every week* are
+        included, mirroring the paper's selection ("we then select the
+        domains to which we could establish a connection in every
+        week").
+        """
+        activity: dict[str, list[bool]] = {}
+        connected: dict[str, int] = {}
+        for dataset in self.datasets:
+            for result in dataset.results:
+                name = result.domain.name
+                if not result.quic_support:
+                    continue
+                connected[name] = connected.get(name, 0) + 1
+                activity.setdefault(name, [])
+        for week_index, dataset in enumerate(self.datasets):
+            for result in dataset.results:
+                name = result.domain.name
+                if name in activity:
+                    flags = activity[name]
+                    while len(flags) <= week_index:
+                        flags.append(False)
+                    flags[week_index] = result.quic_support and result.shows_spin_activity
+        total_weeks = len(self.datasets)
+        return {
+            name: flags
+            for name, flags in activity.items()
+            if connected.get(name, 0) == total_weeks
+        }
+
+
+class CampaignRunner:
+    """Runs the paper's measurement schedule over a synthetic population."""
+
+    def __init__(
+        self,
+        population: Population,
+        campaign: Campaign,
+        scan_config: ScanConfig | None = None,
+    ):
+        self.population = population
+        self.campaign = campaign
+        self.scanner = Scanner(population, scan_config)
+
+    def run_week(self, week: CalendarWeek, ip_version: int = 4) -> ScanDataset:
+        """One weekly measurement over the whole population."""
+        return self.scanner.scan(week_label=week.label, ip_version=ip_version)
+
+    def run_longitudinal(
+        self,
+        n_weeks: int,
+        domains: list[DomainRecord] | None = None,
+        ip_version: int = 4,
+    ) -> LongitudinalResult:
+        """Scan ``domains`` in ``n_weeks`` spread campaign weeks.
+
+        ``domains`` defaults to the full population; Figure 2 passes the
+        spin-candidate subset to keep the workload focused, as the
+        paper's follow-up methodology (Section 6) suggests.
+        """
+        weeks = self.campaign.select_spread_weeks(n_weeks)
+        datasets = [
+            self.scanner.scan(week_label=week.label, ip_version=ip_version, domains=domains)
+            for week in weeks
+        ]
+        return LongitudinalResult(weeks=weeks, datasets=datasets)

@@ -1,0 +1,265 @@
+"""Command-line interface for the spin-bit reproduction.
+
+Five subcommands mirror the study's workflow::
+
+    repro scan        # build a population, scan it, export the dataset
+    repro analyze     # run the connection-level analyses on a dataset
+    repro compliance  # the Figure 2 longitudinal study
+    repro report      # regenerate every table and figure in one run
+    repro demo        # one observed connection, spin vs stack RTT
+
+``scan`` writes the Appendix-B-style JSONL artifact that ``analyze``
+consumes, so the two halves can run on different machines — exactly how
+the paper separates measurement from analysis.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Sequence
+
+__all__ = ["main"]
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Reproduction of 'Does It Spin?' (IMC 2023): scan a "
+        "synthetic web population for QUIC spin-bit adoption and analyze "
+        "the resulting dataset.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    scan = sub.add_parser("scan", help="run a weekly measurement and export JSONL")
+    scan.add_argument("--czds", type=int, default=8_000, help="CZDS domain count")
+    scan.add_argument("--toplist", type=int, default=1_000, help="toplist domain count")
+    scan.add_argument("--seed", type=int, default=20230520)
+    scan.add_argument("--week", default="cw20-2023", help="calendar week label")
+    scan.add_argument("--ip-version", type=int, choices=(4, 6), default=4)
+    scan.add_argument(
+        "--out", required=True, help="output JSONL path ('-' for stdout)"
+    )
+
+    analyze = sub.add_parser("analyze", help="analyze an exported JSONL dataset")
+    analyze.add_argument("dataset", help="JSONL path ('-' for stdin)")
+    analyze.add_argument(
+        "--section",
+        choices=("orgs", "webservers", "accuracy", "versions", "filters", "all"),
+        default="all",
+    )
+
+    compliance = sub.add_parser(
+        "compliance", help="12-week longitudinal RFC-compliance study (Figure 2)"
+    )
+    compliance.add_argument("--czds", type=int, default=5_000)
+    compliance.add_argument("--seed", type=int, default=20230520)
+    compliance.add_argument("--weeks", type=int, default=12)
+
+    report = sub.add_parser(
+        "report", help="regenerate every table and figure of the paper"
+    )
+    report.add_argument("--czds", type=int, default=8_000)
+    report.add_argument("--toplist", type=int, default=1_000)
+    report.add_argument("--seed", type=int, default=20230520)
+    report.add_argument(
+        "--skip-longitudinal",
+        action="store_true",
+        help="skip the 12-week Figure 2 study (the slowest part)",
+    )
+
+    sub.add_parser("demo", help="one simulated connection, spin vs stack RTT")
+    return parser
+
+
+def _open_out(path: str):
+    if path == "-":
+        return sys.stdout, False
+    return open(path, "w", encoding="utf-8"), True
+
+
+def _open_in(path: str):
+    if path == "-":
+        return sys.stdin, False
+    return open(path, "r", encoding="utf-8"), True
+
+
+def _cmd_scan(args: argparse.Namespace) -> int:
+    from repro.analysis.artifacts import export_records
+    from repro.internet.population import PopulationConfig, build_population
+    from repro.web.scanner import Scanner
+
+    population = build_population(
+        PopulationConfig(
+            toplist_domains=args.toplist, czds_domains=args.czds, seed=args.seed
+        )
+    )
+    print(
+        f"scanning {len(population.domains)} domains "
+        f"(week {args.week}, IPv{args.ip_version}) ...",
+        file=sys.stderr,
+    )
+    dataset = Scanner(population).scan(
+        week_label=args.week, ip_version=args.ip_version
+    )
+    stream, close = _open_out(args.out)
+    try:
+        count = export_records(dataset.connection_records(), stream)
+    finally:
+        if close:
+            stream.close()
+    print(f"exported {count} connection records", file=sys.stderr)
+    return 0
+
+
+def _cmd_analyze(args: argparse.Namespace) -> int:
+    from repro.analysis.accuracy import accuracy_study
+    from repro.analysis.artifacts import load_records
+    from repro.analysis.asorg import organization_table
+    from repro.analysis.filter_study import run_filter_study
+    from repro.analysis.report import render_org_table, render_series_summary
+    from repro.analysis.versions import version_distribution
+    from repro.analysis.webserver import webserver_shares
+    from repro.internet.asdb import build_default_asdb
+
+    stream, close = _open_in(args.dataset)
+    try:
+        records = load_records(stream)
+    finally:
+        if close:
+            stream.close()
+    print(f"{len(records)} connection records loaded\n")
+
+    wanted = args.section
+
+    if wanted in ("orgs", "all"):
+        print("== AS organizations (Table 2 style) ==")
+        print(render_org_table(organization_table(records, build_default_asdb())))
+        print()
+    if wanted in ("webservers", "all"):
+        print("== webserver attribution (spinning connections) ==")
+        for share in webserver_shares(records)[:6]:
+            print(
+                f"  {share.server_header:30s} {share.connections:6d}"
+                f" {share.share * 100:5.1f} %"
+            )
+        print()
+    if wanted in ("accuracy", "all"):
+        print("== RTT accuracy (Figures 3/4 style) ==")
+        study = accuracy_study(records)
+        print(render_series_summary(study.spin_received))
+        print()
+    if wanted in ("versions", "all"):
+        print("== negotiated QUIC versions ==")
+        for share in version_distribution(records):
+            print(
+                f"  {share.label:14s} {share.connections:6d}"
+                f" {share.share * 100:5.1f} %"
+            )
+        print()
+    if wanted in ("filters", "all"):
+        print("== RFC 9312 filter study ==")
+        study = run_filter_study(records)
+        for outcome in study.outcomes():
+            print(
+                f"  {outcome.label:22s} n={outcome.connections:5d}"
+                f"  within25%={outcome.within_25pct_share * 100:5.1f} %"
+                f"  underest={outcome.underestimate_share * 100:4.1f} %"
+                f"  lost={outcome.connections_lost}"
+            )
+    return 0
+
+
+def _cmd_compliance(args: argparse.Namespace) -> int:
+    from repro.analysis.compliance import compliance_histogram
+    from repro.analysis.report import render_compliance_histogram
+    from repro.campaign.runner import CampaignRunner
+    from repro.campaign.schedule import DEFAULT_CAMPAIGN
+    from repro.internet.population import PopulationConfig, build_population
+
+    population = build_population(
+        PopulationConfig(toplist_domains=0, czds_domains=args.czds, seed=args.seed)
+    )
+    runner = CampaignRunner(population, DEFAULT_CAMPAIGN)
+    quic_domains = [d for d in population.domains if d.quic_enabled]
+    print(
+        f"scanning {len(quic_domains)} QUIC domains in {args.weeks} spread weeks ...",
+        file=sys.stderr,
+    )
+    result = runner.run_longitudinal(args.weeks, domains=quic_domains)
+    print(render_compliance_histogram(compliance_histogram(result)))
+    return 0
+
+
+def _cmd_demo(_: argparse.Namespace) -> int:
+    from repro._util.rng import derive_rng
+    from repro.core.metrics import compare_means
+    from repro.core.observer import observe_recorder
+    from repro.core.spin import SpinPolicy
+    from repro.netsim.path import PathProfile
+    from repro.web.http3 import ResponsePlan, run_exchange
+
+    plan = ResponsePlan(
+        server_header="LiteSpeed",
+        think_time_ms=60.0,
+        write_gaps_ms=(0.0, 150.0),
+        write_sizes=(11_000, 11_000),
+    )
+    path = PathProfile(propagation_delay_ms=25.0)
+    result = run_exchange(
+        "www.example.com",
+        plan,
+        SpinPolicy.SPIN,
+        SpinPolicy.SPIN,
+        path,
+        path,
+        derive_rng(0, "cli-demo"),
+    )
+    observation = observe_recorder(result.recorder)
+    accuracy = compare_means(
+        observation.rtts_received_ms, result.recorder.stack_rtts_ms()
+    )
+    print(f"fetched {result.body_bytes} bytes over a 50 ms-RTT path")
+    print(f"spin samples (ms): {[round(s, 1) for s in observation.rtts_received_ms]}")
+    print(f"stack samples (ms): {[round(s, 1) for s in result.recorder.stack_rtts_ms()]}")
+    print(f"mapped ratio: {accuracy.ratio:+.2f}")
+    return 0
+
+
+def _cmd_report(args: argparse.Namespace) -> int:
+    from repro.analysis.paper_report import generate_paper_report
+    from repro.internet.population import PopulationConfig, build_population
+
+    population = build_population(
+        PopulationConfig(
+            toplist_domains=args.toplist, czds_domains=args.czds, seed=args.seed
+        )
+    )
+    print(
+        f"running the full study over {len(population.domains)} domains ...",
+        file=sys.stderr,
+    )
+    report = generate_paper_report(
+        population, include_longitudinal=not args.skip_longitudinal
+    )
+    print(report.text)
+    return 0
+
+
+_COMMANDS = {
+    "scan": _cmd_scan,
+    "report": _cmd_report,
+    "analyze": _cmd_analyze,
+    "compliance": _cmd_compliance,
+    "demo": _cmd_demo,
+}
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    args = _build_parser().parse_args(argv)
+    return _COMMANDS[args.command](args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,131 @@
+"""Flow-table spin monitoring: many concurrent connections, one tap.
+
+A real on-path measurement point (the operator deployment the paper
+motivates, or the P4 hardware observer of Kunze et al. 2021) does not
+see one connection at a time — it sees an interleaved packet stream and
+must demultiplex it into flows before spin measurement is possible.
+:class:`SpinFlowTable` implements that stage:
+
+* flows are keyed by the *destination connection ID* of the
+  server-to-client direction (the client's CID, stable for the
+  connection's lifetime in this model);
+* each flow gets its own packet-number reconstruction and spin observer
+  (reusing :class:`~repro.core.wire_observer.WireObserver` state);
+* idle flows are evicted after a configurable timeout, exactly like a
+  hardware flow table with limited capacity would.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.observer import SpinObservation, SpinObserver
+from repro.quic.datagram import decode_datagram
+from repro.quic.packet import HeaderParseError, LongHeader, ShortHeader
+
+__all__ = ["FlowRecord", "SpinFlowTable"]
+
+
+@dataclass
+class FlowRecord:
+    """Per-flow observer state."""
+
+    flow_key: str
+    first_seen_ms: float
+    last_seen_ms: float
+    packets: int = 0
+    _observer: SpinObserver = field(default_factory=SpinObserver)
+    _largest_pn: int | None = None
+
+    def observation(self) -> SpinObservation:
+        """The flow's accumulated spin observation."""
+        return self._observer.observation()
+
+
+class SpinFlowTable:
+    """Demultiplexes a tapped packet stream into per-flow spin state.
+
+    ``max_flows`` bounds the table; when full, the least recently seen
+    flow is evicted (its observation is retired to ``evicted``).
+    ``idle_timeout_ms`` retires flows that stay silent — both behaviours
+    mirror switch/NIC flow tables.
+    """
+
+    def __init__(
+        self,
+        short_dcid_length: int = 8,
+        max_flows: int = 10_000,
+        idle_timeout_ms: float = 30_000.0,
+    ):
+        if max_flows < 1:
+            raise ValueError("max_flows must be positive")
+        if idle_timeout_ms <= 0:
+            raise ValueError("idle_timeout_ms must be positive")
+        self.short_dcid_length = short_dcid_length
+        self.max_flows = max_flows
+        self.idle_timeout_ms = idle_timeout_ms
+        self.flows: dict[str, FlowRecord] = {}
+        self.evicted: list[FlowRecord] = []
+        self.parse_errors = 0
+
+    def on_server_datagram(self, time_ms: float, data: bytes) -> None:
+        """Process one server-to-client datagram from the tap."""
+        self._expire_idle(time_ms)
+        try:
+            packets = decode_datagram(data, self.short_dcid_length)
+        except (HeaderParseError, ValueError):
+            self.parse_errors += 1
+            return
+        for packet in packets:
+            header = packet.header
+            if isinstance(header, LongHeader):
+                continue
+            if not isinstance(header, ShortHeader):
+                continue  # version negotiation packets carry no flow data
+            key = header.destination_cid.hex or "(empty)"
+            flow = self._flow(key, time_ms)
+            flow.last_seen_ms = time_ms
+            flow.packets += 1
+            full_pn = self._reconstruct(flow, header.packet_number, header.pn_length)
+            flow._observer.on_packet(time_ms, full_pn, header.spin_bit)
+
+    def observations(self) -> dict[str, SpinObservation]:
+        """Current per-flow observations (active flows only)."""
+        return {key: flow.observation() for key, flow in self.flows.items()}
+
+    def all_flows(self) -> list[FlowRecord]:
+        """Active plus evicted flows, in first-seen order."""
+        combined = list(self.flows.values()) + self.evicted
+        combined.sort(key=lambda flow: flow.first_seen_ms)
+        return combined
+
+    # ------------------------------------------------------------------
+
+    def _flow(self, key: str, time_ms: float) -> FlowRecord:
+        flow = self.flows.get(key)
+        if flow is not None:
+            return flow
+        if len(self.flows) >= self.max_flows:
+            oldest_key = min(self.flows, key=lambda k: self.flows[k].last_seen_ms)
+            self.evicted.append(self.flows.pop(oldest_key))
+        flow = FlowRecord(flow_key=key, first_seen_ms=time_ms, last_seen_ms=time_ms)
+        self.flows[key] = flow
+        return flow
+
+    def _expire_idle(self, now_ms: float) -> None:
+        expired = [
+            key
+            for key, flow in self.flows.items()
+            if now_ms - flow.last_seen_ms > self.idle_timeout_ms
+        ]
+        for key in expired:
+            self.evicted.append(self.flows.pop(key))
+
+    @staticmethod
+    def _reconstruct(flow: FlowRecord, truncated: int, pn_length: int) -> int:
+        from repro.quic.packet_number import decode_packet_number
+
+        full = decode_packet_number(truncated, pn_length, flow._largest_pn)
+        if flow._largest_pn is None or full > flow._largest_pn:
+            flow._largest_pn = full
+        return full

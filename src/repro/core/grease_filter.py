@@ -1,0 +1,84 @@
+"""The paper's grease filter (Section 3.3) and ablation variants.
+
+Endpoints that disable the spin bit by *greasing* it (random values) also
+produce spin edges, so they pollute the candidate set of spinning
+connections.  The paper filters them with a deliberately simple rule:
+
+    a connection is classified as greasing as soon as one spin-bit RTT
+    estimate is smaller than the minimum of all QUIC client RTT
+    estimates,
+
+because random flips create spin cycles shorter than any real round
+trip.  Section 5.2 suspects this filter of producing false positives
+(reordering can also create ultra-short cycles), so ablation variants
+with slack factors and quantile baselines are provided for the
+design-choice benchmarks.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro._util.stats import percentile
+
+__all__ = ["GreaseFilter", "GreaseFilterVariant", "is_greasing"]
+
+
+def is_greasing(spin_rtts_ms: Sequence[float], stack_rtts_ms: Sequence[float]) -> bool:
+    """The paper's filter: any spin sample below the stack's minimum RTT.
+
+    Connections without spin samples or without stack samples cannot be
+    judged and are not flagged.
+    """
+    if not spin_rtts_ms or not stack_rtts_ms:
+        return False
+    return min(spin_rtts_ms) < min(stack_rtts_ms)
+
+
+@dataclass(frozen=True)
+class GreaseFilterVariant:
+    """A parameterized grease filter for the ablation study.
+
+    ``baseline`` selects the stack-RTT reference ("min", "mean", or a
+    percentile via ``baseline_quantile``); ``slack`` scales it (a slack
+    of 0.9 tolerates spin samples slightly below the reference, reducing
+    reordering-induced false positives); ``min_votes`` requires that
+    many spin samples below the threshold before flagging.
+    """
+
+    baseline: str = "min"
+    baseline_quantile: float = 10.0
+    slack: float = 1.0
+    min_votes: int = 1
+
+    def __post_init__(self) -> None:
+        if self.baseline not in ("min", "mean", "quantile"):
+            raise ValueError(f"unknown baseline {self.baseline!r}")
+        if self.slack <= 0:
+            raise ValueError("slack must be positive")
+        if self.min_votes < 1:
+            raise ValueError("min_votes must be at least 1")
+
+    def threshold_ms(self, stack_rtts_ms: Sequence[float]) -> float:
+        if self.baseline == "min":
+            reference = min(stack_rtts_ms)
+        elif self.baseline == "mean":
+            reference = sum(stack_rtts_ms) / len(stack_rtts_ms)
+        else:
+            reference = percentile(list(stack_rtts_ms), self.baseline_quantile)
+        return reference * self.slack
+
+    def is_greasing(
+        self, spin_rtts_ms: Sequence[float], stack_rtts_ms: Sequence[float]
+    ) -> bool:
+        """Apply this variant; semantics match :func:`is_greasing`."""
+        if not spin_rtts_ms or not stack_rtts_ms:
+            return False
+        threshold = self.threshold_ms(stack_rtts_ms)
+        votes = sum(1 for sample in spin_rtts_ms if sample < threshold)
+        return votes >= self.min_votes
+
+
+#: The exact filter used throughout the paper's analysis.
+GreaseFilter = GreaseFilterVariant(baseline="min", slack=1.0, min_votes=1)

@@ -1,0 +1,150 @@
+"""On-path spin-bit observation from raw wire bytes.
+
+The qlog-based observer (:mod:`repro.core.observer`) replays the
+scanner's own traces — the paper's methodology.  Real network operators,
+however, sit *on the path* (the paper's motivation, and the P4 hardware
+observer of Kunze et al. 2021): they see UDP datagrams, must parse QUIC
+headers themselves, reconstruct full packet numbers per direction from
+truncated wire values, and track the spin bit of the server-to-client
+direction only.
+
+:class:`WireObserver` implements that middlebox: feed it every datagram
+of a connection (either direction) and it produces the same
+:class:`~repro.core.observer.SpinObservation` a qlog replay would —
+modulo the information an on-path box genuinely lacks (it must know the
+deployment's short-header connection-ID length, and it cannot see the
+stack's internal RTT estimates).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.observer import SpinObservation, SpinObserver
+from repro.quic.datagram import decode_datagram
+from repro.quic.packet import HeaderParseError, LongHeader, ShortHeader
+from repro.quic.packet_number import decode_packet_number
+
+__all__ = ["Direction", "WireObserver", "WireObserverStats"]
+
+
+class Direction:
+    """Direction labels for on-path taps."""
+
+    CLIENT_TO_SERVER = "client-to-server"
+    SERVER_TO_CLIENT = "server-to-client"
+
+
+@dataclass
+class WireObserverStats:
+    """What the observer managed (or failed) to parse."""
+
+    datagrams: int = 0
+    packets: int = 0
+    short_header_packets: int = 0
+    parse_errors: int = 0
+
+
+@dataclass
+class _DirectionState:
+    """Per-direction packet-number reconstruction state."""
+
+    largest_pn: int | None = None
+
+    def reconstruct(self, truncated: int, pn_length: int) -> int:
+        full = decode_packet_number(truncated, pn_length, self.largest_pn)
+        if self.largest_pn is None or full > self.largest_pn:
+            self.largest_pn = full
+        return full
+
+
+class WireObserver:
+    """A passive on-path spin-bit measurement point.
+
+    ``short_dcid_length`` is the connection-ID length used by the
+    observed deployment's short headers; on-path observers must know it
+    out of band (it is not self-describing on the wire).  Measurement
+    follows the server-to-client direction, where consecutive spin
+    edges are one RTT apart at the observation point.
+    """
+
+    def __init__(self, short_dcid_length: int = 8, ack_delay_exponent: int = 3):
+        self.short_dcid_length = short_dcid_length
+        self.ack_delay_exponent = ack_delay_exponent
+        self.stats = WireObserverStats()
+        self._spin_observer = SpinObserver()
+        self._states = {
+            Direction.CLIENT_TO_SERVER: _DirectionState(),
+            Direction.SERVER_TO_CLIENT: _DirectionState(),
+        }
+        self._vec_marks: list[tuple[float, int]] = []
+
+    def on_datagram(self, time_ms: float, direction: str, data: bytes) -> None:
+        """Process one captured datagram.
+
+        Unparseable datagrams are counted, not raised: a middlebox
+        cannot crash on unknown traffic.
+        """
+        if direction not in self._states:
+            raise ValueError(f"unknown direction {direction!r}")
+        self.stats.datagrams += 1
+        if not data:
+            self.stats.parse_errors += 1
+            return
+        try:
+            packets = decode_datagram(
+                data, self.short_dcid_length, self.ack_delay_exponent
+            )
+        except (HeaderParseError, ValueError):
+            self.stats.parse_errors += 1
+            return
+        state = self._states[direction]
+        for packet in packets:
+            self.stats.packets += 1
+            header = packet.header
+            if isinstance(header, LongHeader):
+                continue  # long headers never carry the spin bit
+            assert isinstance(header, ShortHeader)
+            self.stats.short_header_packets += 1
+            full_pn = state.reconstruct(header.packet_number, header.pn_length)
+            if direction == Direction.SERVER_TO_CLIENT:
+                self._spin_observer.on_packet(time_ms, full_pn, header.spin_bit)
+                if header.vec:
+                    self._vec_marks.append((time_ms, header.vec))
+
+    def observation(self) -> SpinObservation:
+        """The accumulated spin observation (server-to-client)."""
+        return self._spin_observer.observation()
+
+    def vec_rtts_ms(self, threshold: int = 3) -> list[float]:
+        """VEC-validated RTT samples, if the deployment marks edges."""
+        from repro.core.vec import VecObserver
+
+        observer = VecObserver(threshold=threshold)
+        for time_ms, vec in self._vec_marks:
+            observer.on_packet(time_ms, vec)
+        return observer.rtts_ms()
+
+
+def tap_paths(simulator, uplink, downlink, observer: WireObserver):
+    """Insert ``observer`` between two :class:`~repro.netsim.path.Path`
+    objects and their receivers.
+
+    Wraps each path's delivery callback so every datagram is handed to
+    the observer (stamped with the arrival time at the tap) before the
+    original receiver processes it.  Returns the observer for chaining.
+    """
+    original_up = uplink._receiver
+    original_down = downlink._receiver
+
+    def up_tap(data: bytes) -> None:
+        observer.on_datagram(simulator.now_ms, Direction.CLIENT_TO_SERVER, data)
+        original_up(data)
+
+    def down_tap(data: bytes) -> None:
+        observer.on_datagram(simulator.now_ms, Direction.SERVER_TO_CLIENT, data)
+        original_down(data)
+
+    uplink._receiver = up_tap
+    downlink._receiver = down_tap
+    return observer

@@ -1,0 +1,114 @@
+"""Ingestion of real-world domain list formats (Section 3.1 inputs).
+
+The paper assembles its target population from toplist files (Alexa,
+Umbrella, Majestic: ``rank,domain`` CSVs; Tranco: the same) and CZDS
+zone files (DNS master-file format).  This module parses those formats
+so the library can be pointed at actual list files instead of the
+synthetic generator — the deduplication and www-stripping behaviour
+follows the paper's methodology.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import IO, Iterable, Iterator
+
+__all__ = [
+    "dedupe_preserving_order",
+    "parse_toplist_csv",
+    "parse_zone_file",
+    "read_target_population",
+]
+
+_DOMAIN_RE = re.compile(
+    r"^(?=.{1,253}$)([a-z0-9_]([a-z0-9_-]{0,61}[a-z0-9_])?\.)+[a-z]{2,24}$"
+)
+
+_ZONE_RECORD_TYPES = {"ns", "a", "aaaa", "cname", "mx", "txt", "ds", "rrsig", "soa"}
+
+
+def _normalize(name: str) -> str | None:
+    """Canonicalize a raw domain token; None if not a usable domain."""
+    name = name.strip().strip(".").lower()
+    if name.startswith("www."):
+        # The scanner prepends "www." itself (Sec. 3.2.1); store apexes.
+        name = name[4:]
+    if not name or not _DOMAIN_RE.match(name):
+        return None
+    return name
+
+
+def parse_toplist_csv(stream: IO[str]) -> Iterator[str]:
+    """Parse a ``rank,domain`` toplist CSV (Tranco/Alexa/Majestic style).
+
+    Lines without a comma are treated as bare domain lists (Umbrella's
+    plain format); malformed lines are skipped silently, as list files
+    routinely contain noise.
+    """
+    for line in stream:
+        line = line.strip()
+        if not line or line.startswith("#"):
+            continue
+        token = line.rsplit(",", 1)[-1] if "," in line else line
+        domain = _normalize(token)
+        if domain is not None:
+            yield domain
+
+
+def parse_zone_file(stream: IO[str], zone: str) -> Iterator[str]:
+    """Extract registered domains from a DNS zone file.
+
+    Yields the unique second-level domains of ``zone`` that carry NS
+    records (the CZDS convention for delegations); other record types
+    and out-of-zone names are ignored.
+    """
+    zone = zone.strip().strip(".").lower()
+    suffix = "." + zone
+    seen: set[str] = set()
+    for line in stream:
+        line = line.strip()
+        if not line or line.startswith(";"):
+            continue
+        fields = line.split()
+        if len(fields) < 4:
+            continue
+        owner = fields[0].strip(".").lower()
+        record_type = None
+        for field in fields[1:5]:
+            if field.lower() in _ZONE_RECORD_TYPES:
+                record_type = field.lower()
+                break
+        if record_type != "ns":
+            continue
+        if owner == zone or not owner.endswith(suffix):
+            continue
+        # Reduce to the delegation directly under the zone.
+        label = owner[: -len(suffix)].split(".")[-1]
+        domain = _normalize(f"{label}{suffix}")
+        if domain is not None and domain not in seen:
+            seen.add(domain)
+            yield domain
+
+
+def dedupe_preserving_order(sources: Iterable[Iterable[str]]) -> list[str]:
+    """Union several domain lists, first occurrence wins (Sec. 3.1.1)."""
+    seen: set[str] = set()
+    result: list[str] = []
+    for source in sources:
+        for domain in source:
+            if domain not in seen:
+                seen.add(domain)
+                result.append(domain)
+    return result
+
+
+def read_target_population(
+    toplist_streams: Iterable[IO[str]] = (),
+    zone_streams: Iterable[tuple[IO[str], str]] = (),
+) -> list[str]:
+    """Assemble a deduplicated target population from open list files."""
+    sources: list[Iterable[str]] = [
+        parse_toplist_csv(stream) for stream in toplist_streams
+    ]
+    sources.extend(parse_zone_file(stream, zone) for stream, zone in zone_streams)
+    return dedupe_preserving_order(sources)

@@ -1,0 +1,380 @@
+"""The synthetic Internet's hosting providers.
+
+Each :class:`Provider` stands for one AS organization of the paper's
+Table 2 (plus aggregated long-tail and non-QUIC populations).  The
+catalog is *calibrated from the paper's own published numbers*: Table 2
+fixes the share of QUIC connections per organization and the fraction of
+those connections with spin activity, and because the paper's tables are
+internally consistent, carrying those shares over reproduces the
+Table 1/Table 4 percentages and the Table 3 behaviour mix.
+
+Derivation notes (all for connections observed from the vantage point):
+
+* spin activity share of an organization = (fraction of its hosts
+  running a spin-capable stack) x (15/16 per-connection enable rate of
+  RFC 9000), e.g. Hostinger's 51.9 % ⇒ ~55 % LiteSpeed/imunify hosts;
+* CZDS domain spin share = Σ org_share x org_spin_share ≈ 10.2 %,
+  matching Table 1 without further tuning;
+* IP-level shares are driven by the per-provider domains-per-IP ratios
+  (hyperscaler anycast reuse vs. shared hosting vs. long tail).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.netsim.delays import DelayModel, UniformDelay
+
+__all__ = [
+    "NO_QUIC_PROVIDERS",
+    "PROVIDERS",
+    "Provider",
+    "provider_by_name",
+]
+
+
+@dataclass(frozen=True)
+class Provider:
+    """One hosting organization in the synthetic Internet.
+
+    ``stack_mix`` assigns webserver stacks to the provider's *hosts*
+    (IPs) — all domains sharing an IP see the same stack, as in real
+    shared hosting.  ``quic_weight_zone`` / ``quic_weight_toplist`` set
+    the provider's share among QUIC-enabled domains per population.
+    ``domains_per_ip_*`` control the size of the provider's IP pools
+    and thereby the Table 1/4 IP-level statistics.  ``aaaa_*`` are the
+    fractions of the provider's domains that resolve (and answer QUIC)
+    over IPv6.
+    """
+
+    name: str
+    org_name: str
+    asn: int
+    v4_prefix: str
+    v6_prefix: str
+    stack_mix: tuple[tuple[str, float], ...]
+    quic_weight_zone: float
+    quic_weight_toplist: float
+    domains_per_ip_zone_v4: float
+    domains_per_ip_toplist_v4: float
+    domains_per_ip_v6: float
+    aaaa_fraction_zone: float
+    aaaa_fraction_toplist: float
+    propagation_delay: DelayModel
+    supports_quic: bool = True
+    #: Relative boost of this provider inside .com/.net/.org compared to
+    #: the other CZDS zones (Table 1 shows com/net/org slightly more
+    #: spin-friendly than CZDS overall).
+    cno_multiplier: float = 1.0
+    #: How much more likely a *spin-capable* deployment of this provider
+    #: is to have an AAAA record than a legacy one.  Table 4 shows the
+    #: IPv6 host base to be >60 % spin-capable: modern dual-stack
+    #: deployments at shared hosters coincide with the newer (LiteSpeed)
+    #: server stacks.
+    aaaa_spin_stack_multiplier: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.supports_quic:
+            total = sum(weight for _, weight in self.stack_mix)
+            if not 0.999 <= total <= 1.001:
+                raise ValueError(
+                    f"{self.name}: stack mix weights sum to {total}, expected 1"
+                )
+        for value in (
+            self.quic_weight_zone,
+            self.quic_weight_toplist,
+        ):
+            if value < 0:
+                raise ValueError(f"{self.name}: negative population weight")
+        for value in (
+            self.domains_per_ip_zone_v4,
+            self.domains_per_ip_toplist_v4,
+            self.domains_per_ip_v6,
+        ):
+            if value < 1.0:
+                raise ValueError(f"{self.name}: domains-per-IP must be >= 1")
+
+
+def _eu_edge() -> DelayModel:
+    """Anycast CDN edge close to the vantage point."""
+    return UniformDelay(2.0, 8.0)
+
+
+def _eu_hosting() -> DelayModel:
+    """European shared hosting (Hostinger, OVH, long tail)."""
+    return UniformDelay(8.0, 30.0)
+
+
+def _us_hosting() -> DelayModel:
+    """US hosting reached from the European vantage point."""
+    return UniformDelay(42.0, 65.0)
+
+
+def _mixed_tail() -> DelayModel:
+    """Globally scattered small deployments."""
+    return UniformDelay(6.0, 80.0)
+
+
+#: QUIC-capable providers, calibrated against Table 2 (see module docs).
+PROVIDERS: tuple[Provider, ...] = (
+    Provider(
+        name="cloudflare",
+        org_name="Cloudflare",
+        asn=13335,
+        v4_prefix="104.16.0.0/12",
+        v6_prefix="2606:4700::/32",
+        stack_mix=(("cloudflare", 1.0),),
+        quic_weight_zone=0.455,
+        quic_weight_toplist=0.400,
+        cno_multiplier=0.97,
+        domains_per_ip_zone_v4=2000.0,
+        domains_per_ip_toplist_v4=8.0,
+        domains_per_ip_v6=2000.0,
+        aaaa_fraction_zone=0.50,
+        aaaa_fraction_toplist=0.55,
+        propagation_delay=_eu_edge(),
+    ),
+    Provider(
+        name="google",
+        org_name="Google",
+        asn=15169,
+        v4_prefix="142.250.0.0/15",
+        v6_prefix="2a00:1450::/32",
+        stack_mix=(("gws", 0.999), ("gws-spin", 0.001)),
+        quic_weight_zone=0.244,
+        quic_weight_toplist=0.260,
+        cno_multiplier=0.97,
+        domains_per_ip_zone_v4=1500.0,
+        domains_per_ip_toplist_v4=10.0,
+        domains_per_ip_v6=1500.0,
+        aaaa_fraction_zone=0.50,
+        aaaa_fraction_toplist=0.55,
+        propagation_delay=_eu_edge(),
+    ),
+    Provider(
+        name="hostinger",
+        org_name="Hostinger",
+        asn=47583,
+        v4_prefix="185.185.0.0/16",
+        v6_prefix="2a02:4780::/32",
+        stack_mix=(("litespeed", 0.52), ("imunify360", 0.035), ("nginx", 0.445)),
+        quic_weight_zone=0.061,
+        quic_weight_toplist=0.035,
+        cno_multiplier=1.10,
+        domains_per_ip_zone_v4=300.0,
+        domains_per_ip_toplist_v4=20.0,
+        domains_per_ip_v6=1.05,
+        aaaa_fraction_zone=0.40,
+        aaaa_fraction_toplist=0.10,
+        aaaa_spin_stack_multiplier=2.2,
+        propagation_delay=_eu_hosting(),
+    ),
+    Provider(
+        name="fastly",
+        org_name="Fastly",
+        asn=54113,
+        v4_prefix="151.101.0.0/16",
+        v6_prefix="2a04:4e40::/32",
+        stack_mix=(("fastly", 1.0),),
+        quic_weight_zone=0.0129,
+        quic_weight_toplist=0.050,
+        cno_multiplier=0.97,
+        domains_per_ip_zone_v4=800.0,
+        domains_per_ip_toplist_v4=5.0,
+        domains_per_ip_v6=800.0,
+        aaaa_fraction_zone=0.50,
+        aaaa_fraction_toplist=0.55,
+        propagation_delay=_eu_edge(),
+    ),
+    Provider(
+        name="ovh",
+        org_name="OVH SAS",
+        asn=16276,
+        v4_prefix="51.68.0.0/16",
+        v6_prefix="2001:41d0::/32",
+        stack_mix=(("litespeed", 0.60), ("imunify360", 0.04), ("nginx", 0.36)),
+        quic_weight_zone=0.0087,
+        quic_weight_toplist=0.018,
+        cno_multiplier=1.05,
+        domains_per_ip_zone_v4=120.0,
+        domains_per_ip_toplist_v4=10.0,
+        domains_per_ip_v6=1.1,
+        aaaa_fraction_zone=0.30,
+        aaaa_fraction_toplist=0.10,
+        aaaa_spin_stack_multiplier=2.2,
+        propagation_delay=_eu_hosting(),
+    ),
+    Provider(
+        name="a2hosting",
+        org_name="A2 Hosting",
+        asn=55293,
+        v4_prefix="68.66.192.0/18",
+        v6_prefix="2606:3a00::/32",
+        stack_mix=(("litespeed", 0.60), ("imunify360", 0.035), ("nginx", 0.365)),
+        quic_weight_zone=0.0086,
+        quic_weight_toplist=0.009,
+        cno_multiplier=1.05,
+        domains_per_ip_zone_v4=160.0,
+        domains_per_ip_toplist_v4=10.0,
+        domains_per_ip_v6=1.1,
+        aaaa_fraction_zone=0.30,
+        aaaa_fraction_toplist=0.10,
+        aaaa_spin_stack_multiplier=2.2,
+        propagation_delay=_us_hosting(),
+    ),
+    Provider(
+        name="singlehop",
+        org_name="SingleHop",
+        asn=32475,
+        v4_prefix="67.212.160.0/19",
+        v6_prefix="2607:4f80::/32",
+        stack_mix=(("litespeed", 0.595), ("imunify360", 0.035), ("nginx", 0.37)),
+        quic_weight_zone=0.0069,
+        quic_weight_toplist=0.004,
+        cno_multiplier=1.05,
+        domains_per_ip_zone_v4=150.0,
+        domains_per_ip_toplist_v4=10.0,
+        domains_per_ip_v6=1.1,
+        aaaa_fraction_zone=0.30,
+        aaaa_fraction_toplist=0.10,
+        aaaa_spin_stack_multiplier=2.2,
+        propagation_delay=_us_hosting(),
+    ),
+    Provider(
+        name="servercentral",
+        org_name="Server Central",
+        asn=23352,
+        v4_prefix="69.175.0.0/17",
+        v6_prefix="2607:fc50::/32",
+        stack_mix=(("litespeed", 0.68), ("imunify360", 0.04), ("nginx", 0.28)),
+        quic_weight_zone=0.0059,
+        quic_weight_toplist=0.003,
+        cno_multiplier=1.05,
+        domains_per_ip_zone_v4=140.0,
+        domains_per_ip_toplist_v4=10.0,
+        domains_per_ip_v6=1.1,
+        aaaa_fraction_zone=0.30,
+        aaaa_fraction_toplist=0.10,
+        aaaa_spin_stack_multiplier=2.2,
+        propagation_delay=_us_hosting(),
+    ),
+    # The long tail of small hosting ASes: collectively responsible for
+    # the broad spin support the paper highlights ("53.3 % of the
+    # remaining 2.52 M connections show spin bit support").
+    Provider(
+        name="other-hosting",
+        org_name="<other hosting>",
+        asn=0,  # expanded into many synthetic ASes by the AS database
+        v4_prefix="193.96.0.0/12",
+        v6_prefix="2a0f:5000::/28",
+        stack_mix=(
+            ("litespeed", 0.475),
+            ("litespeed-draft", 0.025),
+            ("imunify360", 0.04),
+            ("caddy-spin", 0.02),
+            ("nginx", 0.409),
+            ("allone-appliance", 0.02),
+            ("grease-packet", 0.005),
+            ("grease-connection", 0.006),
+        ),
+        quic_weight_zone=0.092,
+        quic_weight_toplist=0.048,
+        cno_multiplier=1.08,
+        domains_per_ip_zone_v4=12.0,
+        domains_per_ip_toplist_v4=1.5,
+        domains_per_ip_v6=1.2,
+        aaaa_fraction_zone=0.28,
+        aaaa_fraction_toplist=0.10,
+        aaaa_spin_stack_multiplier=2.2,
+        propagation_delay=_mixed_tail(),
+    ),
+    # Enterprise / self-hosted QUIC deployments without spin support.
+    Provider(
+        name="other-enterprise",
+        org_name="<other enterprise>",
+        asn=0,
+        v4_prefix="203.0.0.0/12",
+        v6_prefix="2a0e:8000::/28",
+        stack_mix=(
+            ("nginx", 0.966),
+            ("caddy-spin", 0.030),
+            ("allone-appliance", 0.004),
+        ),
+        quic_weight_zone=0.105,
+        quic_weight_toplist=0.173,
+        cno_multiplier=0.98,
+        domains_per_ip_zone_v4=60.0,
+        domains_per_ip_toplist_v4=3.0,
+        domains_per_ip_v6=20.0,
+        aaaa_fraction_zone=0.15,
+        aaaa_fraction_toplist=0.15,
+        propagation_delay=_mixed_tail(),
+    ),
+)
+
+#: Providers hosting the resolved-but-not-QUIC web mass.  They never
+#: answer HTTP/3 but contribute to the Resolved domain and IP totals of
+#: Tables 1/4.
+NO_QUIC_PROVIDERS: tuple[Provider, ...] = (
+    Provider(
+        name="parking",
+        org_name="<domain parking>",
+        asn=398101,
+        v4_prefix="198.54.0.0/16",
+        v6_prefix="2a00:b700::/32",
+        stack_mix=(),
+        supports_quic=False,
+        quic_weight_zone=0.30,
+        quic_weight_toplist=0.02,
+        domains_per_ip_zone_v4=4000.0,
+        domains_per_ip_toplist_v4=50.0,
+        domains_per_ip_v6=4000.0,
+        aaaa_fraction_zone=0.05,
+        aaaa_fraction_toplist=0.05,
+        propagation_delay=_mixed_tail(),
+    ),
+    Provider(
+        name="legacy-web",
+        org_name="<legacy web hosting>",
+        asn=8560,
+        v4_prefix="80.72.0.0/15",
+        v6_prefix="2a01:4f00::/32",
+        stack_mix=(),
+        supports_quic=False,
+        quic_weight_zone=0.55,
+        quic_weight_toplist=0.68,
+        domains_per_ip_zone_v4=15.0,
+        domains_per_ip_toplist_v4=2.2,
+        domains_per_ip_v6=5.0,
+        aaaa_fraction_zone=0.08,
+        aaaa_fraction_toplist=0.12,
+        propagation_delay=_mixed_tail(),
+    ),
+    Provider(
+        name="unreachable-web",
+        org_name="<tcp-only CDN>",
+        asn=20940,
+        v4_prefix="92.122.0.0/15",
+        v6_prefix="2a02:26f0::/32",
+        stack_mix=(),
+        supports_quic=False,
+        quic_weight_zone=0.15,
+        quic_weight_toplist=0.30,
+        domains_per_ip_zone_v4=900.0,
+        domains_per_ip_toplist_v4=6.0,
+        domains_per_ip_v6=900.0,
+        aaaa_fraction_zone=0.20,
+        aaaa_fraction_toplist=0.40,
+        propagation_delay=_eu_edge(),
+    ),
+)
+
+_BY_NAME = {provider.name: provider for provider in (*PROVIDERS, *NO_QUIC_PROVIDERS)}
+
+
+def provider_by_name(name: str) -> Provider:
+    """Look up any provider (QUIC or not) by its short name."""
+    try:
+        return _BY_NAME[name]
+    except KeyError:
+        raise KeyError(f"unknown provider {name!r}; known: {sorted(_BY_NAME)}") from None

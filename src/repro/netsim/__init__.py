@@ -1,0 +1,35 @@
+"""Deterministic discrete-event network simulation.
+
+Replaces the live Internet path between the paper's vantage point and
+the scanned servers: propagation delay, jitter, loss, reordering, and
+end-host processing delays, all driven by a shared simulated clock.
+"""
+
+from repro.netsim.clock import SimClock
+from repro.netsim.delays import (
+    ConstantDelay,
+    DelayModel,
+    ExponentialDelay,
+    LogNormalDelay,
+    ParetoDelay,
+    ShiftedDelay,
+    UniformDelay,
+)
+from repro.netsim.events import Simulator
+from repro.netsim.path import Path, PathProfile, PathStats, duplex_paths
+
+__all__ = [
+    "ConstantDelay",
+    "DelayModel",
+    "ExponentialDelay",
+    "LogNormalDelay",
+    "Path",
+    "PathProfile",
+    "PathStats",
+    "ParetoDelay",
+    "ShiftedDelay",
+    "SimClock",
+    "Simulator",
+    "UniformDelay",
+    "duplex_paths",
+]

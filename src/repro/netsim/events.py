@@ -1,0 +1,92 @@
+"""Discrete-event simulation core.
+
+A minimal, fast event loop: callbacks are scheduled at absolute
+simulated times and executed in time order (FIFO among equal
+timestamps).  Endpoints, paths, and application models all interact
+exclusively by scheduling events, so a whole HTTP/3-over-QUIC exchange
+— including jitter, loss, reordering, and server think time — runs as a
+single deterministic event cascade.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from typing import Callable
+
+from repro.netsim.clock import SimClock
+
+__all__ = ["Simulator"]
+
+
+class Simulator:
+    """Event queue plus clock; the spine of every simulated measurement."""
+
+    def __init__(self, start_ms: float = 0.0):
+        self.clock = SimClock(start_ms)
+        self._queue: list[tuple[float, int, Callable[[], None]]] = []
+        self._sequence = itertools.count()
+        self._processed = 0
+
+    @property
+    def now_ms(self) -> float:
+        """Current simulated time in milliseconds."""
+        return self.clock.now_ms
+
+    @property
+    def pending_events(self) -> int:
+        """Number of events not yet executed."""
+        return len(self._queue)
+
+    @property
+    def processed_events(self) -> int:
+        """Number of events executed since construction."""
+        return self._processed
+
+    def schedule(self, delay_ms: float, callback: Callable[[], None]) -> None:
+        """Run ``callback`` ``delay_ms`` milliseconds from now."""
+        if delay_ms < 0:
+            raise ValueError(f"cannot schedule into the past: delay {delay_ms}")
+        self.schedule_at(self.clock.now_ms + delay_ms, callback)
+
+    def schedule_at(self, time_ms: float, callback: Callable[[], None]) -> None:
+        """Run ``callback`` at absolute simulated time ``time_ms``."""
+        if time_ms < self.clock.now_ms:
+            raise ValueError(
+                f"cannot schedule into the past: {time_ms} < {self.clock.now_ms}"
+            )
+        heapq.heappush(self._queue, (time_ms, next(self._sequence), callback))
+
+    def run(self, max_events: int = 1_000_000) -> int:
+        """Execute events until the queue drains.
+
+        Returns the number of events executed.  ``max_events`` is a
+        runaway guard: a simulation that exceeds it raises, because a
+        correct scan of one connection needs at most a few hundred
+        events.
+        """
+        executed = 0
+        while self._queue:
+            if executed >= max_events:
+                raise RuntimeError(f"simulation exceeded {max_events} events")
+            time_ms, _, callback = heapq.heappop(self._queue)
+            self.clock.advance_to(time_ms)
+            callback()
+            executed += 1
+            self._processed += 1
+        return executed
+
+    def run_until(self, deadline_ms: float, max_events: int = 1_000_000) -> int:
+        """Execute events with timestamps up to ``deadline_ms`` inclusive."""
+        executed = 0
+        while self._queue and self._queue[0][0] <= deadline_ms:
+            if executed >= max_events:
+                raise RuntimeError(f"simulation exceeded {max_events} events")
+            time_ms, _, callback = heapq.heappop(self._queue)
+            self.clock.advance_to(time_ms)
+            callback()
+            executed += 1
+            self._processed += 1
+        if self.clock.now_ms < deadline_ms:
+            self.clock.advance_to(deadline_ms)
+        return executed

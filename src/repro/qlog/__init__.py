@@ -1,0 +1,21 @@
+"""qlog-compatible trace capture (Marx et al.) with spin-bit extension.
+
+The scanner records one trace per connection; the analysis pipeline can
+consume either the in-memory :class:`TraceRecorder` (fast path) or a
+qlog JSON document round-tripped through writer/reader (artifact path).
+"""
+
+from repro.qlog.reader import QlogParseError, qlog_to_recorder, read_qlog
+from repro.qlog.recorder import PacketEvent, RttEvent, TraceRecorder
+from repro.qlog.writer import recorder_to_qlog, write_qlog
+
+__all__ = [
+    "PacketEvent",
+    "QlogParseError",
+    "RttEvent",
+    "TraceRecorder",
+    "qlog_to_recorder",
+    "read_qlog",
+    "recorder_to_qlog",
+    "write_qlog",
+]

@@ -1,0 +1,32 @@
+"""qlog event vocabulary used by this package.
+
+The paper captures connections in the qlog format (Marx et al., 2023)
+extended with the spin-bit state.  We emit the subset of the qlog v0.3
+vocabulary the analysis needs:
+
+* ``transport:packet_sent`` / ``transport:packet_received`` — with
+  ``header.packet_type``, ``header.packet_number``, ``raw.length``, and
+  the extension field ``header.spin_bit`` (plus ``header.vec`` when the
+  Valid Edge Counter extension is active);
+* ``recovery:metrics_updated`` — ``latest_rtt``, ``smoothed_rtt``,
+  ``min_rtt``, ``ack_delay`` (all in milliseconds, qlog's default).
+
+These constants centralize the names so writer, reader, and tests stay
+consistent.
+"""
+
+from __future__ import annotations
+
+QLOG_VERSION = "0.3"
+QLOG_FORMAT = "JSON"
+
+PACKET_SENT = "transport:packet_sent"
+PACKET_RECEIVED = "transport:packet_received"
+METRICS_UPDATED = "recovery:metrics_updated"
+
+#: Extension field carrying the spin-bit state, as added by the
+#: authors' modified quic-go qlog output.
+SPIN_BIT_FIELD = "spin_bit"
+VEC_FIELD = "vec"
+
+PACKET_TYPES = ("initial", "handshake", "0RTT", "1RTT", "retry")

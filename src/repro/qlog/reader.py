@@ -1,0 +1,83 @@
+"""Parse qlog JSON documents back into connection traces.
+
+Accepts the documents produced by :mod:`repro.qlog.writer` — and, by
+design, any qlog v0.3 document whose packet events carry the spin-bit
+extension field, so externally captured traces (e.g. from the paper's
+released quic-go) can be fed straight into the analysis pipeline.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import IO
+
+from repro.qlog import events as ev
+from repro.qlog.recorder import TraceRecorder
+
+__all__ = ["QlogParseError", "qlog_to_recorder", "read_qlog"]
+
+
+class QlogParseError(ValueError):
+    """Raised when a document is not a usable qlog trace."""
+
+
+def qlog_to_recorder(document: dict) -> TraceRecorder:
+    """Convert a qlog document (dict) into a :class:`TraceRecorder`.
+
+    Only the first trace of the document is read, matching the
+    one-connection-per-file capture of the scanner.
+    """
+    if "traces" not in document or not document["traces"]:
+        raise QlogParseError("document has no traces")
+    trace = document["traces"][0]
+    vantage = trace.get("vantage_point", {}).get("type", "client")
+    common = trace.get("common_fields", {})
+    recorder = TraceRecorder(
+        vantage_point=vantage, odcid_hex=common.get("ODCID", "")
+    )
+    recorder.metadata = dict(common.get("custom_fields", {}))
+
+    for entry in trace.get("events", []):
+        try:
+            time_ms, name, data = entry
+        except (TypeError, ValueError) as exc:
+            raise QlogParseError(f"malformed event entry: {entry!r}") from exc
+        if name in (ev.PACKET_SENT, ev.PACKET_RECEIVED):
+            header = data.get("header", {})
+            spin = header.get(ev.SPIN_BIT_FIELD)
+            record = (
+                recorder.on_packet_sent
+                if name == ev.PACKET_SENT
+                else recorder.on_packet_received
+            )
+            record(
+                float(time_ms),
+                header.get("packet_type", "1RTT"),
+                int(header.get("packet_number", 0)),
+                None if spin is None else bool(spin),
+                int(data.get("raw", {}).get("length", 0)),
+                int(header.get(ev.VEC_FIELD, 0)),
+            )
+        elif name == ev.METRICS_UPDATED:
+            recorder.on_rtt_sample(
+                float(time_ms),
+                float(data.get("latest_rtt", 0.0)),
+                float(data.get("adjusted_rtt", data.get("latest_rtt", 0.0))),
+                float(data.get("ack_delay", 0.0)),
+                float(data.get("smoothed_rtt", 0.0)),
+                float(data.get("min_rtt", 0.0)),
+            )
+        # Unknown event names are tolerated: real qlog files carry many
+        # event types the analysis does not need.
+    return recorder
+
+
+def read_qlog(stream: IO[str]) -> TraceRecorder:
+    """Read one qlog document from a text stream."""
+    try:
+        document = json.load(stream)
+    except json.JSONDecodeError as exc:
+        raise QlogParseError(f"not valid JSON: {exc}") from exc
+    if not isinstance(document, dict):
+        raise QlogParseError("qlog document must be a JSON object")
+    return qlog_to_recorder(document)

@@ -1,0 +1,79 @@
+"""Serialize connection traces to qlog JSON documents.
+
+Produces one qlog document per connection, shaped like the output of
+the paper's extended quic-go: a top-level ``qlog_version`` / ``traces``
+structure whose events carry packet headers with the spin-bit extension
+field and recovery metric updates.  The reader
+(:mod:`repro.qlog.reader`) round-trips these documents back into
+:class:`~repro.qlog.recorder.TraceRecorder` objects, and the analysis
+pipeline accepts either representation.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import IO
+
+from repro.qlog import events as ev
+from repro.qlog.recorder import PacketEvent, TraceRecorder
+
+__all__ = ["recorder_to_qlog", "write_qlog"]
+
+
+def _packet_event(event: PacketEvent, name: str) -> list:
+    header: dict = {
+        "packet_type": event.packet_type,
+        "packet_number": event.packet_number,
+    }
+    if event.spin_bit is not None:
+        header[ev.SPIN_BIT_FIELD] = event.spin_bit
+        if event.vec:
+            header[ev.VEC_FIELD] = event.vec
+    data = {"header": header, "raw": {"length": event.size_bytes}}
+    return [event.time_ms, name, data]
+
+
+def recorder_to_qlog(recorder: TraceRecorder, title: str = "") -> dict:
+    """Convert a trace recorder into a qlog JSON document (as a dict)."""
+    events: list[list] = []
+    for event in recorder.sent:
+        events.append(_packet_event(event, ev.PACKET_SENT))
+    for event in recorder.received:
+        events.append(_packet_event(event, ev.PACKET_RECEIVED))
+    for sample in recorder.rtt_samples:
+        events.append(
+            [
+                sample.time_ms,
+                ev.METRICS_UPDATED,
+                {
+                    "latest_rtt": sample.latest_rtt_ms,
+                    "adjusted_rtt": sample.adjusted_rtt_ms,
+                    "ack_delay": sample.ack_delay_ms,
+                    "smoothed_rtt": sample.smoothed_rtt_ms,
+                    "min_rtt": sample.min_rtt_ms,
+                },
+            ]
+        )
+    events.sort(key=lambda entry: entry[0])
+    trace = {
+        "vantage_point": {"type": recorder.vantage_point},
+        "common_fields": {
+            "ODCID": recorder.odcid_hex,
+            "time_format": "relative",
+            "reference_time": 0,
+        },
+        "events": events,
+    }
+    if recorder.metadata:
+        trace["common_fields"]["custom_fields"] = dict(recorder.metadata)
+    return {
+        "qlog_version": ev.QLOG_VERSION,
+        "qlog_format": ev.QLOG_FORMAT,
+        "title": title or "repro spin-bit scan",
+        "traces": [trace],
+    }
+
+
+def write_qlog(recorder: TraceRecorder, stream: IO[str], title: str = "") -> None:
+    """Write a recorder's qlog document to a text stream."""
+    json.dump(recorder_to_qlog(recorder, title=title), stream, separators=(",", ":"))

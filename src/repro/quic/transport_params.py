@@ -1,0 +1,120 @@
+"""QUIC transport parameters (RFC 9000, Section 18).
+
+Endpoints announce their transport configuration inside the TLS
+handshake as a sequence of ``(id, length, value)`` records.  Two of
+them matter directly to this study's RTT machinery:
+
+* ``ack_delay_exponent`` (0x0a) scales the ACK frame's delay field —
+  an observer or peer decoding ACK delays with the wrong exponent
+  mis-corrects every RTT sample;
+* ``max_ack_delay`` (0x0b) bounds how much peer-reported delay the
+  RFC 9002 estimator may subtract.
+
+The codec is byte-exact; unknown parameter IDs are preserved opaquely
+(QUIC requires ignoring them, and real stacks grease this space).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.quic.varint import decode_varint, encode_varint
+
+__all__ = ["TransportParameters", "decode_transport_parameters"]
+
+_ID_MAX_IDLE_TIMEOUT = 0x01
+_ID_MAX_UDP_PAYLOAD_SIZE = 0x03
+_ID_INITIAL_MAX_DATA = 0x04
+_ID_ACK_DELAY_EXPONENT = 0x0A
+_ID_MAX_ACK_DELAY = 0x0B
+_ID_ACTIVE_CID_LIMIT = 0x0E
+
+
+@dataclass(frozen=True)
+class TransportParameters:
+    """The announced transport configuration of one endpoint."""
+
+    max_idle_timeout_ms: int = 30_000
+    max_udp_payload_size: int = 1_452
+    initial_max_data: int = 1_048_576
+    ack_delay_exponent: int = 3
+    max_ack_delay_ms: int = 25
+    active_connection_id_limit: int = 4
+    #: Unknown/greased parameters carried through opaquely.
+    unknown: tuple[tuple[int, bytes], ...] = field(default_factory=tuple)
+
+    def __post_init__(self) -> None:
+        if not 0 <= self.ack_delay_exponent <= 20:
+            raise ValueError("ack_delay_exponent must be in [0, 20] (RFC 9000 18.2)")
+        if self.max_ack_delay_ms < 0 or self.max_ack_delay_ms >= 2**14:
+            raise ValueError("max_ack_delay must be in [0, 2^14) ms")
+
+    def encode(self) -> bytes:
+        """Serialize to the RFC 9000 wire format."""
+        parts = []
+        for param_id, value in (
+            (_ID_MAX_IDLE_TIMEOUT, self.max_idle_timeout_ms),
+            (_ID_MAX_UDP_PAYLOAD_SIZE, self.max_udp_payload_size),
+            (_ID_INITIAL_MAX_DATA, self.initial_max_data),
+            (_ID_ACK_DELAY_EXPONENT, self.ack_delay_exponent),
+            (_ID_MAX_ACK_DELAY, self.max_ack_delay_ms),
+            (_ID_ACTIVE_CID_LIMIT, self.active_connection_id_limit),
+        ):
+            encoded = encode_varint(value)
+            parts.append(encode_varint(param_id))
+            parts.append(encode_varint(len(encoded)))
+            parts.append(encoded)
+        for param_id, blob in self.unknown:
+            parts.append(encode_varint(param_id))
+            parts.append(encode_varint(len(blob)))
+            parts.append(blob)
+        return b"".join(parts)
+
+
+def decode_transport_parameters(data: bytes) -> TransportParameters:
+    """Parse a transport-parameter block.
+
+    Raises :class:`ValueError` on truncation; unknown IDs are collected,
+    not rejected.
+    """
+    offset = 0
+    values: dict[int, int] = {}
+    unknown: list[tuple[int, bytes]] = []
+    known_ids = {
+        _ID_MAX_IDLE_TIMEOUT,
+        _ID_MAX_UDP_PAYLOAD_SIZE,
+        _ID_INITIAL_MAX_DATA,
+        _ID_ACK_DELAY_EXPONENT,
+        _ID_MAX_ACK_DELAY,
+        _ID_ACTIVE_CID_LIMIT,
+    }
+    while offset < len(data):
+        param_id, offset = decode_varint(data, offset)
+        length, offset = decode_varint(data, offset)
+        if offset + length > len(data):
+            raise ValueError(f"transport parameter 0x{param_id:x} truncated")
+        blob = data[offset : offset + length]
+        offset += length
+        if param_id in known_ids:
+            value, consumed = decode_varint(blob, 0)
+            if consumed != len(blob):
+                raise ValueError(f"transport parameter 0x{param_id:x} malformed")
+            values[param_id] = value
+        else:
+            unknown.append((param_id, blob))
+    defaults = TransportParameters()
+    return TransportParameters(
+        max_idle_timeout_ms=values.get(_ID_MAX_IDLE_TIMEOUT, defaults.max_idle_timeout_ms),
+        max_udp_payload_size=values.get(
+            _ID_MAX_UDP_PAYLOAD_SIZE, defaults.max_udp_payload_size
+        ),
+        initial_max_data=values.get(_ID_INITIAL_MAX_DATA, defaults.initial_max_data),
+        ack_delay_exponent=values.get(
+            _ID_ACK_DELAY_EXPONENT, defaults.ack_delay_exponent
+        ),
+        max_ack_delay_ms=values.get(_ID_MAX_ACK_DELAY, defaults.max_ack_delay_ms),
+        active_connection_id_limit=values.get(
+            _ID_ACTIVE_CID_LIMIT, defaults.active_connection_id_limit
+        ),
+        unknown=tuple(unknown),
+    )

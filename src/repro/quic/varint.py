@@ -1,0 +1,69 @@
+"""QUIC variable-length integer encoding (RFC 9000, Section 16).
+
+QUIC encodes integers in 1, 2, 4, or 8 bytes; the two most significant
+bits of the first byte hold the length exponent.  Frame and header
+parsing throughout :mod:`repro.quic` builds on these two functions, and
+the property-based tests assert the round-trip and canonical-length
+invariants the RFC specifies.
+"""
+
+from __future__ import annotations
+
+__all__ = ["MAX_VARINT", "decode_varint", "encode_varint", "varint_length"]
+
+MAX_VARINT = (1 << 62) - 1
+
+_ONE_BYTE_MAX = (1 << 6) - 1
+_TWO_BYTE_MAX = (1 << 14) - 1
+_FOUR_BYTE_MAX = (1 << 30) - 1
+
+
+class VarintError(ValueError):
+    """Raised when a varint cannot be encoded or decoded."""
+
+
+def varint_length(value: int) -> int:
+    """Number of bytes the canonical encoding of ``value`` occupies."""
+    if value < 0 or value > MAX_VARINT:
+        raise VarintError(f"varint out of range: {value}")
+    if value <= _ONE_BYTE_MAX:
+        return 1
+    if value <= _TWO_BYTE_MAX:
+        return 2
+    if value <= _FOUR_BYTE_MAX:
+        return 4
+    return 8
+
+
+def encode_varint(value: int) -> bytes:
+    """Encode ``value`` as a canonical (shortest-form) QUIC varint."""
+    length = varint_length(value)
+    if length == 1:
+        return bytes([value])
+    if length == 2:
+        return bytes([0x40 | (value >> 8), value & 0xFF])
+    if length == 4:
+        encoded = value.to_bytes(4, "big")
+        return bytes([0x80 | encoded[0]]) + encoded[1:]
+    encoded = value.to_bytes(8, "big")
+    return bytes([0xC0 | encoded[0]]) + encoded[1:]
+
+
+def decode_varint(data: bytes, offset: int = 0) -> tuple[int, int]:
+    """Decode a varint from ``data`` starting at ``offset``.
+
+    Returns ``(value, new_offset)`` where ``new_offset`` points just past
+    the consumed bytes.  Raises :class:`VarintError` on truncation.
+    """
+    if offset >= len(data):
+        raise VarintError("varint truncated: no bytes available")
+    first = data[offset]
+    length = 1 << (first >> 6)
+    if offset + length > len(data):
+        raise VarintError(
+            f"varint truncated: need {length} bytes, have {len(data) - offset}"
+        )
+    value = first & 0x3F
+    for i in range(1, length):
+        value = (value << 8) | data[offset + i]
+    return value, offset + length

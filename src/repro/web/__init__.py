@@ -1,0 +1,33 @@
+"""Web measurement substrate: HTTP/3 exchanges, server stacks, scanner."""
+
+from repro.web.http3 import (
+    ExchangeResult,
+    ResponsePlan,
+    SessionResult,
+    run_exchange,
+    run_session,
+)
+from repro.web.scanner import (
+    ConnectionRecord,
+    DomainScanResult,
+    ScanConfig,
+    ScanDataset,
+    Scanner,
+)
+from repro.web.server_profiles import STACKS, ServerStackProfile, stack_by_name
+
+__all__ = [
+    "ConnectionRecord",
+    "DomainScanResult",
+    "ExchangeResult",
+    "ResponsePlan",
+    "STACKS",
+    "ScanConfig",
+    "SessionResult",
+    "ScanDataset",
+    "Scanner",
+    "ServerStackProfile",
+    "run_exchange",
+    "run_session",
+    "stack_by_name",
+]

@@ -1,0 +1,301 @@
+"""The zgrab2-equivalent HTTP/3 scanner (Section 3.2 of the paper).
+
+For every domain of the target population the scanner prepends ``www.``,
+attempts an HTTP/3 fetch of the landing page, follows up to three
+redirects (each redirect is a *new* QUIC connection, re-rolling the
+server's per-connection spin decision), and captures a per-connection
+trace.  The trace is immediately reduced to the per-connection record
+the paper's released artifact contains — spin observation, spin-bit RTT
+series (received and sorted order), stack RTT estimates, behaviour
+classification — so large scans stay memory-bounded; full qlog capture
+is available for a sampled subset.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+
+from repro._util.rng import derive_rng, fork_rng
+from repro.core.classify import SpinBehaviour, classify_connection
+from repro.core.observer import SpinObservation, observe_recorder
+from repro.core.spin import SpinPolicy, resolve_connection_policy
+from repro.internet.asdb import IpAddr
+from repro.internet.population import DomainRecord, Population
+from repro.netsim.delays import LogNormalDelay, UniformDelay
+from repro.netsim.path import PathProfile
+from repro.quic.connection import ConnectionConfig
+from repro.qlog.writer import recorder_to_qlog
+from repro.web.http3 import run_exchange
+from repro.web.server_profiles import ServerStackProfile, stack_by_name
+
+
+def _epoch_of(week_label: str) -> int:
+    """Week serial for the stack-churn process; 0 for ad-hoc labels."""
+    from repro.campaign.schedule import CalendarWeek
+
+    try:
+        return max(0, CalendarWeek.from_label(week_label).serial)
+    except (ValueError, TypeError):
+        return 0
+
+__all__ = ["ConnectionRecord", "DomainScanResult", "ScanConfig", "Scanner", "ScanDataset"]
+
+_MAX_REDIRECTS = 3
+
+
+@dataclass(frozen=True)
+class ScanConfig:
+    """Scanner tunables.
+
+    ``loss_probability`` and ``reorder_probability`` are per-packet path
+    impairments; ``jitter_ms`` bounds the uniform per-packet queueing
+    jitter.  ``qlog_sample_rate`` controls for what fraction of
+    connections the full qlog document is retained (artifact export).
+    """
+
+    loss_probability: float = 0.001
+    reorder_probability: float = 0.0015
+    #: Median of the log-normal extra delay a reordered packet picks up.
+    #: The heavy tail occasionally displaces a packet across a spin
+    #: phase boundary — the Fig. 1b failure mode — while typical events
+    #: swap packets within a flight and stay invisible.
+    reorder_extra_delay_ms: float = 5.0
+    jitter_ms: float = 0.8
+    server_flush_dispatch_ms: tuple[float, float] = (0.8, 2.5)
+    qlog_sample_rate: float = 0.0
+    client_spin_policy: SpinPolicy = SpinPolicy.SPIN
+    #: Send the final two-PING detection probe before teardown (see
+    #: DESIGN.md Sec. 7); disabling it models a teardown-happy client
+    #: that misses spinners on single-flight responses.
+    final_probe: bool = True
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.qlog_sample_rate <= 1.0:
+            raise ValueError("qlog_sample_rate must be in [0, 1]")
+
+
+@dataclass
+class ConnectionRecord:
+    """The per-connection artifact record (cf. paper Appendix B)."""
+
+    domain: str
+    host: str
+    ip: IpAddr
+    ip_version: int
+    provider_name: str
+    server_header: str | None
+    status: int | None
+    success: bool
+    behaviour: SpinBehaviour
+    observation: SpinObservation
+    stack_rtts_ms: list[float]
+    qlog: dict | None = None
+    #: Wire version the connection ended up using (after any Version
+    #: Negotiation); ``None`` when the exchange failed early.
+    negotiated_version: int | None = None
+
+    @property
+    def shows_spin_activity(self) -> bool:
+        """Spin values 0 and 1 both seen (Table 1's Spin criterion)."""
+        return self.observation.spins
+
+    @property
+    def spin_rtts_received_ms(self) -> list[float]:
+        return self.observation.rtts_received_ms
+
+    @property
+    def spin_rtts_sorted_ms(self) -> list[float]:
+        return self.observation.rtts_sorted_ms
+
+
+@dataclass
+class DomainScanResult:
+    """Everything the scanner learned about one domain in one week."""
+
+    domain: DomainRecord
+    resolved: bool
+    quic_support: bool
+    #: The address DNS resolution returned (also for domains that then
+    #: failed to answer HTTP/3) — feeds the Resolved-IP totals of
+    #: Tables 1 and 4.
+    resolved_ip: IpAddr | None = None
+    connections: list[ConnectionRecord] = field(default_factory=list)
+
+    @property
+    def shows_spin_activity(self) -> bool:
+        return any(c.shows_spin_activity for c in self.connections)
+
+
+@dataclass
+class ScanDataset:
+    """One weekly scan over one IP version."""
+
+    week_label: str
+    ip_version: int
+    results: list[DomainScanResult] = field(default_factory=list)
+
+    def connection_records(self) -> list[ConnectionRecord]:
+        """All connections of the scan, in domain order."""
+        return [c for result in self.results for c in result.connections]
+
+
+class Scanner:
+    """Scans a population, one HTTP/3 fetch chain per domain per week."""
+
+    def __init__(self, population: Population, config: ScanConfig | None = None):
+        self.population = population
+        self.config = config or ScanConfig()
+
+    def scan(
+        self,
+        week_label: str = "cw20-2023",
+        ip_version: int = 4,
+        domains: list[DomainRecord] | None = None,
+        probe: int = 0,
+    ) -> ScanDataset:
+        """Run one measurement week over ``domains`` (default: all).
+
+        Deterministic in (population seed, week label, IP version,
+        probe).  ``probe`` distinguishes repeated measurements *within*
+        the same week — the follow-up methodology of Section 6 re-rolls
+        per-connection randomness (spin disabling, paths) while keeping
+        the week's deployment state fixed.
+        """
+        dataset = ScanDataset(week_label=week_label, ip_version=ip_version)
+        targets = domains if domains is not None else self.population.domains
+        for domain in targets:
+            dataset.results.append(
+                self._scan_domain(domain, week_label, ip_version, probe)
+            )
+        return dataset
+
+    # ------------------------------------------------------------------
+
+    def _scan_domain(
+        self, domain: DomainRecord, week_label: str, ip_version: int, probe: int = 0
+    ) -> DomainScanResult:
+        rng = derive_rng(
+            self.population.config.seed,
+            "scan",
+            week_label,
+            ip_version,
+            domain.name,
+            probe,
+        )
+        if not domain.resolves or (ip_version == 6 and not domain.has_aaaa):
+            return DomainScanResult(domain=domain, resolved=False, quic_support=False)
+
+        ip = self.population.host_of(domain, ip_version)
+        result = DomainScanResult(
+            domain=domain, resolved=True, quic_support=False, resolved_ip=ip
+        )
+        epoch = _epoch_of(week_label)
+        stack_name = (
+            self.population.stack_of(domain, ip_version, epoch)
+            if domain.quic_enabled
+            else None
+        )
+        if stack_name is None:
+            return result
+        stack = stack_by_name(stack_name)
+        provider = self.population.provider_of(domain)
+
+        host = f"www.{domain.name}"
+        redirects_left = _MAX_REDIRECTS
+        while True:
+            record = self._connect_once(
+                domain, host, ip, ip_version, provider.name, stack,
+                provider.propagation_delay, rng, allow_redirect=redirects_left > 0,
+            )
+            result.connections.append(record)
+            if record.success:
+                result.quic_support = True
+            if record.status in (301, 302, 307, 308) and redirects_left > 0:
+                redirects_left -= 1
+                # Landing-page redirects overwhelmingly stay on the same
+                # host (http→https, apex→www); the scanner reconnects.
+                continue
+            break
+        return result
+
+    def _connect_once(
+        self,
+        domain: DomainRecord,
+        host: str,
+        ip: IpAddr,
+        ip_version: int,
+        provider_name: str,
+        stack: ServerStackProfile,
+        propagation_delay,
+        rng: random.Random,
+        allow_redirect: bool,
+    ) -> ConnectionRecord:
+        config = self.config
+        server_policy = resolve_connection_policy(stack.spin_config, rng)
+        retry_required = (
+            stack.retry_probability > 0.0 and rng.random() < stack.retry_probability
+        )
+        plan = stack.sample_plan(
+            rng, redirect_target=f"https://{host}/start" if allow_redirect else None
+        )
+
+        one_way = propagation_delay.sample(rng)
+        jitter = UniformDelay(0.0, config.jitter_ms)
+        profile = PathProfile(
+            propagation_delay_ms=one_way,
+            jitter=jitter,
+            loss_probability=config.loss_probability,
+            reorder_probability=config.reorder_probability,
+            reorder_extra_delay=LogNormalDelay(
+                median_ms=config.reorder_extra_delay_ms, sigma=1.2
+            ),
+        )
+
+        exchange = run_exchange(
+            host,
+            plan,
+            config.client_spin_policy,
+            server_policy,
+            uplink_profile=profile,
+            downlink_profile=profile,
+            rng=fork_rng(rng, "exchange"),
+            final_probe=config.final_probe,
+            server_config=ConnectionConfig(
+                flush_dispatch_ms=config.server_flush_dispatch_ms,
+                version=stack.supported_versions[0],
+                supported_versions=stack.supported_versions,
+                retry_required=retry_required,
+                ack_delay_exponent=stack.ack_delay_exponent,
+                max_ack_delay_ms=stack.max_ack_delay_ms,
+            ),
+        )
+
+        observation = observe_recorder(exchange.recorder)
+        stack_rtts = exchange.recorder.stack_rtts_ms()
+        behaviour = classify_connection(observation, stack_rtts)
+        qlog_doc = None
+        if config.qlog_sample_rate and rng.random() < config.qlog_sample_rate:
+            exchange.recorder.metadata = {
+                "domain": domain.name,
+                "ip": str(ip),
+                "provider": provider_name,
+            }
+            qlog_doc = recorder_to_qlog(exchange.recorder, title=host)
+        return ConnectionRecord(
+            domain=domain.name,
+            host=host,
+            ip=ip,
+            ip_version=ip_version,
+            provider_name=provider_name,
+            server_header=exchange.server_header,
+            status=exchange.status,
+            success=exchange.success,
+            behaviour=behaviour,
+            observation=observation,
+            stack_rtts_ms=stack_rtts,
+            qlog=qlog_doc,
+            negotiated_version=(
+                exchange.client.version if exchange.success else None
+            ),
+        )

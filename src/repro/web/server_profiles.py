@@ -1,0 +1,268 @@
+"""Webserver stack profiles.
+
+Each profile models one server software deployment the scanner can hit:
+its HTTP ``server:`` header, its spin-bit deployment policy (the
+decisive property for this study), and its response behaviour — think
+time, page size, and whether the body is written in one go (static /
+cached) or dribbles out of a dynamic backend.  The dribble gaps are the
+end-host delays that inflate spin-bit RTT estimates (Section 5.2 /
+Section 6 of the paper).
+
+The catalog mirrors the stacks the paper identifies:
+
+* **LiteSpeed** — the stack behind the overwhelming share of spin-bit
+  support (>80 % of spinning connections), deployed by shared hosters;
+* **imunify360-webshield** — a LiteSpeed-derived security proxy, ~7 %;
+* **Cloudflare**, **Google (gws)**, **Fastly** — hyperscaler stacks
+  that do not implement the spin bit (always zero);
+* **nginx** — widespread QUIC support without the spin bit;
+* a small tail of experimental stacks producing the paper's rare
+  All-One and per-packet-greasing observations (Table 3).
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+from repro.core.spin import SpinDeploymentConfig, SpinPolicy
+from repro.quic.version import SUPPORTED_VERSIONS, QuicVersion
+from repro.netsim.delays import (
+    ConstantDelay,
+    DelayModel,
+    LogNormalDelay,
+    UniformDelay,
+)
+from repro.web.http3 import ResponsePlan
+
+__all__ = ["ServerStackProfile", "STACKS", "stack_by_name"]
+
+
+@dataclass(frozen=True)
+class ServerStackProfile:
+    """Behavioural description of one webserver stack.
+
+    ``dynamic_fraction`` of responses come from a dynamic backend:
+    their body is written in chunks separated by ``dribble_gap`` delays
+    instead of a single write.  ``redirect_probability`` is the chance
+    the landing page answers with a redirect (the scanner follows up to
+    three).
+    """
+
+    name: str
+    server_header: str
+    spin_config: SpinDeploymentConfig
+    think_time: DelayModel = ConstantDelay(20.0)
+    page_size: DelayModel = LogNormalDelay(median_ms=40_000.0, sigma=1.0)
+    dynamic_fraction: float = 0.0
+    dribble_gap: DelayModel = ConstantDelay(0.0)
+    dribble_chunk_bytes: int = 11_000
+    redirect_probability: float = 0.05
+    min_page_bytes: int = 1_200
+    max_page_bytes: int = 400_000
+    #: QUIC versions the stack accepts, preference-first.  Stacks that
+    #: lag behind the RFC answer the scanner's v1 Initial with Version
+    #: Negotiation (the paper's scanner supports drafts 27-34 for them).
+    supported_versions: tuple[QuicVersion, ...] = SUPPORTED_VERSIONS
+    #: Probability that a connection must pass Retry address validation.
+    retry_probability: float = 0.0
+    #: Announced transport parameters (RFC 9000 Sec. 18): the exponent
+    #: scaling ACK delay fields and the delayed-ack bound the peer's
+    #: RFC 9002 estimator must honour.
+    ack_delay_exponent: int = 3
+    max_ack_delay_ms: float = 25.0
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.dynamic_fraction <= 1.0:
+            raise ValueError("dynamic_fraction must be in [0, 1]")
+        if not 0.0 <= self.retry_probability <= 1.0:
+            raise ValueError("retry_probability must be in [0, 1]")
+        if not self.supported_versions:
+            raise ValueError("a stack must support at least one version")
+        if not 0.0 <= self.redirect_probability < 1.0:
+            raise ValueError("redirect_probability must be in [0, 1)")
+        if self.min_page_bytes <= 0 or self.max_page_bytes < self.min_page_bytes:
+            raise ValueError("invalid page size bounds")
+
+    def sample_plan(self, rng: random.Random, redirect_target: str | None) -> ResponsePlan:
+        """Draw one concrete :class:`ResponsePlan` for a request.
+
+        ``redirect_target`` is the location to redirect to if this
+        response is chosen to be a redirect (pass ``None`` to force a
+        final response, e.g. at the scanner's redirect limit).
+        """
+        think = self.think_time.sample(rng)
+        if redirect_target is not None and rng.random() < self.redirect_probability:
+            return ResponsePlan(
+                server_header=self.server_header,
+                status=301,
+                think_time_ms=think,
+                write_gaps_ms=(0.0,),
+                write_sizes=(600,),
+                redirect_location=redirect_target,
+            )
+        size = int(self.page_size.sample(rng))
+        size = max(self.min_page_bytes, min(size, self.max_page_bytes))
+        if rng.random() < self.dynamic_fraction:
+            chunk = self.dribble_chunk_bytes
+            chunk_count = max(1, (size + chunk - 1) // chunk)
+            gaps = [0.0] + [
+                self.dribble_gap.sample(rng) for _ in range(chunk_count - 1)
+            ]
+            sizes = [min(chunk, size - index * chunk) for index in range(chunk_count)]
+            return ResponsePlan(
+                server_header=self.server_header,
+                think_time_ms=think,
+                write_gaps_ms=tuple(gaps),
+                write_sizes=tuple(sizes),
+            )
+        return ResponsePlan(
+            server_header=self.server_header,
+            think_time_ms=think,
+            write_gaps_ms=(0.0,),
+            write_sizes=(size,),
+        )
+
+
+def _spin(disable_one_in_n: int = 16) -> SpinDeploymentConfig:
+    return SpinDeploymentConfig(
+        base_policy=SpinPolicy.SPIN,
+        disable_one_in_n=disable_one_in_n,
+        disabled_policy=SpinPolicy.ALWAYS_ZERO,
+    )
+
+
+_NO_SPIN = SpinDeploymentConfig(base_policy=SpinPolicy.ALWAYS_ZERO)
+
+#: The stack catalog, keyed by name.
+STACKS: dict[str, ServerStackProfile] = {
+    stack.name: stack
+    for stack in (
+        # Shared-hosting LiteSpeed: spins, moderate think time, and a
+        # large dynamic share (WordPress/PHP) whose output dribbles.
+        ServerStackProfile(
+            name="litespeed",
+            server_header="LiteSpeed",
+            spin_config=_spin(16),
+            think_time=LogNormalDelay(median_ms=55.0, sigma=0.9),
+            page_size=LogNormalDelay(median_ms=55_000.0, sigma=1.1),
+            dynamic_fraction=0.76,
+            dribble_gap=LogNormalDelay(median_ms=300.0, sigma=0.75),
+            redirect_probability=0.06,
+        ),
+        ServerStackProfile(
+            name="imunify360",
+            server_header="imunify360-webshield/1.21",
+            spin_config=_spin(16),
+            think_time=LogNormalDelay(median_ms=65.0, sigma=0.9),
+            page_size=LogNormalDelay(median_ms=45_000.0, sigma=1.0),
+            dynamic_fraction=0.80,
+            dribble_gap=LogNormalDelay(median_ms=320.0, sigma=0.75),
+            redirect_probability=0.05,
+        ),
+        # Unupgraded LiteSpeed installations that still speak only the
+        # draft versions the paper's scanner was extended for.
+        ServerStackProfile(
+            name="litespeed-draft",
+            server_header="LiteSpeed",
+            spin_config=_spin(16),
+            think_time=LogNormalDelay(median_ms=60.0, sigma=0.9),
+            page_size=LogNormalDelay(median_ms=50_000.0, sigma=1.1),
+            dynamic_fraction=0.70,
+            dribble_gap=LogNormalDelay(median_ms=300.0, sigma=0.75),
+            supported_versions=(QuicVersion.DRAFT_29, QuicVersion.DRAFT_27),
+        ),
+        # A niche stack that spins and discloses itself as Caddy.
+        ServerStackProfile(
+            name="caddy-spin",
+            server_header="Caddy",
+            spin_config=_spin(16),
+            ack_delay_exponent=8,
+            max_ack_delay_ms=25.0,
+            think_time=LogNormalDelay(median_ms=25.0, sigma=0.7),
+            page_size=LogNormalDelay(median_ms=30_000.0, sigma=1.0),
+            dynamic_fraction=0.35,
+            dribble_gap=LogNormalDelay(median_ms=80.0, sigma=0.9),
+        ),
+        # Hyperscaler edges: fast, cached, no spin bit.
+        ServerStackProfile(
+            name="cloudflare",
+            server_header="cloudflare",
+            spin_config=_NO_SPIN,
+            think_time=LogNormalDelay(median_ms=8.0, sigma=0.6),
+            page_size=LogNormalDelay(median_ms=35_000.0, sigma=1.0),
+            redirect_probability=0.08,
+            retry_probability=0.03,
+        ),
+        ServerStackProfile(
+            name="gws",
+            server_header="gws",
+            spin_config=_NO_SPIN,
+            think_time=LogNormalDelay(median_ms=10.0, sigma=0.6),
+            page_size=LogNormalDelay(median_ms=45_000.0, sigma=0.8),
+            redirect_probability=0.10,
+            retry_probability=0.25,
+        ),
+        # Google's rare spin-enabled experiment population (rank 54 in
+        # Table 2 with 0.11 % of its connections spinning).
+        ServerStackProfile(
+            name="gws-spin",
+            server_header="gws",
+            spin_config=_spin(16),
+            think_time=LogNormalDelay(median_ms=10.0, sigma=0.6),
+            page_size=LogNormalDelay(median_ms=45_000.0, sigma=0.8),
+        ),
+        ServerStackProfile(
+            name="fastly",
+            server_header="Fastly",
+            spin_config=_NO_SPIN,
+            think_time=LogNormalDelay(median_ms=7.0, sigma=0.6),
+            page_size=LogNormalDelay(median_ms=30_000.0, sigma=1.0),
+        ),
+        ServerStackProfile(
+            name="nginx",
+            server_header="nginx",
+            spin_config=_NO_SPIN,
+            think_time=LogNormalDelay(median_ms=35.0, sigma=0.9),
+            page_size=LogNormalDelay(median_ms=50_000.0, sigma=1.1),
+            dynamic_fraction=0.45,
+            dribble_gap=LogNormalDelay(median_ms=100.0, sigma=1.0),
+        ),
+        # The rare All-One observation of Table 3: a stack that fixes
+        # the bit at one instead of zero.
+        ServerStackProfile(
+            name="allone-appliance",
+            server_header="BigIP-ish/0.9",
+            spin_config=SpinDeploymentConfig(base_policy=SpinPolicy.ALWAYS_ONE),
+            think_time=LogNormalDelay(median_ms=30.0, sigma=0.8),
+        ),
+        # Per-packet greasing (RFC 9312's recommended disable), rare in
+        # the wild: caught by the paper's grease filter.
+        ServerStackProfile(
+            name="grease-packet",
+            server_header="quiche-experimental",
+            spin_config=SpinDeploymentConfig(base_policy=SpinPolicy.GREASE_PER_PACKET),
+            think_time=LogNormalDelay(median_ms=30.0, sigma=0.8),
+        ),
+        # Per-connection greasing: indistinguishable from a constant
+        # value on any single connection.
+        ServerStackProfile(
+            name="grease-connection",
+            server_header="mvfst-like",
+            spin_config=SpinDeploymentConfig(
+                base_policy=SpinPolicy.GREASE_PER_CONNECTION
+            ),
+            think_time=LogNormalDelay(median_ms=30.0, sigma=0.8),
+        ),
+    )
+}
+
+
+def stack_by_name(name: str) -> ServerStackProfile:
+    """Look up a stack profile; raises :class:`KeyError` with context."""
+    try:
+        return STACKS[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown stack {name!r}; known: {sorted(STACKS)}"
+        ) from None

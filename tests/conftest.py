@@ -1,0 +1,79 @@
+"""Shared fixtures and factories for the test suite.
+
+The factories build analysis-layer inputs (observations, connection
+records) directly, so analysis tests do not need to run full packet
+simulations; integration tests exercise the real pipeline separately.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro._util.rng import derive_rng
+from repro.core.classify import SpinBehaviour
+from repro.core.observer import SpinObservation, SpinObserver
+from repro.internet.asdb import IpAddr
+from repro.internet.population import PopulationConfig, build_population
+from repro.web.scanner import ConnectionRecord
+
+
+def make_observation(
+    packets: list[tuple[float, int, bool]],
+) -> SpinObservation:
+    """Run the observer over explicit (time, pn, spin) packets."""
+    observer = SpinObserver()
+    for time_ms, packet_number, spin in packets:
+        observer.on_packet(time_ms, packet_number, spin)
+    return observer.observation()
+
+
+def make_connection_record(
+    spin_rtts: list[float] | None = None,
+    stack_rtts: list[float] | None = None,
+    behaviour: SpinBehaviour = SpinBehaviour.SPIN,
+    packets: list[tuple[float, int, bool]] | None = None,
+    ip_value: int = 0x0A000001,
+    provider: str = "other-hosting",
+    server_header: str = "LiteSpeed",
+    domain: str = "example.com",
+) -> ConnectionRecord:
+    """A connection record with a hand-crafted observation.
+
+    If ``packets`` is given, the observation (and with it the spin RTT
+    series) is computed from them; otherwise a synthetic observation is
+    fabricated whose received/sorted series equal ``spin_rtts``.
+    """
+    if packets is not None:
+        observation = make_observation(packets)
+    else:
+        observation = SpinObservation(packets_seen=max(2, len(spin_rtts or []) + 1))
+        observation.values_seen = {False, True}
+        observation.rtts_received_ms = list(spin_rtts or [])
+        observation.rtts_sorted_ms = list(spin_rtts or [])
+    return ConnectionRecord(
+        domain=domain,
+        host=f"www.{domain}",
+        ip=IpAddr(value=ip_value, version=4),
+        ip_version=4,
+        provider_name=provider,
+        server_header=server_header,
+        status=200,
+        success=True,
+        behaviour=behaviour,
+        observation=observation,
+        stack_rtts_ms=list(stack_rtts or []),
+    )
+
+
+@pytest.fixture(scope="session")
+def tiny_population():
+    """A small deterministic population shared by integration tests."""
+    return build_population(
+        PopulationConfig(toplist_domains=250, czds_domains=1200, seed=99)
+    )
+
+
+@pytest.fixture()
+def rng():
+    """A deterministic RNG, fresh per test."""
+    return derive_rng(1234, "test")

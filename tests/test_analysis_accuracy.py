@@ -1,0 +1,112 @@
+"""Figures 3/4: the accuracy study over connection records."""
+
+import pytest
+
+from conftest import make_connection_record, make_observation
+from repro.analysis.accuracy import accuracy_study
+from repro.core.classify import SpinBehaviour
+
+
+class TestSeriesSummaries:
+    def test_overestimating_connection(self):
+        record = make_connection_record(spin_rtts=[300.0], stack_rtts=[50.0])
+        study = accuracy_study([record])
+        series = study.spin_received
+        assert series.connections == 1
+        assert series.overestimate_share == 1.0
+        assert series.over_200ms_share == 1.0
+        assert series.over_factor3_share == 1.0
+        assert series.within_25pct_share == 0.0
+
+    def test_accurate_connection(self):
+        record = make_connection_record(spin_rtts=[52.0], stack_rtts=[50.0])
+        series = accuracy_study([record]).spin_received
+        assert series.within_25ms_share == 1.0
+        assert series.within_25pct_share == 1.0
+        assert series.within_factor2_share == 1.0
+        assert series.over_factor3_share == 0.0
+
+    def test_underestimating_connection(self):
+        record = make_connection_record(spin_rtts=[20.0], stack_rtts=[50.0])
+        series = accuracy_study([record]).spin_received
+        assert series.underestimate_share == 1.0
+        assert series.overestimate_share == 0.0
+
+    def test_grease_records_go_to_grease_series(self):
+        record = make_connection_record(
+            spin_rtts=[2.0, 40.0], stack_rtts=[38.0], behaviour=SpinBehaviour.GREASE
+        )
+        study = accuracy_study([record])
+        assert study.grease_received.connections == 1
+        assert study.spin_received.connections == 0
+        # Grease connections do not enter the reordering comparison.
+        assert study.reordering.connections_compared == 0
+
+    def test_records_without_samples_skipped(self):
+        no_spin_samples = make_connection_record(spin_rtts=[], stack_rtts=[50.0])
+        no_stack = make_connection_record(spin_rtts=[40.0], stack_rtts=[])
+        inactive = make_connection_record(spin_rtts=[40.0], stack_rtts=[50.0])
+        inactive.observation.values_seen = {False}
+        study = accuracy_study([no_spin_samples, no_stack, inactive])
+        assert study.spin_received.connections == 0
+
+    def test_histograms_filled(self):
+        records = [
+            make_connection_record(spin_rtts=[60.0], stack_rtts=[50.0]),
+            make_connection_record(spin_rtts=[400.0], stack_rtts=[50.0]),
+        ]
+        series = accuracy_study(records).spin_received
+        assert series.abs_histogram.total == 2
+        assert series.ratio_histogram.total == 2
+        assert series.abs_histogram.overflow == 1  # +350 ms is beyond 200
+
+
+class TestReorderingImpact:
+    def test_changed_connection_detected(self):
+        packets = [
+            (0.0, 0, False),
+            (40.0, 2, True),   # edge
+            (41.0, 1, False),  # straggler: R differs from S
+            (80.0, 3, False),
+            (120.0, 4, True),
+        ]
+        record = make_connection_record(
+            packets=packets, stack_rtts=[0.5]  # tiny stack RTT: no grease flag
+        )
+        study = accuracy_study([record])
+        impact = study.reordering
+        assert impact.connections_compared == 1
+        assert impact.connections_changed == 1
+        assert impact.changed_share == 1.0
+
+    def test_unchanged_connection(self):
+        packets = [(i * 40.0, i, i % 2 == 1) for i in range(6)]
+        record = make_connection_record(packets=packets, stack_rtts=[38.0])
+        impact = accuracy_study([record]).reordering
+        assert impact.connections_compared == 1
+        assert impact.connections_changed == 0
+
+    def test_improvement_detection(self):
+        """Sorting removes the spurious ultra-short cycle, moving the
+        spin mean toward the stack mean."""
+        packets = [
+            (0.0, 0, False),
+            (40.0, 2, True),
+            (41.0, 1, False),
+            (80.0, 3, False),
+            (120.0, 4, True),
+            (160.0, 5, False),
+        ]
+        record = make_connection_record(packets=packets, stack_rtts=[0.5])
+        impact = accuracy_study([record]).reordering
+        assert impact.connections_changed == 1
+        assert impact.changed_improved == 1
+
+
+class TestEmptyStudy:
+    def test_all_shares_zero_without_data(self):
+        study = accuracy_study([])
+        assert study.spin_received.overestimate_share == 0.0
+        assert study.spin_received.within_25pct_share == 0.0
+        assert study.reordering.changed_share == 0.0
+        assert study.reordering.below_1ms_share == 0.0

@@ -1,0 +1,113 @@
+"""Figure 2: RFC-compliance histogram and reference curves."""
+
+import pytest
+
+from repro._util.stats import binomial_pmf
+from repro.analysis.compliance import (
+    ComplianceHistogram,
+    compliance_histogram,
+    rfc_reference_shares,
+)
+from repro.campaign.runner import LongitudinalResult
+from repro.campaign.schedule import CalendarWeek
+from repro.internet.population import DomainRecord
+from repro.web.scanner import DomainScanResult, ScanDataset
+
+from conftest import make_connection_record
+from repro.core.classify import SpinBehaviour
+
+
+class TestReferenceShares:
+    def test_shares_sum_to_one(self):
+        for n_disable in (8, 16):
+            assert sum(rfc_reference_shares(12, n_disable)) == pytest.approx(1.0)
+
+    def test_rfc9000_peaks_at_all_weeks(self):
+        shares = rfc_reference_shares(12, 16)
+        assert shares[-1] == max(shares)
+        # (15/16)^12 ≈ 0.4614, renormalized over k >= 1.
+        raw = binomial_pmf(12, 12, 15 / 16)
+        assert shares[-1] == pytest.approx(raw / (1 - binomial_pmf(0, 12, 15 / 16)))
+
+    def test_rfc9312_disables_more(self):
+        """One-in-eight disabling spins in all 12 weeks less often than
+        one-in-sixteen."""
+        assert rfc_reference_shares(12, 8)[-1] < rfc_reference_shares(12, 16)[-1]
+
+
+def synthetic_longitudinal(week_flags: dict[str, list[bool]], connected: dict[str, list[bool]]):
+    """Build a LongitudinalResult from explicit activity matrices."""
+    n_weeks = len(next(iter(week_flags.values())))
+    weeks = [CalendarWeek(2023, 1 + i) for i in range(n_weeks)]
+    datasets = []
+    for week_index in range(n_weeks):
+        dataset = ScanDataset(week_label=weeks[week_index].label, ip_version=4)
+        for name in week_flags:
+            domain = DomainRecord(
+                name=name, zone="com", in_toplist=False, in_czds=True, resolves=True,
+                quic_enabled=True,
+            )
+            is_connected = connected[name][week_index]
+            spins = week_flags[name][week_index]
+            connections = []
+            if is_connected:
+                behaviour = SpinBehaviour.SPIN if spins else SpinBehaviour.ALL_ZERO
+                record = make_connection_record(
+                    spin_rtts=[40.0] if spins else [],
+                    stack_rtts=[38.0],
+                    behaviour=behaviour,
+                    domain=name,
+                )
+                if not spins:
+                    record.observation.values_seen = {False}
+                connections.append(record)
+            dataset.results.append(
+                DomainScanResult(
+                    domain=domain,
+                    resolved=is_connected,
+                    quic_support=is_connected,
+                    connections=connections,
+                )
+            )
+        datasets.append(dataset)
+    return LongitudinalResult(weeks=weeks, datasets=datasets)
+
+
+class TestComplianceHistogram:
+    def test_counts_weeks_with_spin(self):
+        result = synthetic_longitudinal(
+            week_flags={
+                "a.com": [True, True, True],   # 3 weeks
+                "b.com": [True, False, False],  # 1 week
+                "c.com": [False, False, False],  # never: excluded
+            },
+            connected={
+                "a.com": [True] * 3,
+                "b.com": [True] * 3,
+                "c.com": [True] * 3,
+            },
+        )
+        histogram = compliance_histogram(result)
+        assert histogram.considered_domains == 2
+        assert histogram.observed_shares == [0.5, 0.0, 0.5]
+        assert histogram.share_spinning_every_week == 0.5
+
+    def test_domains_missing_a_week_excluded(self):
+        result = synthetic_longitudinal(
+            week_flags={"a.com": [True, True], "b.com": [True, True]},
+            connected={"a.com": [True, True], "b.com": [True, False]},
+        )
+        histogram = compliance_histogram(result)
+        assert histogram.considered_domains == 1
+
+    def test_cumulative(self):
+        histogram = ComplianceHistogram(
+            n_weeks=3,
+            considered_domains=4,
+            observed_shares=[0.25, 0.25, 0.5],
+            rfc9000_shares=rfc_reference_shares(3, 16),
+            rfc9312_shares=rfc_reference_shares(3, 8),
+        )
+        assert histogram.observed_cumulative_at_most(2) == pytest.approx(0.5)
+        with pytest.raises(ValueError):
+            histogram.observed_cumulative_at_most(0)

@@ -1,0 +1,95 @@
+"""Artifact dataset export/import (Appendix B interface)."""
+
+import io
+
+import pytest
+
+from conftest import make_connection_record
+from repro.analysis.accuracy import accuracy_study
+from repro.analysis.artifacts import (
+    ArtifactFormatError,
+    export_records,
+    load_records,
+    record_from_dict,
+    record_to_dict,
+)
+from repro.core.classify import SpinBehaviour
+
+
+def sample_records():
+    spin = make_connection_record(
+        packets=[(0.0, 0, False), (40.0, 1, True), (80.0, 2, False), (120.0, 3, True)],
+        stack_rtts=[38.0, 39.5],
+    )
+    spin.negotiated_version = 1
+    zero = make_connection_record(
+        spin_rtts=[], stack_rtts=[20.0], behaviour=SpinBehaviour.ALL_ZERO
+    )
+    zero.observation.values_seen = {False}
+    return [spin, zero]
+
+
+class TestRoundTrip:
+    def test_jsonl_roundtrip_preserves_analysis(self):
+        records = sample_records()
+        buffer = io.StringIO()
+        assert export_records(records, buffer) == 2
+        buffer.seek(0)
+        loaded = load_records(buffer)
+        assert len(loaded) == 2
+
+        before = accuracy_study(records)
+        after = accuracy_study(loaded)
+        assert before.spin_received.connections == after.spin_received.connections
+        assert [r.ratio for r in before.spin_received.results] == pytest.approx(
+            [r.ratio for r in after.spin_received.results]
+        )
+
+    def test_fields_preserved(self):
+        record = sample_records()[0]
+        clone = record_from_dict(record_to_dict(record))
+        assert clone.domain == record.domain
+        assert clone.ip == record.ip
+        assert clone.behaviour == record.behaviour
+        assert clone.negotiated_version == 1
+        assert clone.observation.rtts_received_ms == record.observation.rtts_received_ms
+        assert clone.observation.edges_received == record.observation.edges_received
+        assert clone.stack_rtts_ms == record.stack_rtts_ms
+
+    def test_values_seen_roundtrip(self):
+        record = sample_records()[1]
+        clone = record_from_dict(record_to_dict(record))
+        assert clone.observation.values_seen == {False}
+        assert clone.observation.all_zero
+
+    def test_ipv6_address_roundtrip(self):
+        record = make_connection_record()
+        record.ip = type(record.ip)(value=0x2A024780 << 96, version=6)
+        record.ip_version = 6
+        clone = record_from_dict(record_to_dict(record))
+        assert clone.ip.version == 6
+        assert str(clone.ip) == str(record.ip)
+
+
+class TestErrorHandling:
+    def test_unsupported_schema(self):
+        data = record_to_dict(sample_records()[0])
+        data["schema"] = 99
+        with pytest.raises(ArtifactFormatError):
+            record_from_dict(data)
+
+    def test_missing_field(self):
+        data = record_to_dict(sample_records()[0])
+        del data["stack_rtts_ms"]
+        with pytest.raises(ArtifactFormatError):
+            record_from_dict(data)
+
+    def test_invalid_json_line(self):
+        with pytest.raises(ArtifactFormatError):
+            load_records(io.StringIO("{not json}\n"))
+
+    def test_blank_lines_skipped(self):
+        buffer = io.StringIO()
+        export_records(sample_records(), buffer)
+        text = "\n" + buffer.getvalue() + "\n\n"
+        assert len(load_records(io.StringIO(text))) == 2

@@ -1,0 +1,113 @@
+"""Campaign calendar and longitudinal runs."""
+
+import pytest
+
+from repro.campaign.runner import CampaignRunner, LongitudinalResult
+from repro.campaign.schedule import DEFAULT_CAMPAIGN, CalendarWeek, Campaign
+from repro.internet.population import PopulationConfig, build_population
+from repro.web.scanner import ScanDataset
+
+
+class TestCalendarWeek:
+    def test_label_roundtrip(self):
+        week = CalendarWeek(2023, 20)
+        assert week.label == "cw20-2023"
+        assert CalendarWeek.from_label("cw20-2023") == week
+
+    def test_from_label_validation(self):
+        with pytest.raises(ValueError):
+            CalendarWeek.from_label("week20")
+        with pytest.raises(ValueError):
+            CalendarWeek(2023, 54)
+
+    def test_next_week(self):
+        assert CalendarWeek(2023, 19).next() == CalendarWeek(2023, 20)
+
+    def test_next_across_year_boundary(self):
+        last_2022 = CalendarWeek(2022, 52)
+        following = last_2022.next()
+        assert following.year == 2023 and following.week == 1
+
+    def test_serial_monotonic(self):
+        weeks = [CalendarWeek(2022, 15), CalendarWeek(2022, 40), CalendarWeek(2023, 20)]
+        serials = [w.serial for w in weeks]
+        assert serials == sorted(serials)
+        assert serials[0] >= 0
+
+    def test_ordering(self):
+        assert CalendarWeek(2022, 52) < CalendarWeek(2023, 1)
+
+
+class TestCampaign:
+    def test_default_campaign_span(self):
+        weeks = DEFAULT_CAMPAIGN.weeks()
+        assert weeks[0] == CalendarWeek(2022, 15)
+        assert weeks[-1] == CalendarWeek(2023, 20)
+        assert len(weeks) == 58  # 2022 has 52 ISO weeks
+
+    def test_select_spread_weeks(self):
+        selected = DEFAULT_CAMPAIGN.select_spread_weeks(12)
+        assert len(selected) == 12
+        assert selected[0] == CalendarWeek(2022, 15)
+        assert selected[-1] == CalendarWeek(2023, 20)
+        assert selected == sorted(selected)
+
+    def test_select_all_weeks(self):
+        campaign = Campaign(CalendarWeek(2023, 1), CalendarWeek(2023, 4))
+        assert campaign.select_spread_weeks(4) == campaign.weeks()
+
+    def test_select_validation(self):
+        campaign = Campaign(CalendarWeek(2023, 1), CalendarWeek(2023, 4))
+        with pytest.raises(ValueError):
+            campaign.select_spread_weeks(1)
+        with pytest.raises(ValueError):
+            campaign.select_spread_weeks(10)
+
+    def test_ipv6_weeks_subset(self):
+        ipv6 = DEFAULT_CAMPAIGN.ipv6_weeks()
+        all_weeks = set(DEFAULT_CAMPAIGN.weeks())
+        assert set(ipv6) <= all_weeks
+        assert DEFAULT_CAMPAIGN.weeks()[-1] in ipv6
+
+    def test_invalid_campaign(self):
+        with pytest.raises(ValueError):
+            Campaign(CalendarWeek(2023, 10), CalendarWeek(2023, 5))
+
+
+class TestLongitudinalRuns:
+    @pytest.fixture(scope="class")
+    def longitudinal(self):
+        population = build_population(
+            PopulationConfig(toplist_domains=0, czds_domains=500, seed=21)
+        )
+        runner = CampaignRunner(population, DEFAULT_CAMPAIGN)
+        domains = [d for d in population.domains if d.quic_enabled]
+        return runner.run_longitudinal(4, domains=domains)
+
+    def test_one_dataset_per_week(self, longitudinal):
+        assert len(longitudinal.datasets) == 4
+        assert len(longitudinal.weeks) == 4
+        assert all(isinstance(d, ScanDataset) for d in longitudinal.datasets)
+
+    def test_weekly_activity_requires_connection_every_week(self, longitudinal):
+        activity = longitudinal.weekly_spin_activity()
+        for name, flags in activity.items():
+            assert len(flags) == 4
+
+    def test_activity_flags_match_datasets(self, longitudinal):
+        activity = longitudinal.weekly_spin_activity()
+        for week_index, dataset in enumerate(longitudinal.datasets):
+            for result in dataset.results:
+                if result.domain.name in activity:
+                    assert activity[result.domain.name][week_index] == (
+                        result.quic_support and result.shows_spin_activity
+                    )
+
+    def test_run_week_full_population(self):
+        population = build_population(
+            PopulationConfig(toplist_domains=30, czds_domains=80, seed=22)
+        )
+        runner = CampaignRunner(population, DEFAULT_CAMPAIGN)
+        dataset = runner.run_week(CalendarWeek(2023, 20))
+        assert dataset.week_label == "cw20-2023"
+        assert len(dataset.results) == 110

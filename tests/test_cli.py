@@ -1,0 +1,104 @@
+"""The command-line interface."""
+
+import pytest
+
+from repro.cli import main
+
+
+class TestDemo:
+    def test_demo_runs(self, capsys):
+        assert main(["demo"]) == 0
+        out = capsys.readouterr().out
+        assert "spin samples" in out
+        assert "mapped ratio" in out
+
+
+class TestScanAnalyze:
+    @pytest.fixture(scope="class")
+    def dataset_path(self, tmp_path_factory):
+        path = tmp_path_factory.mktemp("cli") / "dataset.jsonl"
+        code = main(
+            [
+                "scan",
+                "--czds", "600",
+                "--toplist", "100",
+                "--seed", "33",
+                "--out", str(path),
+            ]
+        )
+        assert code == 0
+        return path
+
+    def test_scan_writes_jsonl(self, dataset_path):
+        lines = dataset_path.read_text().strip().splitlines()
+        assert len(lines) > 30
+        import json
+
+        record = json.loads(lines[0])
+        assert record["schema"] == 1
+        assert "stack_rtts_ms" in record
+
+    def test_analyze_all_sections(self, dataset_path, capsys):
+        assert main(["analyze", str(dataset_path)]) == 0
+        out = capsys.readouterr().out
+        assert "AS organizations" in out
+        assert "webserver attribution" in out
+        assert "RTT accuracy" in out
+        assert "negotiated QUIC versions" in out
+        assert "filter study" in out
+        assert "Cloudflare" in out
+
+    def test_analyze_single_section(self, dataset_path, capsys):
+        assert main(["analyze", str(dataset_path), "--section", "versions"]) == 0
+        out = capsys.readouterr().out
+        assert "QUIC v1" in out
+        assert "AS organizations" not in out
+
+    def test_scan_deterministic(self, dataset_path, tmp_path):
+        again = tmp_path / "again.jsonl"
+        main(
+            [
+                "scan",
+                "--czds", "600",
+                "--toplist", "100",
+                "--seed", "33",
+                "--out", str(again),
+            ]
+        )
+        assert again.read_text() == dataset_path.read_text()
+
+
+class TestCompliance:
+    def test_compliance_runs_small(self, capsys):
+        assert main(["compliance", "--czds", "400", "--weeks", "4", "--seed", "9"]) == 0
+        out = capsys.readouterr().out
+        assert "RFC9000" in out
+
+
+class TestArgumentErrors:
+    def test_unknown_command_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["frobnicate"])
+
+    def test_missing_out_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["scan"])
+
+
+class TestReport:
+    def test_report_runs_small(self, capsys):
+        assert main(
+            [
+                "report",
+                "--czds", "700",
+                "--toplist", "150",
+                "--seed", "12",
+                "--skip-longitudinal",
+            ]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "Table 1: IPv4 adoption overview" in out
+        assert "Table 2: AS organizations" in out
+        assert "Table 4: IPv6 adoption overview" in out
+        assert "Figures 3/4: RTT accuracy" in out
+        assert "Figure 2" not in out  # skipped

@@ -1,0 +1,84 @@
+"""The RFC 9312 filter study over connection records."""
+
+import pytest
+
+from conftest import make_connection_record
+from repro.analysis.filter_study import run_filter_study
+from repro.core.classify import SpinBehaviour
+
+
+def records_with_reordering_noise():
+    """Two clean connections plus one with a spurious ultra-short cycle."""
+    clean = make_connection_record(
+        packets=[(i * 40.0, i, i % 2 == 1) for i in range(6)],
+        stack_rtts=[39.0],
+    )
+    clean2 = make_connection_record(
+        packets=[(i * 50.0, i, i % 2 == 1) for i in range(6)],
+        stack_rtts=[49.0],
+    )
+    noisy = make_connection_record(
+        packets=[
+            (0.0, 0, False),
+            (40.0, 2, True),
+            (40.4, 1, False),  # straggler: two spurious edges
+            (41.0, 3, True),
+            (80.0, 4, False),
+            (120.0, 5, True),
+        ],
+        stack_rtts=[39.0],
+        behaviour=SpinBehaviour.SPIN,
+    )
+    return [clean, clean2, noisy]
+
+
+class TestFilterStudy:
+    def test_raw_outcome_counts_all_candidates(self):
+        study = run_filter_study(records_with_reordering_noise())
+        assert study.raw.connections == 3
+        assert study.raw.connections_lost == 0
+
+    def test_static_filter_removes_subthreshold_samples(self):
+        study = run_filter_study(records_with_reordering_noise(), static_floor_ms=5.0)
+        noisy_raw = study.raw.results[-1]
+        noisy_static = study.static.results[-1]
+        # The 0.4/0.6 ms spurious samples vanish: accuracy improves.
+        assert abs(noisy_static.absolute_ms) < abs(noisy_raw.absolute_ms) + 1e-9
+        assert study.static.within_25pct_share >= study.raw.within_25pct_share
+
+    def test_hold_time_filter_improves_noisy_connection(self):
+        study = run_filter_study(records_with_reordering_noise())
+        assert study.hold_time.within_25pct_share >= study.raw.within_25pct_share
+
+    def test_clean_connections_untouched(self):
+        study = run_filter_study(records_with_reordering_noise()[:2])
+        for outcome in (study.static, study.hold_time, study.combined):
+            assert [r.ratio for r in outcome.results] == pytest.approx(
+                [r.ratio for r in study.raw.results]
+            )
+
+    def test_connections_lost_counted(self):
+        # A connection whose only samples are sub-threshold disappears
+        # under the static filter.
+        tiny = make_connection_record(
+            packets=[(0.0, 0, False), (0.3, 1, True), (0.6, 2, False)],
+            stack_rtts=[40.0],
+        )
+        study = run_filter_study([tiny], static_floor_ms=1.0)
+        assert study.raw.connections == 1
+        assert study.static.connections == 0
+        assert study.static.connections_lost == 1
+
+    def test_non_spinning_records_ignored(self):
+        zero = make_connection_record(
+            spin_rtts=[], stack_rtts=[30.0], behaviour=SpinBehaviour.ALL_ZERO
+        )
+        zero.observation.values_seen = {False}
+        study = run_filter_study([zero])
+        assert study.raw.connections == 0
+
+    def test_outcome_summaries(self):
+        study = run_filter_study(records_with_reordering_noise())
+        for outcome in study.outcomes():
+            assert 0.0 <= outcome.within_25pct_share <= 1.0
+            assert outcome.median_abs_ms >= 0.0

@@ -1,0 +1,211 @@
+"""The flow-table observer: demultiplexing concurrent connections."""
+
+import pytest
+
+from repro.core.flow_table import SpinFlowTable
+from repro.quic.connection_id import ConnectionId
+from repro.quic.datagram import QuicPacket, encode_datagram
+from repro.quic.frames import PingFrame
+from repro.quic.packet import ShortHeader
+
+
+def datagram(cid: bytes, pn: int, spin: bool) -> bytes:
+    packet = QuicPacket(
+        header=ShortHeader(
+            destination_cid=ConnectionId(cid), packet_number=pn, spin_bit=spin
+        ),
+        frames=(PingFrame(),),
+    )
+    return encode_datagram([packet])
+
+
+CID_A = bytes(range(8))
+CID_B = bytes(range(8, 16))
+
+
+class TestDemultiplexing:
+    def test_interleaved_flows_measured_independently(self):
+        """Two connections with different RTTs, packets interleaved."""
+        table = SpinFlowTable(short_dcid_length=8)
+        events = []
+        # Flow A: 40 ms spin period; flow B: 100 ms period.
+        for cycle in range(4):
+            events.append((cycle * 40.0, CID_A, cycle, cycle % 2 == 1))
+            events.append((cycle * 100.0, CID_B, cycle, cycle % 2 == 1))
+        for time_ms, cid, pn, spin in sorted(events):
+            table.on_server_datagram(time_ms, datagram(cid, pn, spin))
+
+        observations = table.observations()
+        key_a = ConnectionId(CID_A).hex
+        key_b = ConnectionId(CID_B).hex
+        assert observations[key_a].rtts_received_ms == pytest.approx([40.0, 40.0])
+        assert observations[key_b].rtts_received_ms == pytest.approx([100.0, 100.0])
+
+    def test_per_flow_packet_number_state(self):
+        """Packet-number reconstruction must not leak across flows."""
+        table = SpinFlowTable(short_dcid_length=8)
+        table.on_server_datagram(0.0, datagram(CID_A, 250, False))
+        table.on_server_datagram(1.0, datagram(CID_B, 3, True))
+        flows = table.flows
+        assert flows[ConnectionId(CID_A).hex]._largest_pn == 250
+        assert flows[ConnectionId(CID_B).hex]._largest_pn == 3
+
+    def test_long_headers_ignored(self):
+        from repro.quic.frames import CryptoFrame
+        from repro.quic.packet import LongHeader, LongPacketType
+
+        table = SpinFlowTable(short_dcid_length=8)
+        packet = QuicPacket(
+            header=LongHeader(
+                long_type=LongPacketType.INITIAL,
+                version=1,
+                destination_cid=ConnectionId(CID_A),
+                source_cid=ConnectionId(CID_B),
+            ),
+            frames=(CryptoFrame(0, b"hello"),),
+        )
+        table.on_server_datagram(0.0, encode_datagram([packet]))
+        assert table.flows == {}
+
+
+class TestTableManagement:
+    def test_idle_flows_evicted(self):
+        table = SpinFlowTable(short_dcid_length=8, idle_timeout_ms=100.0)
+        table.on_server_datagram(0.0, datagram(CID_A, 0, False))
+        table.on_server_datagram(500.0, datagram(CID_B, 0, False))
+        assert ConnectionId(CID_A).hex not in table.flows
+        assert len(table.evicted) == 1
+        assert table.evicted[0].flow_key == ConnectionId(CID_A).hex
+
+    def test_capacity_eviction_drops_lru(self):
+        table = SpinFlowTable(short_dcid_length=8, max_flows=2)
+        cids = [bytes([i] * 8) for i in range(3)]
+        for index, cid in enumerate(cids):
+            table.on_server_datagram(float(index), datagram(cid, 0, False))
+        assert len(table.flows) == 2
+        assert table.evicted[0].flow_key == ConnectionId(cids[0]).hex
+
+    def test_all_flows_includes_evicted(self):
+        table = SpinFlowTable(short_dcid_length=8, max_flows=1)
+        table.on_server_datagram(0.0, datagram(CID_A, 0, False))
+        table.on_server_datagram(1.0, datagram(CID_B, 0, True))
+        assert [flow.flow_key for flow in table.all_flows()] == [
+            ConnectionId(CID_A).hex,
+            ConnectionId(CID_B).hex,
+        ]
+
+    def test_garbage_counted(self):
+        table = SpinFlowTable()
+        table.on_server_datagram(0.0, b"\x01\x02")
+        assert table.parse_errors == 1
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            SpinFlowTable(max_flows=0)
+        with pytest.raises(ValueError):
+            SpinFlowTable(idle_timeout_ms=0.0)
+
+
+class TestRealTraffic:
+    def test_table_matches_single_flow_observer(self):
+        """Feeding one real connection through the table equals the
+        dedicated wire observer."""
+        from repro._util.rng import derive_rng
+        from repro.core.spin import SpinPolicy
+        from repro.core.wire_observer import WireObserver
+        from repro.netsim.path import PathProfile
+        from repro.web.http3 import ResponsePlan, run_exchange
+
+        observer = WireObserver(short_dcid_length=8)
+        table = SpinFlowTable(short_dcid_length=8)
+
+        class TeeObserver(WireObserver):
+            def on_datagram(self, time_ms, direction, data):
+                super().on_datagram(time_ms, direction, data)
+                if direction == "server-to-client":
+                    table.on_server_datagram(time_ms, data)
+
+        tee = TeeObserver(short_dcid_length=8)
+        plan = ResponsePlan(server_header="x", think_time_ms=25.0, write_sizes=(60_000,))
+        profile = PathProfile(propagation_delay_ms=20.0)
+        run_exchange(
+            "www.flows.test",
+            plan,
+            SpinPolicy.SPIN,
+            SpinPolicy.SPIN,
+            profile,
+            profile,
+            derive_rng(11, "flowtable"),
+            wire_observer=tee,
+        )
+        (observation,) = table.observations().values()
+        assert observation.rtts_received_ms == tee.observation().rtts_received_ms
+
+
+class TestCidRotation:
+    def test_client_rotation_transparent_to_endpoints(self):
+        """The client rotates to a server-issued CID mid-connection;
+        the exchange still completes and the server-to-client direction
+        (keyed by the client's stable source CID) remains one flow."""
+        from repro._util.rng import derive_rng
+        from repro.core.spin import SpinPolicy
+        from repro.core.wire_observer import Direction, WireObserver
+        from repro.netsim.path import PathProfile
+        from repro.quic.connection import ConnectionConfig
+        from repro.web.http3 import ResponsePlan, run_exchange
+
+        table = SpinFlowTable(short_dcid_length=8)
+        uplink_cids = set()
+
+        class Tap(WireObserver):
+            def on_datagram(self, time_ms, direction, data):
+                super().on_datagram(time_ms, direction, data)
+                if direction == Direction.SERVER_TO_CLIENT:
+                    table.on_server_datagram(time_ms, data)
+                else:
+                    from repro.quic.datagram import decode_datagram
+                    from repro.quic.packet import ShortHeader as SH
+
+                    try:
+                        for packet in decode_datagram(data, 8):
+                            if isinstance(packet.header, SH):
+                                uplink_cids.add(packet.header.destination_cid.hex)
+                    except Exception:
+                        pass
+
+        plan = ResponsePlan(
+            server_header="x", think_time_ms=20.0, write_sizes=(150_000,)
+        )
+        profile = PathProfile(propagation_delay_ms=20.0)
+        result = run_exchange(
+            "www.rotation.test",
+            plan,
+            SpinPolicy.SPIN,
+            SpinPolicy.SPIN,
+            profile,
+            profile,
+            derive_rng(13, "cid-rotation"),
+            client_config=ConnectionConfig(rotate_cid_after_packets=4),
+            wire_observer=Tap(short_dcid_length=8),
+        )
+        assert result.success
+        assert result.client._cid_rotated
+        # The client used two different DCIDs on the uplink ...
+        assert len(uplink_cids) == 2
+        # ... while the downlink flow stays trackable as one.
+        assert len(table.all_flows()) == 1
+
+    def test_server_to_client_rotation_observed_as_two_flows(self):
+        """Drive rotation on the observed direction directly."""
+        cid_first = bytes([1] * 8)
+        cid_second = bytes([2] * 8)
+        table = SpinFlowTable(short_dcid_length=8)
+        # One logical connection: pn continues, DCID changes at pn 3.
+        for pn in range(6):
+            cid = cid_first if pn < 3 else cid_second
+            table.on_server_datagram(pn * 30.0, datagram(cid, pn, pn % 2 == 1))
+        flows = table.all_flows()
+        assert len(flows) == 2
+        # Neither fragment alone reconstructs the full edge series.
+        total_edges = sum(len(f.observation().edges_received) for f in flows)
+        assert total_edges < 5  # the un-split stream would show 5 edges

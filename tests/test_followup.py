@@ -1,0 +1,78 @@
+"""The Section 6 follow-up methodology (two-phase compliance study)."""
+
+import pytest
+
+from repro.campaign.followup import FollowUpResult, FollowUpStudy
+from repro.internet.population import PopulationConfig, build_population
+
+
+@pytest.fixture(scope="module")
+def study_result():
+    population = build_population(
+        PopulationConfig(toplist_domains=0, czds_domains=2_500, seed=41)
+    )
+    study = FollowUpStudy(population)
+    dataset, candidates = study.identify_candidates()
+    result = study.probe(candidates, probes=16)
+    return dataset, candidates, result
+
+
+class TestPhaseOne:
+    def test_candidates_are_spin_active(self, study_result):
+        dataset, candidates, _ = study_result
+        spin_names = {
+            r.domain.name for r in dataset.results if r.shows_spin_activity
+        }
+        assert {d.name for d in candidates} == spin_names
+        assert len(candidates) > 10
+
+
+class TestPhaseTwo:
+    def test_every_candidate_probed(self, study_result):
+        _, candidates, result = study_result
+        assert result.domains_probed == len(candidates)
+        assert result.probes_per_domain == 16
+
+    def test_probes_rerolled_within_week(self, study_result):
+        """Different probes of the same domain give different spin
+        outcomes (the 1-in-16 disable re-rolls per connection)."""
+        _, _, result = study_result
+        counts = [result.spin_counts[n] for n in result.active_domains()]
+        assert counts, "expected active domains"
+        assert any(0 < count < 16 for count in counts)
+
+    def test_estimated_disable_rate_near_one_in_sixteen(self, study_result):
+        """The paper's proposed design recovers the RFC 9000 parameter
+        directly, free of deployment churn."""
+        _, _, result = study_result
+        rate = result.estimated_disable_rate()
+        assert 0.02 < rate < 0.12  # true value 1/16 = 0.0625
+
+    def test_distributions(self, study_result):
+        _, _, result = study_result
+        observed = result.observed_count_distribution()
+        assert sum(observed) == pytest.approx(1.0)
+        expected = result.expected_count_distribution(16)
+        assert len(expected) == 17
+        # Binomial(16, 15/16): the mode sits at 15 spinning probes,
+        # with 16 a close second; together they carry most of the mass.
+        assert max(expected) == expected[15]
+        assert expected[15] + expected[16] > 0.7
+        # The observed mode matches the compliant-endpoint reference:
+        # most spin-enabled domains spin in 15 or 16 of 16 probes.
+        assert observed[15] + observed[16] > 0.4
+
+    def test_validation(self, study_result):
+        population = build_population(
+            PopulationConfig(toplist_domains=0, czds_domains=10, seed=1)
+        )
+        with pytest.raises(ValueError):
+            FollowUpStudy(population).probe([], probes=0)
+
+
+class TestResultHelpers:
+    def test_empty_result_safe(self):
+        result = FollowUpResult(week_label="x", probes_per_domain=4)
+        assert result.estimated_disable_rate() == 0.0
+        assert result.active_domains() == []
+        assert result.observed_count_distribution() == [0.0] * 5

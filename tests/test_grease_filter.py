@@ -1,0 +1,77 @@
+"""The paper's grease filter and its ablation variants."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.grease_filter import GreaseFilter, GreaseFilterVariant, is_greasing
+
+
+class TestPaperFilter:
+    def test_flags_sample_below_stack_minimum(self):
+        assert is_greasing([5.0, 40.0], [38.0, 42.0])
+
+    def test_accepts_samples_at_or_above_minimum(self):
+        assert not is_greasing([38.0, 40.0], [38.0, 42.0])
+
+    def test_empty_series_not_flagged(self):
+        assert not is_greasing([], [38.0])
+        assert not is_greasing([5.0], [])
+
+    def test_default_variant_matches_function(self):
+        spin, stack = [5.0, 40.0], [38.0, 42.0]
+        assert GreaseFilter.is_greasing(spin, stack) == is_greasing(spin, stack)
+
+
+class TestVariants:
+    def test_slack_tolerates_marginal_dips(self):
+        lenient = GreaseFilterVariant(baseline="min", slack=0.9)
+        assert not lenient.is_greasing([36.0], [38.0])  # 36 >= 38*0.9
+        assert lenient.is_greasing([30.0], [38.0])
+
+    def test_mean_baseline_is_more_aggressive(self):
+        spin = [39.0]
+        stack = [38.0, 80.0]  # mean 59, min 38
+        assert not GreaseFilterVariant(baseline="min").is_greasing(spin, stack)
+        assert GreaseFilterVariant(baseline="mean").is_greasing(spin, stack)
+
+    def test_quantile_baseline(self):
+        variant = GreaseFilterVariant(baseline="quantile", baseline_quantile=50.0)
+        stack = [30.0, 40.0, 50.0]
+        assert variant.threshold_ms(stack) == 40.0
+
+    def test_min_votes_requires_multiple_dips(self):
+        variant = GreaseFilterVariant(min_votes=2)
+        assert not variant.is_greasing([5.0, 40.0, 41.0], [38.0])
+        assert variant.is_greasing([5.0, 6.0, 41.0], [38.0])
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            GreaseFilterVariant(baseline="median")
+        with pytest.raises(ValueError):
+            GreaseFilterVariant(slack=0.0)
+        with pytest.raises(ValueError):
+            GreaseFilterVariant(min_votes=0)
+
+
+@given(
+    spin=st.lists(st.floats(min_value=0.1, max_value=1e4), min_size=1, max_size=20),
+    stack=st.lists(st.floats(min_value=0.1, max_value=1e4), min_size=1, max_size=10),
+)
+def test_filter_definition_property(spin, stack):
+    """The paper filter fires iff min(spin) < min(stack) — exactly."""
+    assert is_greasing(spin, stack) == (min(spin) < min(stack))
+
+
+@given(
+    spin=st.lists(st.floats(min_value=0.1, max_value=1e4), min_size=1, max_size=20),
+    stack=st.lists(st.floats(min_value=0.1, max_value=1e4), min_size=1, max_size=10),
+    slack_a=st.floats(min_value=0.5, max_value=1.0),
+    slack_b=st.floats(min_value=1.0, max_value=1.5),
+)
+def test_slack_monotonicity_property(spin, stack, slack_a, slack_b):
+    """A smaller slack can only make the filter less aggressive."""
+    low = GreaseFilterVariant(slack=slack_a).is_greasing(spin, stack)
+    high = GreaseFilterVariant(slack=slack_b).is_greasing(spin, stack)
+    if low:
+        assert high  # anything flagged by the lenient filter is flagged

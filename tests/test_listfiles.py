@@ -1,0 +1,88 @@
+"""Real-world list-file ingestion (toplist CSVs, zone files)."""
+
+import io
+
+from repro.internet.listfiles import (
+    dedupe_preserving_order,
+    parse_toplist_csv,
+    parse_zone_file,
+    read_target_population,
+)
+
+
+class TestToplistCsv:
+    def test_rank_domain_format(self):
+        stream = io.StringIO("1,example.com\n2,test.org\n3,shop.example.net\n")
+        assert list(parse_toplist_csv(stream)) == [
+            "example.com",
+            "test.org",
+            "shop.example.net",
+        ]
+
+    def test_bare_domain_format(self):
+        stream = io.StringIO("example.com\ntest.org\n")
+        assert list(parse_toplist_csv(stream)) == ["example.com", "test.org"]
+
+    def test_www_stripped(self):
+        stream = io.StringIO("1,www.example.com\n")
+        assert list(parse_toplist_csv(stream)) == ["example.com"]
+
+    def test_noise_skipped(self):
+        stream = io.StringIO(
+            "# comment\n\n1,example.com\n2,not a domain!!\n3,UPPER.CASE.ORG\n"
+        )
+        assert list(parse_toplist_csv(stream)) == ["example.com", "upper.case.org"]
+
+    def test_trailing_dot_normalized(self):
+        stream = io.StringIO("1,example.com.\n")
+        assert list(parse_toplist_csv(stream)) == ["example.com"]
+
+
+class TestZoneFile:
+    ZONE = "\n".join(
+        [
+            "; com zone excerpt",
+            "com.            86400  in  ns  a.gtld-servers.net.",
+            "EXAMPLE.COM.    172800 IN  NS  ns1.example-dns.com.",
+            "example.com.    172800 IN  NS  ns2.example-dns.com.",
+            "sub.deep.example.com. 172800 IN NS ns1.example-dns.com.",
+            "other.com.      172800 IN  NS  ns.other-dns.net.",
+            "ignored.com.    86400  IN  A   192.0.2.1",
+            "outof.zone.net. 172800 IN  NS  ns.x.net.",
+            "",
+        ]
+    )
+
+    def test_ns_delegations_extracted(self):
+        domains = list(parse_zone_file(io.StringIO(self.ZONE), "com"))
+        assert domains == ["example.com", "other.com"]
+
+    def test_deep_names_reduced_to_delegation(self):
+        # sub.deep.example.com collapses to example.com (already seen).
+        domains = list(parse_zone_file(io.StringIO(self.ZONE), "com"))
+        assert domains.count("example.com") == 1
+
+    def test_apex_and_foreign_names_skipped(self):
+        domains = list(parse_zone_file(io.StringIO(self.ZONE), "com"))
+        assert "com" not in domains
+        assert all(d.endswith(".com") for d in domains)
+
+    def test_non_ns_records_ignored(self):
+        domains = list(parse_zone_file(io.StringIO(self.ZONE), "com"))
+        assert "ignored.com" not in domains
+
+
+class TestDedup:
+    def test_first_occurrence_wins(self):
+        merged = dedupe_preserving_order(
+            [["a.com", "b.com"], ["b.com", "c.com"], ["a.com"]]
+        )
+        assert merged == ["a.com", "b.com", "c.com"]
+
+    def test_read_target_population(self):
+        toplist = io.StringIO("1,a.com\n2,b.org\n")
+        zone = io.StringIO("a.com. 172800 IN NS ns.x.net.\nz.com. 172800 IN NS ns.x.net.\n")
+        population = read_target_population(
+            toplist_streams=[toplist], zone_streams=[(zone, "com")]
+        )
+        assert population == ["a.com", "b.org", "z.com"]

@@ -1,0 +1,186 @@
+"""Byte-exact QUIC header encoding, parsing, and datagram coalescing."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.quic.connection_id import ConnectionId
+from repro.quic.datagram import QuicPacket, decode_datagram, encode_datagram
+from repro.quic.frames import CryptoFrame, PaddingFrame, PingFrame
+from repro.quic.packet import (
+    HeaderParseError,
+    LongHeader,
+    LongPacketType,
+    PacketType,
+    ShortHeader,
+    parse_header,
+)
+from repro.quic.version import QuicVersion
+
+DCID = ConnectionId(bytes(range(8)))
+SCID = ConnectionId(bytes(range(8, 16)))
+
+
+class TestShortHeader:
+    def test_roundtrip_preserves_all_bits(self):
+        header = ShortHeader(
+            destination_cid=DCID,
+            packet_number=1234,
+            spin_bit=True,
+            key_phase=True,
+            vec=2,
+            largest_acked=1200,
+        )
+        parsed, offset = parse_header(header.encode(), short_dcid_length=8)
+        assert isinstance(parsed, ShortHeader)
+        assert parsed.spin_bit is True
+        assert parsed.key_phase is True
+        assert parsed.vec == 2
+        assert parsed.destination_cid == DCID
+        assert offset == len(header.encode())
+
+    def test_spin_bit_is_bit_0x20(self):
+        spin_on = ShortHeader(destination_cid=DCID, packet_number=0, spin_bit=True)
+        spin_off = ShortHeader(destination_cid=DCID, packet_number=0, spin_bit=False)
+        assert spin_on.encode()[0] & 0x20
+        assert not spin_off.encode()[0] & 0x20
+
+    def test_vec_occupies_reserved_bits(self):
+        header = ShortHeader(destination_cid=DCID, packet_number=0, vec=3)
+        assert header.encode()[0] & 0x18 == 0x18
+
+    def test_default_reserved_bits_are_zero(self):
+        header = ShortHeader(destination_cid=DCID, packet_number=0)
+        assert header.encode()[0] & 0x18 == 0
+
+    def test_invalid_vec_rejected(self):
+        with pytest.raises(ValueError):
+            ShortHeader(destination_cid=DCID, packet_number=0, vec=4)
+
+    def test_truncated_header_rejected(self):
+        header = ShortHeader(destination_cid=DCID, packet_number=0)
+        with pytest.raises(HeaderParseError):
+            parse_header(header.encode()[:4], short_dcid_length=8)
+
+
+class TestLongHeader:
+    def _header(self, long_type=LongPacketType.INITIAL, token=b""):
+        return LongHeader(
+            long_type=long_type,
+            version=int(QuicVersion.VERSION_1),
+            destination_cid=DCID,
+            source_cid=SCID,
+            packet_number=3,
+            token=token,
+            payload_length=100,
+        )
+
+    def test_roundtrip_initial_with_token(self):
+        header = self._header(token=b"tok")
+        parsed, _ = parse_header(header.encode(), short_dcid_length=8)
+        assert isinstance(parsed, LongHeader)
+        assert parsed.long_type is LongPacketType.INITIAL
+        assert parsed.token == b"tok"
+        assert parsed.version == int(QuicVersion.VERSION_1)
+        assert parsed.source_cid == SCID
+        assert parsed.payload_length == 100
+
+    def test_roundtrip_handshake(self):
+        header = self._header(long_type=LongPacketType.HANDSHAKE)
+        parsed, _ = parse_header(header.encode(), short_dcid_length=8)
+        assert parsed.packet_type is PacketType.HANDSHAKE
+
+    def test_fixed_bit_required(self):
+        data = bytearray(self._header().encode())
+        data[0] &= ~0x40
+        with pytest.raises(HeaderParseError):
+            parse_header(bytes(data), short_dcid_length=8)
+
+    def test_truncated_before_version(self):
+        with pytest.raises(HeaderParseError):
+            parse_header(self._header().encode()[:3], short_dcid_length=8)
+
+
+class TestDatagramCoalescing:
+    def _initial(self):
+        return QuicPacket(
+            header=LongHeader(
+                long_type=LongPacketType.INITIAL,
+                version=int(QuicVersion.VERSION_1),
+                destination_cid=DCID,
+                source_cid=SCID,
+                packet_number=0,
+            ),
+            frames=(CryptoFrame(0, b"hello"),),
+        )
+
+    def _short(self, spin=True):
+        return QuicPacket(
+            header=ShortHeader(destination_cid=DCID, packet_number=1, spin_bit=spin),
+            frames=(PingFrame(),),
+        )
+
+    def test_coalesced_roundtrip(self):
+        datagram = encode_datagram([self._initial(), self._short()])
+        packets = decode_datagram(datagram, short_dcid_length=8)
+        assert len(packets) == 2
+        assert packets[0].header.packet_type is PacketType.INITIAL
+        assert packets[1].header.packet_type is PacketType.ONE_RTT
+        assert packets[1].header.spin_bit is True
+
+    def test_short_header_must_be_last(self):
+        with pytest.raises(ValueError):
+            encode_datagram([self._short(), self._initial()])
+
+    def test_wire_lengths_partition_the_datagram(self):
+        datagram = encode_datagram([self._initial(), self._short()])
+        packets = decode_datagram(datagram, short_dcid_length=8)
+        assert sum(p.wire_length for p in packets) == len(datagram)
+
+    def test_bad_length_field_rejected(self):
+        datagram = bytearray(encode_datagram([self._initial()]))
+        datagram = datagram[:-3]  # truncate payload below the length field
+        with pytest.raises(HeaderParseError):
+            decode_datagram(bytes(datagram), short_dcid_length=8)
+
+
+class TestConnectionId:
+    def test_length_limit(self):
+        with pytest.raises(ValueError):
+            ConnectionId(b"x" * 21)
+
+    def test_generate_is_deterministic_per_rng(self, rng):
+        from repro._util.rng import derive_rng
+
+        a = ConnectionId.generate(derive_rng(5, "cid"), 8)
+        b = ConnectionId.generate(derive_rng(5, "cid"), 8)
+        assert a == b and len(a) == 8
+
+    def test_hex_rendering(self):
+        assert ConnectionId(b"\x00\xff").hex == "00ff"
+
+
+@given(
+    pn=st.integers(min_value=0, max_value=2**30),
+    spin=st.booleans(),
+    key_phase=st.booleans(),
+    vec=st.integers(min_value=0, max_value=3),
+    cid_len=st.integers(min_value=0, max_value=20),
+)
+def test_short_header_roundtrip_property(pn, spin, key_phase, vec, cid_len):
+    cid = ConnectionId(bytes(range(cid_len)))
+    header = ShortHeader(
+        destination_cid=cid,
+        packet_number=pn,
+        spin_bit=spin,
+        key_phase=key_phase,
+        vec=vec,
+    )
+    parsed, offset = parse_header(header.encode(), short_dcid_length=cid_len)
+    assert parsed.spin_bit == spin
+    assert parsed.key_phase == key_phase
+    assert parsed.vec == vec
+    assert parsed.destination_cid == cid
+    # The truncated packet number matches the low bits of the full pn.
+    assert parsed.packet_number == pn & ((1 << (8 * parsed.pn_length)) - 1)
+    assert offset == len(header.encode())

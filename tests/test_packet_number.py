@@ -1,0 +1,73 @@
+"""Packet-number truncation and reconstruction (RFC 9000 Appendix A)."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.quic.packet_number import (
+    decode_packet_number,
+    encode_packet_number,
+    packet_number_length,
+)
+
+
+class TestRfcExamples:
+    def test_appendix_a3_example(self):
+        # RFC 9000 A.3: largest 0xa82f30ea, truncated 0x9b32 in 2 bytes
+        # decodes to 0xa82f9b32.
+        assert decode_packet_number(0x9B32, 2, 0xA82F30EA) == 0xA82F9B32
+
+    def test_appendix_a2_example_length(self):
+        # RFC 9000 A.2: first pn 0xac5c02 after largest acked 0xabe8b3
+        # needs 16 bits.
+        assert packet_number_length(0xAC5C02, 0xABE8B3) == 2
+
+
+class TestEncoding:
+    def test_first_packet_uses_one_byte(self):
+        assert encode_packet_number(0, None) == b"\x00"
+
+    def test_length_grows_with_gap(self):
+        assert len(encode_packet_number(300, None)) >= 2
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            encode_packet_number(-1, None)
+
+
+class TestDecoding:
+    def test_without_prior_state(self):
+        assert decode_packet_number(7, 1, None) == 7
+
+    def test_wraparound_forward(self):
+        # Largest 255, truncated 0x00 in one byte: the next window.
+        assert decode_packet_number(0x00, 1, 255) == 256
+
+    def test_no_wrap_when_close(self):
+        assert decode_packet_number(0x05, 1, 3) == 5
+
+    def test_invalid_length(self):
+        with pytest.raises(ValueError):
+            decode_packet_number(0, 5, None)
+
+    def test_truncated_value_too_large_for_length(self):
+        with pytest.raises(ValueError):
+            decode_packet_number(0x1FF, 1, None)
+
+
+@given(
+    largest_acked=st.integers(min_value=0, max_value=2**40),
+    gap=st.integers(min_value=1, max_value=2**14),
+)
+def test_roundtrip_against_receiver_state(largest_acked, gap):
+    """Encoding relative to the ack state always decodes correctly.
+
+    The receiver's ``largest_pn`` may trail the sender's
+    ``largest_acked`` slightly; RFC 9000 guarantees correct recovery as
+    long as the encoding window covers the unacknowledged range.
+    """
+    full_pn = largest_acked + gap
+    encoded = encode_packet_number(full_pn, largest_acked)
+    truncated = int.from_bytes(encoded, "big")
+    decoded = decode_packet_number(truncated, len(encoded), full_pn - 1)
+    assert decoded == full_pn

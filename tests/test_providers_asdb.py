@@ -1,0 +1,131 @@
+"""Provider catalog and the synthetic AS database."""
+
+import ipaddress
+
+import pytest
+
+from repro.internet.asdb import AsDatabase, IpAddr, build_default_asdb
+from repro.internet.providers import (
+    NO_QUIC_PROVIDERS,
+    PROVIDERS,
+    provider_by_name,
+)
+from repro.web.server_profiles import STACKS
+
+
+class TestProviderCatalog:
+    def test_stack_mixes_reference_known_stacks(self):
+        for provider in PROVIDERS:
+            for stack_name, _ in provider.stack_mix:
+                assert stack_name in STACKS, f"{provider.name} uses unknown {stack_name}"
+
+    def test_stack_mix_weights_sum_to_one(self):
+        for provider in PROVIDERS:
+            assert sum(w for _, w in provider.stack_mix) == pytest.approx(1.0)
+
+    def test_table2_spin_expectations(self):
+        """Expected per-connection spin shares derived from the stack
+        mixes match the paper's Table 2 (within a few points)."""
+        expectations = {
+            "cloudflare": 0.0,
+            "google": 0.001,
+            "fastly": 0.0,
+            "hostinger": 0.519,
+            "ovh": 0.604,
+            "a2hosting": 0.591,
+            "singlehop": 0.591,
+            "servercentral": 0.676,
+        }
+        for name, target in expectations.items():
+            provider = provider_by_name(name)
+            expected = sum(
+                weight * STACKS[stack].spin_config.expected_spin_share()
+                for stack, weight in provider.stack_mix
+            )
+            assert expected == pytest.approx(target, abs=0.04), name
+
+    def test_prefixes_do_not_overlap(self):
+        networks = [
+            ipaddress.ip_network(p.v4_prefix)
+            for p in (*PROVIDERS, *NO_QUIC_PROVIDERS)
+        ]
+        for index, a in enumerate(networks):
+            for b in networks[index + 1 :]:
+                assert not a.overlaps(b), f"{a} overlaps {b}"
+
+    def test_lookup_by_name(self):
+        assert provider_by_name("hostinger").org_name == "Hostinger"
+        with pytest.raises(KeyError):
+            provider_by_name("aws")
+
+    def test_no_quic_providers_have_empty_mixes(self):
+        for provider in NO_QUIC_PROVIDERS:
+            assert not provider.supports_quic
+            assert provider.stack_mix == ()
+
+
+class TestAsDatabase:
+    def test_named_provider_lookup(self):
+        asdb = build_default_asdb()
+        cloudflare = provider_by_name("cloudflare")
+        base = int(ipaddress.ip_network(cloudflare.v4_prefix).network_address)
+        entry = asdb.lookup(IpAddr(base + 100, 4))
+        assert entry.asn == 13335
+        assert entry.org_name == "Cloudflare"
+
+    def test_ipv6_lookup(self):
+        asdb = build_default_asdb()
+        google = provider_by_name("google")
+        base = int(ipaddress.ip_network(google.v6_prefix).network_address)
+        entry = asdb.lookup(IpAddr(base + 5, 6))
+        assert entry.org_name == "Google"
+
+    def test_unrouted_ip_returns_none(self):
+        asdb = build_default_asdb()
+        assert asdb.lookup(IpAddr(int(ipaddress.IPv4Address("1.1.1.1")), 4)) is None
+
+    def test_long_tail_slices_are_distinct_orgs(self):
+        asdb = build_default_asdb()
+        tail = provider_by_name("other-hosting")
+        base = int(ipaddress.ip_network(tail.v4_prefix).network_address)
+        first = asdb.lookup(IpAddr(base + 10, 4))
+        second = asdb.lookup(IpAddr(base + 10 + 256, 4))
+        assert first.org_name != second.org_name
+        assert first.asn != second.asn
+
+    def test_same_slice_same_org(self):
+        asdb = build_default_asdb()
+        tail = provider_by_name("other-hosting")
+        base = int(ipaddress.ip_network(tail.v4_prefix).network_address)
+        assert asdb.lookup(IpAddr(base + 1, 4)) == asdb.lookup(IpAddr(base + 2, 4))
+
+    def test_version_mismatch_prefix_rejected(self):
+        bad = provider_by_name("cloudflare")
+        object.__setattr__  # frozen dataclass: construct a raw fake instead
+        with pytest.raises(ValueError):
+            AsDatabase(
+                [
+                    type(bad)(
+                        **{
+                            **bad.__dict__,
+                            "name": "broken",
+                            "v4_prefix": "2606:4700::/32",
+                        }
+                    )
+                ]
+            )
+
+
+class TestIpAddr:
+    def test_rendering(self):
+        assert str(IpAddr(int(ipaddress.IPv4Address("10.0.0.1")), 4)) == "10.0.0.1"
+        assert str(IpAddr(1, 6)) == "::1"
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            IpAddr(2**32, 4)
+        with pytest.raises(ValueError):
+            IpAddr(1, 5)
+
+    def test_hashable_for_set_counting(self):
+        assert len({IpAddr(1, 4), IpAddr(1, 4), IpAddr(1, 6)}) == 2

@@ -1,0 +1,121 @@
+"""qlog capture: recorder, writer, reader round-trips."""
+
+import io
+import json
+
+import pytest
+
+from repro.qlog.reader import QlogParseError, qlog_to_recorder, read_qlog
+from repro.qlog.recorder import TraceRecorder
+from repro.qlog.writer import recorder_to_qlog, write_qlog
+
+
+def sample_recorder() -> TraceRecorder:
+    recorder = TraceRecorder(vantage_point="client", odcid_hex="c0ffee")
+    recorder.metadata = {"domain": "example.com"}
+    recorder.on_packet_sent(0.0, "initial", 0, None, 1200)
+    recorder.on_packet_received(25.0, "initial", 0, None, 160)
+    recorder.on_packet_received(60.0, "1RTT", 0, False, 40)
+    recorder.on_packet_received(100.0, "1RTT", 1, True, 1252, vec=2)
+    recorder.on_rtt_sample(25.0, 25.0, 25.0, 0.0, 25.0, 25.0)
+    return recorder
+
+
+class TestRecorder:
+    def test_short_header_extraction(self):
+        recorder = sample_recorder()
+        short = recorder.received_short_header_packets()
+        assert [event.packet_number for event in short] == [0, 1]
+        assert short[1].vec == 2
+
+    def test_stack_rtts(self):
+        assert sample_recorder().stack_rtts_ms() == [25.0]
+
+
+class TestWriter:
+    def test_document_structure(self):
+        document = recorder_to_qlog(sample_recorder(), title="t")
+        assert document["qlog_version"] == "0.3"
+        trace = document["traces"][0]
+        assert trace["vantage_point"]["type"] == "client"
+        assert trace["common_fields"]["ODCID"] == "c0ffee"
+        assert trace["common_fields"]["custom_fields"] == {"domain": "example.com"}
+        names = {event[1] for event in trace["events"]}
+        assert names == {
+            "transport:packet_sent",
+            "transport:packet_received",
+            "recovery:metrics_updated",
+        }
+
+    def test_events_sorted_by_time(self):
+        events = recorder_to_qlog(sample_recorder())["traces"][0]["events"]
+        times = [event[0] for event in events]
+        assert times == sorted(times)
+
+    def test_spin_bit_only_on_short_headers(self):
+        events = recorder_to_qlog(sample_recorder())["traces"][0]["events"]
+        for _, name, data in events:
+            if not name.startswith("transport:"):
+                continue
+            header = data["header"]
+            if header["packet_type"] == "1RTT":
+                assert "spin_bit" in header
+            else:
+                assert "spin_bit" not in header
+
+    def test_json_serializable(self):
+        json.dumps(recorder_to_qlog(sample_recorder()))
+
+
+class TestRoundTrip:
+    def test_writer_reader_identity(self):
+        original = sample_recorder()
+        recovered = qlog_to_recorder(recorder_to_qlog(original))
+        assert recovered.sent == original.sent
+        assert recovered.received == original.received
+        assert recovered.rtt_samples == original.rtt_samples
+        assert recovered.odcid_hex == original.odcid_hex
+        assert recovered.metadata == original.metadata
+
+    def test_stream_roundtrip(self):
+        buffer = io.StringIO()
+        write_qlog(sample_recorder(), buffer, title="x")
+        buffer.seek(0)
+        recovered = read_qlog(buffer)
+        assert len(recovered.received) == 3
+
+    def test_observation_survives_roundtrip(self):
+        from repro.core.observer import observe_recorder
+
+        original = sample_recorder()
+        recovered = qlog_to_recorder(recorder_to_qlog(original))
+        assert (
+            observe_recorder(recovered).rtts_received_ms
+            == observe_recorder(original).rtts_received_ms
+        )
+
+
+class TestReaderRobustness:
+    def test_unknown_event_names_tolerated(self):
+        document = recorder_to_qlog(sample_recorder())
+        document["traces"][0]["events"].append([5.0, "http:frames_processed", {}])
+        recorder = qlog_to_recorder(document)
+        assert len(recorder.received) == 3
+
+    def test_missing_traces_rejected(self):
+        with pytest.raises(QlogParseError):
+            qlog_to_recorder({"qlog_version": "0.3"})
+
+    def test_malformed_event_rejected(self):
+        document = recorder_to_qlog(sample_recorder())
+        document["traces"][0]["events"].append(["no-name"])
+        with pytest.raises(QlogParseError):
+            qlog_to_recorder(document)
+
+    def test_invalid_json_stream(self):
+        with pytest.raises(QlogParseError):
+            read_qlog(io.StringIO("not json"))
+
+    def test_non_object_document(self):
+        with pytest.raises(QlogParseError):
+            read_qlog(io.StringIO("[1, 2]"))

@@ -1,0 +1,149 @@
+"""The zgrab2-equivalent scanner."""
+
+import pytest
+
+from repro.core.classify import SpinBehaviour
+from repro.internet.population import ListGroup, PopulationConfig, build_population
+from repro.web.scanner import ScanConfig, Scanner
+
+
+@pytest.fixture(scope="module")
+def scan_setup():
+    population = build_population(
+        PopulationConfig(toplist_domains=150, czds_domains=700, seed=11)
+    )
+    scanner = Scanner(population, ScanConfig(qlog_sample_rate=0.25))
+    dataset = scanner.scan(week_label="cw20-2023", ip_version=4)
+    return population, dataset
+
+
+class TestScanShape:
+    def test_one_result_per_domain(self, scan_setup):
+        population, dataset = scan_setup
+        assert len(dataset.results) == len(population.domains)
+
+    def test_flags_consistent_with_population(self, scan_setup):
+        population, dataset = scan_setup
+        by_name = {d.name: d for d in population.domains}
+        for result in dataset.results:
+            domain = by_name[result.domain.name]
+            assert result.resolved == domain.resolves
+            if not domain.resolves:
+                assert result.connections == []
+            if result.quic_support:
+                assert domain.quic_enabled
+
+    def test_resolved_ip_present_even_without_quic(self, scan_setup):
+        _, dataset = scan_setup
+        resolved_no_quic = [
+            r for r in dataset.results if r.resolved and not r.quic_support
+        ]
+        assert resolved_no_quic
+        assert all(r.resolved_ip is not None for r in resolved_no_quic)
+
+    def test_connection_records_complete(self, scan_setup):
+        _, dataset = scan_setup
+        for record in dataset.connection_records():
+            assert record.host.startswith("www.")
+            assert record.ip_version == 4
+            assert record.provider_name
+            assert isinstance(record.behaviour, SpinBehaviour)
+            if record.success:
+                assert record.status in (200, 301)
+                assert record.server_header
+
+    def test_redirects_create_extra_connections(self, scan_setup):
+        _, dataset = scan_setup
+        multi = [r for r in dataset.results if len(r.connections) > 1]
+        assert multi, "expected some redirect chains"
+        for result in multi:
+            assert all(c.status == 301 for c in result.connections[:-1])
+            assert result.connections[-1].status == 200
+
+    def test_determinism(self, scan_setup):
+        population, dataset = scan_setup
+        again = Scanner(population, ScanConfig(qlog_sample_rate=0.25)).scan(
+            week_label="cw20-2023", ip_version=4
+        )
+        a = [(r.domain.name, len(r.connections), r.shows_spin_activity) for r in dataset.results]
+        b = [(r.domain.name, len(r.connections), r.shows_spin_activity) for r in again.results]
+        assert a == b
+
+
+class TestSpinGroundTruth:
+    def test_hyperscaler_connections_never_spin(self, scan_setup):
+        _, dataset = scan_setup
+        for record in dataset.connection_records():
+            if record.provider_name in ("cloudflare", "fastly"):
+                assert not record.shows_spin_activity
+
+    def test_some_spin_activity_exists(self, scan_setup):
+        _, dataset = scan_setup
+        assert any(r.shows_spin_activity for r in dataset.results)
+
+    def test_spinning_connections_mostly_litespeed(self, scan_setup):
+        _, dataset = scan_setup
+        spinning = [
+            c
+            for c in dataset.connection_records()
+            if c.behaviour is SpinBehaviour.SPIN
+        ]
+        if len(spinning) < 5:
+            pytest.skip("too few spinning connections at this scale")
+        litespeed = sum(
+            1
+            for c in spinning
+            if c.server_header in ("LiteSpeed", "imunify360-webshield/1.21")
+        )
+        assert litespeed / len(spinning) > 0.6
+
+
+class TestIpv6Scan:
+    def test_v6_scans_only_aaaa_domains(self, scan_setup):
+        population, _ = scan_setup
+        dataset6 = Scanner(population).scan(week_label="cw20-2023", ip_version=6)
+        by_name = {d.name: d for d in population.domains}
+        for result in dataset6.results:
+            domain = by_name[result.domain.name]
+            assert result.resolved == (domain.resolves and domain.has_aaaa)
+            for connection in result.connections:
+                assert connection.ip_version == 6
+                assert connection.ip.version == 6
+
+
+class TestQlogSampling:
+    def test_sampled_qlogs_valid(self, scan_setup):
+        _, dataset = scan_setup
+        sampled = [c for c in dataset.connection_records() if c.qlog is not None]
+        assert sampled, "expected sampled qlog documents"
+        from repro.qlog.reader import qlog_to_recorder
+
+        recorder = qlog_to_recorder(sampled[0].qlog)
+        assert recorder.received
+        assert sampled[0].qlog["traces"][0]["common_fields"]["custom_fields"]["domain"]
+
+    def test_no_qlogs_when_rate_zero(self, scan_setup):
+        population, _ = scan_setup
+        dataset = Scanner(population, ScanConfig(qlog_sample_rate=0.0)).scan()
+        assert all(c.qlog is None for c in dataset.connection_records())
+
+
+class TestWeekEpochs:
+    def test_custom_week_labels_accepted(self, scan_setup):
+        population, _ = scan_setup
+        quic_domains = [d for d in population.domains if d.quic_enabled][:20]
+        dataset = Scanner(population).scan(week_label="adhoc", domains=quic_domains)
+        assert len(dataset.results) == 20
+
+    def test_different_weeks_differ_somewhere(self, scan_setup):
+        """Per-connection 1-in-16 disabling re-rolls every week, so two
+        weeks over the same spin-capable domains rarely agree fully."""
+        population, _ = scan_setup
+        scanner = Scanner(population)
+        domains = [d for d in population.domains if d.quic_enabled]
+        a = scanner.scan(week_label="cw15-2023", domains=domains)
+        b = scanner.scan(week_label="cw16-2023", domains=domains)
+        spin_a = [r.shows_spin_activity for r in a.results]
+        spin_b = [r.shows_spin_activity for r in b.results]
+        if any(spin_a):
+            assert spin_a != spin_b or sum(spin_a) == 0

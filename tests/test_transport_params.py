@@ -1,0 +1,146 @@
+"""Transport parameters: codec and endpoint negotiation effects."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro._util.rng import derive_rng
+from repro.core.spin import SpinPolicy
+from repro.netsim.delays import ConstantDelay
+from repro.netsim.path import PathProfile
+from repro.quic.connection import ConnectionConfig
+from repro.quic.transport_params import (
+    TransportParameters,
+    decode_transport_parameters,
+)
+from repro.web.http3 import ResponsePlan, run_exchange
+
+
+class TestCodec:
+    def test_roundtrip_defaults(self):
+        params = TransportParameters()
+        assert decode_transport_parameters(params.encode()) == params
+
+    def test_roundtrip_custom(self):
+        params = TransportParameters(
+            max_idle_timeout_ms=60_000,
+            ack_delay_exponent=8,
+            max_ack_delay_ms=40,
+            active_connection_id_limit=8,
+        )
+        decoded = decode_transport_parameters(params.encode())
+        assert decoded.ack_delay_exponent == 8
+        assert decoded.max_ack_delay_ms == 40
+
+    def test_unknown_parameters_preserved(self):
+        params = TransportParameters(unknown=((0x1B66, b"\xde\xad"),))
+        decoded = decode_transport_parameters(params.encode())
+        assert decoded.unknown == ((0x1B66, b"\xde\xad"),)
+
+    def test_truncated_rejected(self):
+        data = TransportParameters().encode()
+        with pytest.raises(ValueError):
+            decode_transport_parameters(data[:-1])
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            TransportParameters(ack_delay_exponent=21)
+        with pytest.raises(ValueError):
+            TransportParameters(max_ack_delay_ms=2**14)
+
+    def test_missing_parameters_take_defaults(self):
+        assert decode_transport_parameters(b"") == TransportParameters()
+
+
+@given(
+    exponent=st.integers(min_value=0, max_value=20),
+    max_delay=st.integers(min_value=0, max_value=2**14 - 1),
+    idle=st.integers(min_value=0, max_value=2**30),
+)
+def test_codec_roundtrip_property(exponent, max_delay, idle):
+    params = TransportParameters(
+        max_idle_timeout_ms=idle,
+        ack_delay_exponent=exponent,
+        max_ack_delay_ms=max_delay,
+    )
+    assert decode_transport_parameters(params.encode()) == params
+
+
+class TestNegotiation:
+    def _exchange(self, server_config):
+        plan = ResponsePlan(
+            server_header="Caddy", think_time_ms=20.0, write_sizes=(30_000,)
+        )
+        profile = PathProfile(propagation_delay_ms=20.0, jitter=ConstantDelay(0.0))
+        return run_exchange(
+            "www.tp.test",
+            plan,
+            SpinPolicy.SPIN,
+            SpinPolicy.SPIN,
+            profile,
+            profile,
+            derive_rng(5, "tp"),
+            server_config=server_config,
+        )
+
+    def test_peer_params_learned_on_both_sides(self):
+        result = self._exchange(ConnectionConfig(ack_delay_exponent=8))
+        assert result.client.peer_params is not None
+        assert result.client.peer_params.ack_delay_exponent == 8
+        assert result.server.peer_params is not None
+        assert result.server.peer_params.ack_delay_exponent == 3
+
+    def test_nondefault_exponent_keeps_rtt_estimates_honest(self):
+        """A server announcing exponent 8 has its ACK delays decoded
+        correctly, so the client's adjusted RTTs stay near the path RTT."""
+        result = self._exchange(
+            ConnectionConfig(ack_delay_exponent=8, max_ack_delay_ms=25.0)
+        )
+        assert result.success
+        for sample in result.recorder.stack_rtts_ms():
+            assert 38.0 <= sample <= 70.0
+
+    def test_peer_max_ack_delay_drives_estimator_clamp(self):
+        result = self._exchange(ConnectionConfig(max_ack_delay_ms=60.0))
+        assert result.client.rtt_estimator.max_ack_delay_ms == 60.0
+
+
+class TestBandwidth:
+    def test_serialization_delay(self):
+        profile = PathProfile(bandwidth_mbps=10.0)
+        # 1250 bytes at 10 Mbit/s = 1 ms.
+        assert profile.serialization_delay_ms(1250) == pytest.approx(1.0)
+        assert PathProfile().serialization_delay_ms(1250) == 0.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            PathProfile(bandwidth_mbps=0.0)
+
+    def test_constrained_link_slows_transfer(self):
+        plan = ResponsePlan(server_header="x", think_time_ms=10.0, write_sizes=(120_000,))
+        fast = PathProfile(propagation_delay_ms=20.0, jitter=ConstantDelay(0.0))
+        slow = PathProfile(
+            propagation_delay_ms=20.0,
+            jitter=ConstantDelay(0.0),
+            bandwidth_mbps=2.0,
+        )
+        up = PathProfile(propagation_delay_ms=20.0, jitter=ConstantDelay(0.0))
+
+        def run(downlink):
+            return run_exchange(
+                "www.bw.test",
+                plan,
+                SpinPolicy.SPIN,
+                SpinPolicy.SPIN,
+                up,
+                downlink,
+                derive_rng(2, "bw"),
+            )
+
+        fast_result = run(fast)
+        slow_result = run(slow)
+        assert fast_result.success and slow_result.success
+        fast_end = max(e.time_ms for e in fast_result.recorder.received)
+        slow_end = max(e.time_ms for e in slow_result.recorder.received)
+        # 120 kB at 2 Mbit/s needs ~480 ms of serialization alone.
+        assert slow_end > fast_end + 300.0

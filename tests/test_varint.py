@@ -1,0 +1,102 @@
+"""QUIC varint encoding (RFC 9000 Section 16)."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.quic.varint import (
+    MAX_VARINT,
+    decode_varint,
+    encode_varint,
+    varint_length,
+)
+from repro.quic.varint import VarintError
+
+
+class TestKnownVectors:
+    """The worked examples from RFC 9000 Appendix A.1."""
+
+    def test_eight_byte_example(self):
+        data = bytes.fromhex("c2197c5eff14e88c")
+        value, offset = decode_varint(data)
+        assert value == 151_288_809_941_952_652
+        assert offset == 8
+
+    def test_four_byte_example(self):
+        value, offset = decode_varint(bytes.fromhex("9d7f3e7d"))
+        assert value == 494_878_333
+        assert offset == 4
+
+    def test_two_byte_example(self):
+        value, offset = decode_varint(bytes.fromhex("7bbd"))
+        assert value == 15_293
+        assert offset == 2
+
+    def test_one_byte_example(self):
+        value, offset = decode_varint(bytes.fromhex("25"))
+        assert value == 37
+        assert offset == 1
+
+
+class TestLengths:
+    def test_boundaries(self):
+        assert varint_length(0) == 1
+        assert varint_length(63) == 1
+        assert varint_length(64) == 2
+        assert varint_length(16_383) == 2
+        assert varint_length(16_384) == 4
+        assert varint_length((1 << 30) - 1) == 4
+        assert varint_length(1 << 30) == 8
+        assert varint_length(MAX_VARINT) == 8
+
+    def test_out_of_range(self):
+        with pytest.raises(VarintError):
+            varint_length(-1)
+        with pytest.raises(VarintError):
+            varint_length(MAX_VARINT + 1)
+        with pytest.raises(VarintError):
+            encode_varint(MAX_VARINT + 1)
+
+
+class TestDecodeErrors:
+    def test_empty_input(self):
+        with pytest.raises(VarintError):
+            decode_varint(b"")
+
+    def test_truncated_multibyte(self):
+        encoded = encode_varint(20_000)
+        with pytest.raises(VarintError):
+            decode_varint(encoded[:-1])
+
+    def test_offset_beyond_end(self):
+        with pytest.raises(VarintError):
+            decode_varint(b"\x25", offset=1)
+
+
+class TestOffsets:
+    def test_decoding_advances_offset(self):
+        blob = encode_varint(5) + encode_varint(70_000) + encode_varint(1)
+        value, offset = decode_varint(blob, 0)
+        assert value == 5
+        value, offset = decode_varint(blob, offset)
+        assert value == 70_000
+        value, offset = decode_varint(blob, offset)
+        assert value == 1
+        assert offset == len(blob)
+
+
+@given(st.integers(min_value=0, max_value=MAX_VARINT))
+def test_roundtrip(value):
+    encoded = encode_varint(value)
+    decoded, offset = decode_varint(encoded)
+    assert decoded == value
+    assert offset == len(encoded)
+    assert len(encoded) == varint_length(value)
+
+
+@given(st.integers(min_value=0, max_value=MAX_VARINT), st.binary(max_size=8))
+def test_roundtrip_with_trailing_bytes(value, trailing):
+    encoded = encode_varint(value) + trailing
+    decoded, offset = decode_varint(encoded)
+    assert decoded == value
+    assert offset == varint_length(value)

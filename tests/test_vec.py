@@ -1,0 +1,96 @@
+"""The Valid Edge Counter extension (De Vaere et al.)."""
+
+import pytest
+
+from repro.core.vec import VecObserver, VecSenderState
+
+
+class TestSenderState:
+    def test_non_edge_packets_carry_zero(self):
+        state = VecSenderState()
+        assert state.vec_for_outgoing(False) >= 1  # first packet is an edge
+        assert state.vec_for_outgoing(False) == 0
+        assert state.vec_for_outgoing(False) == 0
+
+    def test_edge_increments_received_vec(self):
+        state = VecSenderState()
+        state.on_packet_received(0, True, 1)  # peer edge with VEC 1
+        assert state.vec_for_outgoing(False) == 2  # first outgoing: edge
+        state.on_packet_received(1, False, 2)
+        assert state.vec_for_outgoing(True) == 3
+
+    def test_saturates_at_three(self):
+        state = VecSenderState()
+        state.on_packet_received(0, True, 3)
+        assert state.vec_for_outgoing(True) == 3  # min(3 + 1, 3)
+
+    def test_reordered_packet_does_not_update(self):
+        state = VecSenderState()
+        state.on_packet_received(5, True, 2)
+        state.on_packet_received(2, False, 0)  # lower pn: ignored
+        # The first outgoing packet is an edge; its VEC builds on the
+        # pn-5 edge counter (2 + 1), not on the ignored straggler.
+        assert state.vec_for_outgoing(False) == 3
+
+
+class TestVecObserver:
+    def test_only_marked_edges_counted(self):
+        observer = VecObserver(threshold=3)
+        observer.on_packet(0.0, 3)
+        observer.on_packet(10.0, 0)  # not an edge at the sender
+        observer.on_packet(40.0, 3)
+        assert observer.rtts_ms() == [40.0]
+
+    def test_threshold_validation(self):
+        with pytest.raises(ValueError):
+            VecObserver(threshold=0)
+        with pytest.raises(ValueError):
+            VecObserver(threshold=4)
+
+    def test_reordering_robustness_scenario(self):
+        """A straggler packet (spin flip at the observer, but VEC 0)
+        cannot fabricate an ultra-short measurement, unlike the raw
+        spin observer in test_observer.py."""
+        observer = VecObserver(threshold=3)
+        events = [
+            (0.0, 3),    # valid edge
+            (30.0, 0),
+            (60.0, 3),   # valid edge (one RTT later)
+            (61.0, 0),   # straggler with a spin flip, VEC 0
+            (120.0, 3),  # valid edge
+        ]
+        for time_ms, vec in events:
+            observer.on_packet(time_ms, vec)
+        rtts = observer.rtts_ms()
+        assert rtts == [60.0, 60.0]
+        assert min(rtts) >= 30.0
+
+
+class TestEndToEndLoop:
+    def test_vec_ramps_up_over_spin_cycles(self):
+        """Simulate the counter around the loop: client edge 1, server
+        reflects 2, client 3, then saturation."""
+        client = VecSenderState()
+        server = VecSenderState()
+        pn_client = 0
+        pn_server = 0
+
+        # Client sends its first 1-RTT packet: an edge with VEC 1.
+        vec_c = client.vec_for_outgoing(False)
+        assert vec_c == 1
+        server.on_packet_received(pn_client, False, vec_c)
+        pn_client += 1
+
+        # Server reflects: its first outgoing is an edge, VEC 1 + 1 = 2.
+        vec_s = server.vec_for_outgoing(False)
+        assert vec_s == 2
+        client.on_packet_received(pn_server, False, vec_s)
+        pn_server += 1
+
+        # Client toggles: edge with VEC 3.
+        vec_c = client.vec_for_outgoing(True)
+        assert vec_c == 3
+        server.on_packet_received(pn_client, True, vec_c)
+
+        # From here on every genuine edge carries the saturated value.
+        assert server.vec_for_outgoing(True) == 3

@@ -1,0 +1,172 @@
+"""Version negotiation, Retry, and the version-distribution analysis."""
+
+import pytest
+
+from repro._util.rng import derive_rng
+from repro.core.observer import observe_recorder
+from repro.core.spin import SpinPolicy
+from repro.netsim.path import PathProfile
+from repro.quic.connection import ConnectionConfig
+from repro.quic.connection_id import ConnectionId
+from repro.quic.datagram import decode_datagram
+from repro.quic.packet import (
+    HeaderParseError,
+    LongHeader,
+    LongPacketType,
+    PacketType,
+    VersionNegotiationHeader,
+    parse_header,
+)
+from repro.quic.version import QuicVersion
+from repro.web.http3 import ResponsePlan, run_exchange
+
+DCID = ConnectionId(bytes(range(8)))
+SCID = ConnectionId(bytes(range(8, 16)))
+
+
+class TestVnWireFormat:
+    def test_roundtrip(self):
+        header = VersionNegotiationHeader(
+            destination_cid=DCID,
+            source_cid=SCID,
+            supported_versions=(1, 0xFF00001D),
+        )
+        parsed, offset = parse_header(header.encode(), short_dcid_length=8)
+        assert isinstance(parsed, VersionNegotiationHeader)
+        assert parsed.supported_versions == (1, 0xFF00001D)
+        assert parsed.destination_cid == DCID
+        assert offset == len(header.encode())
+
+    def test_version_list_required(self):
+        with pytest.raises(ValueError):
+            VersionNegotiationHeader(DCID, SCID, supported_versions=())
+
+    def test_malformed_version_list(self):
+        data = VersionNegotiationHeader(DCID, SCID, (1,)).encode() + b"\x01"
+        with pytest.raises(HeaderParseError):
+            parse_header(data, short_dcid_length=8)
+
+    def test_datagram_decode(self):
+        data = VersionNegotiationHeader(DCID, SCID, (1, 2)).encode()
+        (packet,) = decode_datagram(data, short_dcid_length=8)
+        assert packet.header.packet_type is PacketType.VERSION_NEGOTIATION
+        assert packet.frames == []
+
+
+class TestRetryWireFormat:
+    def test_roundtrip_with_token(self):
+        header = LongHeader(
+            long_type=LongPacketType.RETRY,
+            version=1,
+            destination_cid=DCID,
+            source_cid=SCID,
+            token=b"retry:abcdef",
+        )
+        parsed, offset = parse_header(header.encode(), short_dcid_length=8)
+        assert isinstance(parsed, LongHeader)
+        assert parsed.long_type is LongPacketType.RETRY
+        assert parsed.token == b"retry:abcdef"
+        assert offset == len(header.encode())
+
+
+def exchange(client_cfg=None, server_cfg=None, seed=1):
+    plan = ResponsePlan(server_header="LiteSpeed", think_time_ms=25.0, write_sizes=(20_000,))
+    profile = PathProfile(propagation_delay_ms=18.0)
+    return run_exchange(
+        "www.vn.test",
+        plan,
+        SpinPolicy.SPIN,
+        SpinPolicy.SPIN,
+        profile,
+        profile,
+        derive_rng(seed, "vn-exchange"),
+        client_config=client_cfg,
+        server_config=server_cfg,
+    )
+
+
+class TestVersionNegotiationFlow:
+    def test_client_falls_back_to_draft(self):
+        server_cfg = ConnectionConfig(
+            version=QuicVersion.DRAFT_29,
+            supported_versions=(QuicVersion.DRAFT_29, QuicVersion.DRAFT_27),
+        )
+        result = exchange(server_cfg=server_cfg)
+        assert result.success
+        assert result.client.version == int(QuicVersion.DRAFT_29)
+        types = {e.packet_type for e in result.recorder.received}
+        assert "version_negotiation" in types
+
+    def test_spin_bit_works_on_draft_versions(self):
+        server_cfg = ConnectionConfig(
+            version=QuicVersion.DRAFT_29,
+            supported_versions=(QuicVersion.DRAFT_29,),
+        )
+        result = exchange(server_cfg=server_cfg)
+        assert observe_recorder(result.recorder).spins
+
+    def test_no_common_version_fails(self):
+        client_cfg = ConnectionConfig(supported_versions=(QuicVersion.VERSION_1,))
+        server_cfg = ConnectionConfig(
+            version=QuicVersion.DRAFT_27,
+            supported_versions=(QuicVersion.DRAFT_27,),
+        )
+        result = exchange(client_cfg=client_cfg, server_cfg=server_cfg)
+        assert not result.success
+        assert "version" in (result.client.failed or "")
+
+    def test_no_vn_when_versions_match(self):
+        result = exchange()
+        types = {e.packet_type for e in result.recorder.received}
+        assert "version_negotiation" not in types
+        assert result.client.version == int(QuicVersion.VERSION_1)
+
+
+class TestRetryFlow:
+    def test_retry_roundtrip_completes(self):
+        result = exchange(server_cfg=ConnectionConfig(retry_required=True))
+        assert result.success
+        types = {e.packet_type for e in result.recorder.received}
+        assert "retry" in types
+
+    def test_retry_adds_a_round_trip(self):
+        plain = exchange(seed=7)
+        retried = exchange(seed=7, server_cfg=ConnectionConfig(retry_required=True))
+        first_data_plain = min(
+            e.time_ms for e in plain.recorder.received if e.packet_type == "1RTT"
+        )
+        first_data_retried = min(
+            e.time_ms for e in retried.recorder.received if e.packet_type == "1RTT"
+        )
+        assert first_data_retried > first_data_plain + 30.0  # ~one extra RTT
+
+    def test_spin_unaffected_by_retry(self):
+        result = exchange(server_cfg=ConnectionConfig(retry_required=True))
+        assert observe_recorder(result.recorder).spins
+
+
+class TestVersionDistribution:
+    def test_distribution_from_records(self):
+        from conftest import make_connection_record
+        from repro.analysis.versions import version_distribution
+
+        records = []
+        for version, n in ((1, 3), (0xFF00001D, 1)):
+            for _ in range(n):
+                record = make_connection_record()
+                record.negotiated_version = version
+                records.append(record)
+        failed = make_connection_record()
+        failed.success = False
+        records.append(failed)
+
+        shares = version_distribution(records)
+        assert shares[0].label == "QUIC v1"
+        assert shares[0].connections == 3
+        assert shares[0].share == pytest.approx(0.75)
+        assert shares[1].label == "draft-29"
+
+    def test_unknown_version_labeled(self):
+        from repro.analysis.versions import _label
+
+        assert _label(0xDEADBEEF).startswith("unknown")
