@@ -1,0 +1,101 @@
+"""Scan-engine throughput: sequential vs. sharded worker pool.
+
+The paper's weekly measurement covers >200 M domains; the reproduction's
+throughput ceiling therefore *is* the scan engine.  This benchmark
+measures domains/sec on a fixed sub-population for the sequential path
+and the parallel engine at 1/2/4 workers, asserts that every parallel
+configuration merges bit-identically to the sequential dataset, and
+writes ``BENCH_scan_throughput.json`` at the repo root so subsequent
+PRs can track the perf trajectory (``scripts/bench.sh`` appends each
+run to ``BENCH_history.jsonl``).
+
+Speedup expectations are hardware-conditional: the ≥2x-at-4-workers
+assertion only applies where 4 cores are actually available — on a
+single-core runner the parallel engine cannot beat the GIL-free
+sequential path and the numbers are recorded without the assertion.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from pathlib import Path
+
+from repro.web.parallel import ParallelScanConfig
+from repro.web.scanner import ScanConfig, Scanner
+
+#: Fixed sub-population size; large enough that per-scan setup is noise.
+BENCH_DOMAINS = 600
+
+#: Timing-noise slack on the single-worker-overhead bound (the target
+#: is <= 10 %; wall-clock jitter on shared runners can exceed that on
+#: sub-second runs, so each configuration takes the best of two runs).
+OVERHEAD_LIMIT = 0.10
+
+_RESULT_PATH = Path(__file__).resolve().parent.parent / "BENCH_scan_throughput.json"
+
+
+def _best_of(runs: int, fn):
+    best_elapsed, dataset = None, None
+    for _ in range(runs):
+        start = time.perf_counter()
+        result = fn()
+        elapsed = time.perf_counter() - start
+        if best_elapsed is None or elapsed < best_elapsed:
+            best_elapsed, dataset = elapsed, result
+    return dataset, best_elapsed
+
+
+def test_scan_throughput(population):
+    domains = population.domains[:BENCH_DOMAINS]
+    config = ScanConfig(qlog_sample_rate=0.05)
+
+    def scan_with(workers: int):
+        scanner = Scanner(
+            population, config, parallel=ParallelScanConfig(workers=workers)
+        )
+        return scanner.scan(week_label="cw20-2023", ip_version=4, domains=domains)
+
+    sequential, seq_elapsed = _best_of(2, lambda: scan_with(1))
+    results = {"sequential": {"elapsed_s": seq_elapsed}}
+    for workers in (1, 2, 4):
+        dataset, elapsed = _best_of(2 if workers == 1 else 1, lambda: scan_with(workers))
+        assert dataset == sequential, f"{workers}-worker merge diverged"
+        results[f"workers_{workers}"] = {"elapsed_s": elapsed}
+
+    for entry in results.values():
+        entry["domains_per_sec"] = round(BENCH_DOMAINS / entry["elapsed_s"], 1)
+        entry["elapsed_s"] = round(entry["elapsed_s"], 3)
+
+    cpu_count = os.cpu_count() or 1
+    payload = {
+        "benchmark": "scan_throughput",
+        "bench_domains": BENCH_DOMAINS,
+        "cpu_count": cpu_count,
+        "results": results,
+    }
+    _RESULT_PATH.write_text(json.dumps(payload, indent=2) + "\n", encoding="utf-8")
+
+    print()
+    print(f"scan throughput over {BENCH_DOMAINS} domains ({cpu_count} CPU(s)):")
+    for label, entry in results.items():
+        print(
+            f"  {label:12s} {entry['domains_per_sec']:8.1f} domains/s "
+            f"({entry['elapsed_s']:.3f} s)"
+        )
+
+    seq_rate = results["sequential"]["domains_per_sec"]
+    w1_rate = results["workers_1"]["domains_per_sec"]
+    # workers=1 falls back in-process, so the engine adds ~zero cost.
+    assert w1_rate >= seq_rate * (1.0 - OVERHEAD_LIMIT), (
+        f"single-worker overhead too high: {w1_rate} vs {seq_rate} domains/s"
+    )
+    if cpu_count >= 4:
+        w4_rate = results["workers_4"]["domains_per_sec"]
+        assert w4_rate >= 2.0 * seq_rate, (
+            f"expected >=2x speedup at 4 workers on {cpu_count} cores: "
+            f"{w4_rate} vs {seq_rate} domains/s"
+        )
+    else:
+        print(f"  ({cpu_count} core(s): 4-worker speedup assertion not applicable)")

@@ -1,0 +1,32 @@
+#!/usr/bin/env bash
+# Per-PR perf gate: run the tier-1 tests, then the scan-throughput
+# benchmark, and append the benchmark result (stamped with commit and
+# timestamp) to BENCH_history.jsonl so every PR records its perf delta.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+export PYTHONPATH="src${PYTHONPATH:+:$PYTHONPATH}"
+
+echo "== tier-1 tests =="
+python -m pytest -x -q tests
+
+echo "== scan-throughput benchmark =="
+python -m pytest -q -s benchmarks/test_perf_scan_throughput.py
+
+python - <<'PY'
+import datetime
+import json
+import pathlib
+import subprocess
+
+result = json.loads(pathlib.Path("BENCH_scan_throughput.json").read_text())
+result["commit"] = subprocess.run(
+    ["git", "rev-parse", "--short", "HEAD"], capture_output=True, text=True
+).stdout.strip() or None
+result["timestamp"] = datetime.datetime.now(datetime.timezone.utc).isoformat(
+    timespec="seconds"
+)
+with open("BENCH_history.jsonl", "a", encoding="utf-8") as history:
+    history.write(json.dumps(result) + "\n")
+print(f"appended {result['benchmark']} @ {result['commit']} to BENCH_history.jsonl")
+PY

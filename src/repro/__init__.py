@@ -54,7 +54,13 @@ from repro.internet import (
     build_population,
 )
 from repro.qlog import TraceRecorder, read_qlog, recorder_to_qlog, write_qlog
-from repro.web import ResponsePlan, ScanConfig, Scanner, run_exchange
+from repro.web import (
+    ParallelScanConfig,
+    ResponsePlan,
+    ScanConfig,
+    Scanner,
+    run_exchange,
+)
 
 __version__ = "1.0.0"
 

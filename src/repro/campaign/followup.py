@@ -20,7 +20,7 @@ from dataclasses import dataclass, field
 
 from repro._util.stats import binomial_pmf
 from repro.internet.population import DomainRecord, Population
-from repro.web.scanner import ScanConfig, ScanDataset, Scanner
+from repro.web.scanner import ParallelScanConfig, ScanConfig, ScanDataset, Scanner
 
 __all__ = ["FollowUpResult", "FollowUpStudy"]
 
@@ -87,9 +87,14 @@ class FollowUpResult:
 class FollowUpStudy:
     """Runs the two-phase measurement over a synthetic population."""
 
-    def __init__(self, population: Population, scan_config: ScanConfig | None = None):
+    def __init__(
+        self,
+        population: Population,
+        scan_config: ScanConfig | None = None,
+        parallel: ParallelScanConfig | None = None,
+    ):
         self.population = population
-        self.scanner = Scanner(population, scan_config)
+        self.scanner = Scanner(population, scan_config, parallel=parallel)
 
     def identify_candidates(
         self, week_label: str = "cw20-2023", ip_version: int = 4

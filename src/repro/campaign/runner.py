@@ -13,7 +13,7 @@ from dataclasses import dataclass, field
 
 from repro.campaign.schedule import Campaign, CalendarWeek
 from repro.internet.population import DomainRecord, Population
-from repro.web.scanner import ScanConfig, ScanDataset, Scanner
+from repro.web.scanner import ParallelScanConfig, ScanConfig, ScanDataset, Scanner
 
 __all__ = ["CampaignRunner", "LongitudinalResult"]
 
@@ -33,6 +33,7 @@ class LongitudinalResult:
         domains to which we could establish a connection in every
         week").
         """
+        total_weeks = len(self.datasets)
         activity: dict[str, list[bool]] = {}
         connected: dict[str, int] = {}
         for dataset in self.datasets:
@@ -41,16 +42,12 @@ class LongitudinalResult:
                 if not result.quic_support:
                     continue
                 connected[name] = connected.get(name, 0) + 1
-                activity.setdefault(name, [])
+                activity.setdefault(name, [False] * total_weeks)
         for week_index, dataset in enumerate(self.datasets):
             for result in dataset.results:
-                name = result.domain.name
-                if name in activity:
-                    flags = activity[name]
-                    while len(flags) <= week_index:
-                        flags.append(False)
+                flags = activity.get(result.domain.name)
+                if flags is not None:
                     flags[week_index] = result.quic_support and result.shows_spin_activity
-        total_weeks = len(self.datasets)
         return {
             name: flags
             for name, flags in activity.items()
@@ -66,20 +63,26 @@ class CampaignRunner:
         population: Population,
         campaign: Campaign,
         scan_config: ScanConfig | None = None,
+        parallel: ParallelScanConfig | None = None,
     ):
         self.population = population
         self.campaign = campaign
-        self.scanner = Scanner(population, scan_config)
+        self.scanner = Scanner(population, scan_config, parallel=parallel)
 
-    def run_week(self, week: CalendarWeek, ip_version: int = 4) -> ScanDataset:
+    def run_week(
+        self, week: CalendarWeek, ip_version: int = 4, verbose: bool = False
+    ) -> ScanDataset:
         """One weekly measurement over the whole population."""
-        return self.scanner.scan(week_label=week.label, ip_version=ip_version)
+        return self.scanner.scan(
+            week_label=week.label, ip_version=ip_version, verbose=verbose
+        )
 
     def run_longitudinal(
         self,
         n_weeks: int,
         domains: list[DomainRecord] | None = None,
         ip_version: int = 4,
+        verbose: bool = False,
     ) -> LongitudinalResult:
         """Scan ``domains`` in ``n_weeks`` spread campaign weeks.
 
@@ -89,7 +92,12 @@ class CampaignRunner:
         """
         weeks = self.campaign.select_spread_weeks(n_weeks)
         datasets = [
-            self.scanner.scan(week_label=week.label, ip_version=ip_version, domains=domains)
+            self.scanner.scan(
+                week_label=week.label,
+                ip_version=ip_version,
+                domains=domains,
+                verbose=verbose,
+            )
             for week in weeks
         ]
         return LongitudinalResult(weeks=weeks, datasets=datasets)

@@ -38,6 +38,18 @@ def _build_parser() -> argparse.ArgumentParser:
     scan.add_argument("--week", default="cw20-2023", help="calendar week label")
     scan.add_argument("--ip-version", type=int, choices=(4, 6), default=4)
     scan.add_argument(
+        "--workers",
+        type=int,
+        default=1,
+        help="scan worker processes (1 = in-process; 0 = one per core)",
+    )
+    scan.add_argument(
+        "--chunk-size",
+        type=int,
+        default=None,
+        help="domains per worker shard (default: auto)",
+    )
+    scan.add_argument(
         "--out", required=True, help="output JSONL path ('-' for stdout)"
     )
 
@@ -55,6 +67,12 @@ def _build_parser() -> argparse.ArgumentParser:
     compliance.add_argument("--czds", type=int, default=5_000)
     compliance.add_argument("--seed", type=int, default=20230520)
     compliance.add_argument("--weeks", type=int, default=12)
+    compliance.add_argument(
+        "--workers",
+        type=int,
+        default=1,
+        help="scan worker processes (1 = in-process; 0 = one per core)",
+    )
 
     report = sub.add_parser(
         "report", help="regenerate every table and figure of the paper"
@@ -84,6 +102,18 @@ def _open_in(path: str):
     return open(path, "r", encoding="utf-8"), True
 
 
+def _parallel_config(workers: int, chunk_size: int | None = None):
+    from repro.web.parallel import ParallelScanConfig
+
+    try:
+        if workers == 0:
+            auto = ParallelScanConfig.auto()
+            return ParallelScanConfig(workers=auto.workers, chunk_size=chunk_size)
+        return ParallelScanConfig(workers=workers, chunk_size=chunk_size)
+    except ValueError as error:
+        raise SystemExit(f"repro: error: {error}")
+
+
 def _cmd_scan(args: argparse.Namespace) -> int:
     from repro.analysis.artifacts import export_records
     from repro.internet.population import PopulationConfig, build_population
@@ -94,13 +124,15 @@ def _cmd_scan(args: argparse.Namespace) -> int:
             toplist_domains=args.toplist, czds_domains=args.czds, seed=args.seed
         )
     )
+    parallel = _parallel_config(args.workers, args.chunk_size)
     print(
         f"scanning {len(population.domains)} domains "
-        f"(week {args.week}, IPv{args.ip_version}) ...",
+        f"(week {args.week}, IPv{args.ip_version}, "
+        f"{parallel.workers} worker(s)) ...",
         file=sys.stderr,
     )
-    dataset = Scanner(population).scan(
-        week_label=args.week, ip_version=args.ip_version
+    dataset = Scanner(population, parallel=parallel).scan(
+        week_label=args.week, ip_version=args.ip_version, verbose=True
     )
     stream, close = _open_out(args.out)
     try:
@@ -180,13 +212,15 @@ def _cmd_compliance(args: argparse.Namespace) -> int:
     population = build_population(
         PopulationConfig(toplist_domains=0, czds_domains=args.czds, seed=args.seed)
     )
-    runner = CampaignRunner(population, DEFAULT_CAMPAIGN)
+    runner = CampaignRunner(
+        population, DEFAULT_CAMPAIGN, parallel=_parallel_config(args.workers)
+    )
     quic_domains = [d for d in population.domains if d.quic_enabled]
     print(
         f"scanning {len(quic_domains)} QUIC domains in {args.weeks} spread weeks ...",
         file=sys.stderr,
     )
-    result = runner.run_longitudinal(args.weeks, domains=quic_domains)
+    result = runner.run_longitudinal(args.weeks, domains=quic_domains, verbose=True)
     print(render_compliance_histogram(compliance_histogram(result)))
     return 0
 

@@ -10,8 +10,7 @@ single deterministic event cascade.
 
 from __future__ import annotations
 
-import heapq
-import itertools
+from heapq import heappop, heappush
 from typing import Callable
 
 from repro.netsim.clock import SimClock
@@ -25,7 +24,9 @@ class Simulator:
     def __init__(self, start_ms: float = 0.0):
         self.clock = SimClock(start_ms)
         self._queue: list[tuple[float, int, Callable[[], None]]] = []
-        self._sequence = itertools.count()
+        #: Monotone tiebreaker for FIFO among equal timestamps; a plain
+        #: int avoids one generator frame per scheduled event.
+        self._sequence = 0
         self._processed = 0
 
     @property
@@ -55,7 +56,9 @@ class Simulator:
             raise ValueError(
                 f"cannot schedule into the past: {time_ms} < {self.clock.now_ms}"
             )
-        heapq.heappush(self._queue, (time_ms, next(self._sequence), callback))
+        sequence = self._sequence
+        self._sequence = sequence + 1
+        heappush(self._queue, (time_ms, sequence, callback))
 
     def run(self, max_events: int = 1_000_000) -> int:
         """Execute events until the queue drains.
@@ -66,11 +69,13 @@ class Simulator:
         events.
         """
         executed = 0
-        while self._queue:
+        queue = self._queue
+        advance_to = self.clock.advance_to
+        while queue:
             if executed >= max_events:
                 raise RuntimeError(f"simulation exceeded {max_events} events")
-            time_ms, _, callback = heapq.heappop(self._queue)
-            self.clock.advance_to(time_ms)
+            time_ms, _, callback = heappop(queue)
+            advance_to(time_ms)
             callback()
             executed += 1
             self._processed += 1
@@ -79,14 +84,16 @@ class Simulator:
     def run_until(self, deadline_ms: float, max_events: int = 1_000_000) -> int:
         """Execute events with timestamps up to ``deadline_ms`` inclusive."""
         executed = 0
-        while self._queue and self._queue[0][0] <= deadline_ms:
+        queue = self._queue
+        advance_to = self.clock.advance_to
+        while queue and queue[0][0] <= deadline_ms:
             if executed >= max_events:
                 raise RuntimeError(f"simulation exceeded {max_events} events")
-            time_ms, _, callback = heapq.heappop(self._queue)
-            self.clock.advance_to(time_ms)
+            time_ms, _, callback = heappop(queue)
+            advance_to(time_ms)
             callback()
             executed += 1
             self._processed += 1
         if self.clock.now_ms < deadline_ms:
-            self.clock.advance_to(deadline_ms)
+            advance_to(deadline_ms)
         return executed

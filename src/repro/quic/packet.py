@@ -126,7 +126,13 @@ class ShortHeader:
             first |= _SPIN_BIT
         if self.key_phase:
             first |= _KEY_PHASE_BIT
-        return bytes([first]) + bytes(self.destination_cid) + pn_bytes
+        # Short headers are encoded once per simulated packet, so this
+        # is the hottest codec path; a single bytearray avoids the
+        # intermediate bytes objects of chained concatenation.
+        buf = bytearray((first,))
+        buf += self.destination_cid.value
+        buf += pn_bytes
+        return bytes(buf)
 
 
 @dataclass
@@ -152,12 +158,12 @@ class LongHeader:
         pn_bytes = encode_packet_number(self.packet_number, self.largest_acked)
         first = _FORM_BIT | _FIXED_BIT | (self.long_type.value << 4) | (len(pn_bytes) - 1)
         parts = [
-            bytes([first]),
+            bytes((first,)),
             self.version.to_bytes(4, "big"),
-            bytes([len(self.destination_cid)]),
-            bytes(self.destination_cid),
-            bytes([len(self.source_cid)]),
-            bytes(self.source_cid),
+            bytes((len(self.destination_cid),)),
+            self.destination_cid.value,
+            bytes((len(self.source_cid),)),
+            self.source_cid.value,
         ]
         if self.long_type is LongPacketType.INITIAL:
             parts.append(encode_varint(len(self.token)))
@@ -193,12 +199,12 @@ class VersionNegotiationHeader:
 
     def encode(self) -> bytes:
         parts = [
-            bytes([_FORM_BIT | _FIXED_BIT]),  # unused bits; fixed set
+            bytes((_FORM_BIT | _FIXED_BIT,)),  # unused bits; fixed set
             (0).to_bytes(4, "big"),  # version 0 marks negotiation
-            bytes([len(self.destination_cid)]),
-            bytes(self.destination_cid),
-            bytes([len(self.source_cid)]),
-            bytes(self.source_cid),
+            bytes((len(self.destination_cid),)),
+            self.destination_cid.value,
+            bytes((len(self.source_cid),)),
+            self.source_cid.value,
         ]
         for version in self.supported_versions:
             parts.append(int(version).to_bytes(4, "big"))

@@ -10,6 +10,7 @@ from repro.web.http3 import (
 from repro.web.scanner import (
     ConnectionRecord,
     DomainScanResult,
+    ParallelScanConfig,
     ScanConfig,
     ScanDataset,
     Scanner,
@@ -20,6 +21,7 @@ __all__ = [
     "ConnectionRecord",
     "DomainScanResult",
     "ExchangeResult",
+    "ParallelScanConfig",
     "ResponsePlan",
     "STACKS",
     "ScanConfig",

@@ -14,9 +14,11 @@ is available for a sampled subset.
 from __future__ import annotations
 
 import random
+import sys
+import time
 from dataclasses import dataclass, field
 
-from repro._util.rng import derive_rng, fork_rng
+from repro._util.rng import SeedPrefix, fork_rng
 from repro.core.classify import SpinBehaviour, classify_connection
 from repro.core.observer import SpinObservation, observe_recorder
 from repro.core.spin import SpinPolicy, resolve_connection_policy
@@ -27,6 +29,7 @@ from repro.netsim.path import PathProfile
 from repro.quic.connection import ConnectionConfig
 from repro.qlog.writer import recorder_to_qlog
 from repro.web.http3 import run_exchange
+from repro.web.parallel import ParallelScanConfig, scan_sharded
 from repro.web.server_profiles import ServerStackProfile, stack_by_name
 
 
@@ -39,7 +42,14 @@ def _epoch_of(week_label: str) -> int:
     except (ValueError, TypeError):
         return 0
 
-__all__ = ["ConnectionRecord", "DomainScanResult", "ScanConfig", "Scanner", "ScanDataset"]
+__all__ = [
+    "ConnectionRecord",
+    "DomainScanResult",
+    "ParallelScanConfig",
+    "ScanConfig",
+    "Scanner",
+    "ScanDataset",
+]
 
 _MAX_REDIRECTS = 3
 
@@ -141,11 +151,23 @@ class ScanDataset:
 
 
 class Scanner:
-    """Scans a population, one HTTP/3 fetch chain per domain per week."""
+    """Scans a population, one HTTP/3 fetch chain per domain per week.
 
-    def __init__(self, population: Population, config: ScanConfig | None = None):
+    ``parallel`` shards the target list over a process pool (see
+    :mod:`repro.web.parallel`); the default single-worker configuration
+    runs fully in-process.  Both paths produce bit-identical datasets
+    because every domain's randomness is derived independently.
+    """
+
+    def __init__(
+        self,
+        population: Population,
+        config: ScanConfig | None = None,
+        parallel: ParallelScanConfig | None = None,
+    ):
         self.population = population
         self.config = config or ScanConfig()
+        self.parallel = parallel or ParallelScanConfig()
 
     def scan(
         self,
@@ -153,36 +175,73 @@ class Scanner:
         ip_version: int = 4,
         domains: list[DomainRecord] | None = None,
         probe: int = 0,
+        verbose: bool = False,
     ) -> ScanDataset:
         """Run one measurement week over ``domains`` (default: all).
 
         Deterministic in (population seed, week label, IP version,
-        probe).  ``probe`` distinguishes repeated measurements *within*
-        the same week — the follow-up methodology of Section 6 re-rolls
-        per-connection randomness (spin disabling, paths) while keeping
-        the week's deployment state fixed.
+        probe) — independent of worker count and sharding.  ``probe``
+        distinguishes repeated measurements *within* the same week —
+        the follow-up methodology of Section 6 re-rolls per-connection
+        randomness (spin disabling, paths) while keeping the week's
+        deployment state fixed.  ``verbose`` prints a one-line summary
+        (domains, elapsed, throughput, workers) to stderr.
         """
-        dataset = ScanDataset(week_label=week_label, ip_version=ip_version)
         targets = domains if domains is not None else self.population.domains
-        for domain in targets:
-            dataset.results.append(
-                self._scan_domain(domain, week_label, ip_version, probe)
+        workers = self.parallel.workers if len(targets) > 1 else 1
+        started = time.perf_counter()
+        if workers > 1:
+            results = scan_sharded(
+                self, targets, week_label, ip_version, probe, self.parallel
             )
-        return dataset
+        else:
+            results = self.scan_sequential(targets, week_label, ip_version, probe)
+        if verbose:
+            elapsed = time.perf_counter() - started
+            rate = len(targets) / elapsed if elapsed > 0 else float("inf")
+            print(
+                f"scanned {len(targets)} domains in {elapsed:.1f} s "
+                f"({rate:.0f} domains/s, {workers} worker(s))",
+                file=sys.stderr,
+            )
+        return ScanDataset(
+            week_label=week_label, ip_version=ip_version, results=results
+        )
+
+    def scan_sequential(
+        self,
+        targets: list[DomainRecord],
+        week_label: str,
+        ip_version: int,
+        probe: int = 0,
+    ) -> list[DomainScanResult]:
+        """Scan ``targets`` in-process; one result per domain, in order.
+
+        The per-scan invariants — the week's churn epoch and the
+        ``(seed, "scan", week, ip_version)`` seed prefix — are computed
+        once here instead of once per domain; both are pure functions of
+        the arguments, so sharded workers recompute identical values.
+        """
+        epoch = _epoch_of(week_label)
+        seed_prefix = SeedPrefix(
+            self.population.config.seed, "scan", week_label, ip_version
+        )
+        return [
+            self._scan_domain(domain, ip_version, probe, epoch, seed_prefix)
+            for domain in targets
+        ]
 
     # ------------------------------------------------------------------
 
     def _scan_domain(
-        self, domain: DomainRecord, week_label: str, ip_version: int, probe: int = 0
+        self,
+        domain: DomainRecord,
+        ip_version: int,
+        probe: int,
+        epoch: int,
+        seed_prefix: SeedPrefix,
     ) -> DomainScanResult:
-        rng = derive_rng(
-            self.population.config.seed,
-            "scan",
-            week_label,
-            ip_version,
-            domain.name,
-            probe,
-        )
+        rng = seed_prefix.derive(domain.name, probe)
         if not domain.resolves or (ip_version == 6 and not domain.has_aaaa):
             return DomainScanResult(domain=domain, resolved=False, quic_support=False)
 
@@ -190,7 +249,6 @@ class Scanner:
         result = DomainScanResult(
             domain=domain, resolved=True, quic_support=False, resolved_ip=ip
         )
-        epoch = _epoch_of(week_label)
         stack_name = (
             self.population.stack_of(domain, ip_version, epoch)
             if domain.quic_enabled

@@ -1,0 +1,140 @@
+"""Determinism of the sharded scan engine.
+
+The parallel engine's whole correctness argument is that per-domain
+randomness is independently derived from ``(population seed, week,
+ip_version, domain, probe)``; these tests pin the two consequences the
+engine relies on: any subset scan equals the corresponding slice of a
+full scan, and any sharding (workers x chunk size) merges bit-identical
+to the sequential path, including sampled qlog documents.
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro._util.rng import SeedPrefix, derive_rng
+from repro.internet.population import PopulationConfig, build_population
+from repro.web.parallel import ParallelScanConfig
+from repro.web.scanner import ScanConfig, Scanner
+
+
+@pytest.fixture(scope="module")
+def population():
+    return build_population(
+        PopulationConfig(toplist_domains=60, czds_domains=240, seed=11)
+    )
+
+
+@pytest.fixture(scope="module")
+def sequential_dataset(population):
+    return Scanner(population, ScanConfig(qlog_sample_rate=0.2)).scan(
+        week_label="cw20-2023", ip_version=4
+    )
+
+
+class TestSeedPrefix:
+    def test_matches_derive_rng_streams(self):
+        prefix = SeedPrefix(20230520, "scan", "cw20-2023", 4)
+        for name, probe in (("example.com", 0), ("other.net", 3), ("x.org", 16)):
+            a = prefix.derive(name, probe)
+            b = derive_rng(20230520, "scan", "cw20-2023", 4, name, probe)
+            assert [a.random() for _ in range(5)] == [b.random() for _ in range(5)]
+
+    def test_empty_suffix(self):
+        assert (
+            SeedPrefix(7, "a", "b").derive().random()
+            == derive_rng(7, "a", "b").random()
+        )
+
+
+class TestSubsetSliceProperty:
+    @settings(max_examples=8, deadline=None)
+    @given(start=st.integers(0, 299), length=st.integers(1, 40))
+    def test_subset_scan_equals_full_scan_slice(
+        self, population, sequential_dataset, start, length
+    ):
+        subset = population.domains[start : start + length]
+        if not subset:
+            return
+        partial = Scanner(population, ScanConfig(qlog_sample_rate=0.2)).scan(
+            week_label="cw20-2023", ip_version=4, domains=subset
+        )
+        assert partial.results == sequential_dataset.results[start : start + length]
+
+
+class TestParallelMerge:
+    @pytest.mark.parametrize("workers", (2, 4))
+    @pytest.mark.parametrize("chunk_size", (1, 7, None))
+    def test_parallel_equals_sequential(
+        self, population, sequential_dataset, workers, chunk_size
+    ):
+        parallel = Scanner(
+            population,
+            ScanConfig(qlog_sample_rate=0.2),
+            parallel=ParallelScanConfig(workers=workers, chunk_size=chunk_size),
+        ).scan(week_label="cw20-2023", ip_version=4)
+        assert parallel == sequential_dataset
+
+    def test_sampled_qlogs_identical(self, population, sequential_dataset):
+        parallel = Scanner(
+            population,
+            ScanConfig(qlog_sample_rate=0.2),
+            parallel=ParallelScanConfig(workers=2, chunk_size=13),
+        ).scan(week_label="cw20-2023", ip_version=4)
+        seq_qlogs = [c.qlog for c in sequential_dataset.connection_records()]
+        par_qlogs = [c.qlog for c in parallel.connection_records()]
+        assert sum(1 for q in seq_qlogs if q is not None) > 0
+        assert seq_qlogs == par_qlogs
+
+    def test_probe_and_ipv6_shards(self, population):
+        scanner_seq = Scanner(population)
+        scanner_par = Scanner(
+            population, parallel=ParallelScanConfig(workers=2, chunk_size=9)
+        )
+        domains = [d for d in population.domains if d.quic_enabled][:30]
+        assert scanner_par.scan(
+            week_label="cw19-2023", domains=domains, probe=5
+        ) == scanner_seq.scan(week_label="cw19-2023", domains=domains, probe=5)
+        assert scanner_par.scan(ip_version=6) == scanner_seq.scan(ip_version=6)
+
+
+class TestSingleWorkerFallback:
+    def test_no_pool_for_one_worker(self, population, monkeypatch):
+        """workers=1 must stay in-process: no executor, no pickling."""
+        import repro.web.parallel as parallel_mod
+
+        def explode(*args, **kwargs):  # pragma: no cover - defensive
+            raise AssertionError("ProcessPoolExecutor used for workers=1")
+
+        monkeypatch.setattr(parallel_mod, "ProcessPoolExecutor", explode)
+        dataset = Scanner(population).scan(
+            week_label="cw20-2023", domains=population.domains[:10]
+        )
+        assert len(dataset.results) == 10
+
+    def test_config_validation(self):
+        with pytest.raises(ValueError):
+            ParallelScanConfig(workers=0)
+        with pytest.raises(ValueError):
+            ParallelScanConfig(workers=2, chunk_size=0)
+        assert ParallelScanConfig.auto().workers >= 1
+
+    def test_chunk_size_resolution(self):
+        config = ParallelScanConfig(workers=4)
+        assert config.resolve_chunk_size(16) == 1
+        assert config.resolve_chunk_size(1600) == 100
+        assert config.resolve_chunk_size(1_000_000) == 512
+        assert ParallelScanConfig(workers=4, chunk_size=37).resolve_chunk_size(9) == 37
+
+
+class TestVerboseSummary:
+    def test_one_line_summary(self, population, capsys):
+        Scanner(population).scan(
+            week_label="cw20-2023", domains=population.domains[:5], verbose=True
+        )
+        err = capsys.readouterr().err
+        assert "scanned 5 domains" in err
+        assert "domains/s" in err
+        assert "1 worker(s)" in err
