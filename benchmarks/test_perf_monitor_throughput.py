@@ -1,0 +1,137 @@
+"""Monitor-pipeline throughput: streaming ingest vs. per-flow replay.
+
+An on-path monitor does not get to re-simulate traffic — packets arrive
+from the wire and the service must keep up.  This benchmark captures
+one interleaved tap stream from :class:`~repro.monitor.TrafficMux`,
+then compares two ways of turning it into per-flow spin metrics:
+
+* **replay** — the pre-monitor path: every flow re-simulated in
+  isolation (``replay_single``) and observed through its own flow
+  table, i.e. the one-connection-at-a-time cost the scanner pays;
+* **monitor** — :class:`~repro.monitor.MonitorPipeline` consuming the
+  captured stream once, with the flow table deliberately sized *below*
+  the concurrent flow count so LRU eviction and bounded memory are part
+  of the measured path.
+
+Asserts the streaming pipeline sustains at least ``MIN_SPEEDUP``x the
+replay packet rate and that the flow table stays bounded at
+``MAX_FLOWS`` throughout, then writes ``BENCH_monitor_throughput.json``
+at the repo root (``scripts/bench.sh`` appends each run to
+``BENCH_history.jsonl``).
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from pathlib import Path
+
+from repro.core.flow_table import SpinFlowTable
+from repro.monitor import MonitorConfig, MonitorPipeline, TrafficConfig, TrafficMux
+from repro.monitor.aggregate import WindowConfig
+
+#: Concurrent users on the monitored link.
+BENCH_FLOWS = 240
+
+#: Flow-table budget, deliberately below the ~peak concurrency so the
+#: benchmark exercises eviction, not just steady-state parsing.
+MAX_FLOWS = 64
+
+#: Acceptance floor: streaming ingest must beat per-flow replay by at
+#: least this factor (the replay path re-pays full QUIC simulation per
+#: connection; the monitor only parses and demultiplexes).
+MIN_SPEEDUP = 5.0
+
+_RESULT_PATH = (
+    Path(__file__).resolve().parent.parent / "BENCH_monitor_throughput.json"
+)
+
+
+def test_monitor_throughput():
+    traffic = TrafficConfig(
+        flows=BENCH_FLOWS, seed=1702, arrival_window_ms=8_000.0
+    )
+    mux = TrafficMux(traffic)
+    stream = list(mux.stream())
+    datagrams = len(stream)
+    assert datagrams > 5_000, "capture unexpectedly small"
+
+    # -- baseline: one-connection-at-a-time replay ---------------------
+    start = time.perf_counter()
+    replay_packets = 0
+    for index in range(BENCH_FLOWS):
+        table = SpinFlowTable(short_dcid_length=traffic.short_dcid_length)
+        for tap in mux.replay_single(index):
+            table.on_server_datagram(tap.time_ms, tap.data)
+        replay_packets += table.stats.datagrams
+        table.observations()
+    replay_elapsed = time.perf_counter() - start
+    assert replay_packets == datagrams, "replay lost datagrams"
+
+    # -- streaming monitor over the captured stream --------------------
+    config = MonitorConfig(
+        max_flows=MAX_FLOWS, window=WindowConfig(window_ms=1_000.0)
+    )
+    best_elapsed = None
+    summary = None
+    for _ in range(2):  # best-of-two to shed wall-clock jitter
+        pipeline = MonitorPipeline(config)
+        start = time.perf_counter()
+        for tap in stream:
+            pipeline.process(tap.time_ms, tap.data)
+        candidate = pipeline.finish()
+        elapsed = time.perf_counter() - start
+        assert len(pipeline.table.flows) <= MAX_FLOWS
+        if best_elapsed is None or elapsed < best_elapsed:
+            best_elapsed, summary = elapsed, candidate
+
+    assert summary.datagrams == datagrams
+    assert summary.peak_flows <= MAX_FLOWS, "flow table exceeded its bound"
+    assert summary.samples["count"] > 0, "no RTT samples retired"
+
+    replay_rate = datagrams / replay_elapsed
+    monitor_rate = datagrams / best_elapsed
+    speedup = monitor_rate / replay_rate
+
+    payload = {
+        "benchmark": "monitor_throughput",
+        "flows": BENCH_FLOWS,
+        "max_flows": MAX_FLOWS,
+        "datagrams": datagrams,
+        "results": {
+            "replay": {
+                "elapsed_s": round(replay_elapsed, 3),
+                "packets_per_sec": round(replay_rate, 1),
+            },
+            "monitor": {
+                "elapsed_s": round(best_elapsed, 3),
+                "packets_per_sec": round(monitor_rate, 1),
+                "peak_table_size": summary.peak_flows,
+                "flows_evicted": summary.flows_evicted,
+                "rtt_samples": summary.samples["count"],
+                "windows": summary.windows,
+            },
+        },
+        "speedup": round(speedup, 2),
+    }
+    _RESULT_PATH.write_text(json.dumps(payload, indent=2) + "\n", encoding="utf-8")
+
+    print()
+    print(
+        f"monitor throughput over {datagrams} datagrams "
+        f"({BENCH_FLOWS} flows, table bound {MAX_FLOWS}):"
+    )
+    print(
+        f"  replay   {replay_rate:10.1f} pkts/s ({replay_elapsed:.3f} s)"
+    )
+    print(
+        f"  monitor  {monitor_rate:10.1f} pkts/s ({best_elapsed:.3f} s), "
+        f"peak table {summary.peak_flows}, "
+        f"{summary.samples['count']} RTT samples"
+    )
+    print(f"  speedup  {speedup:.2f}x (floor {MIN_SPEEDUP:.0f}x)")
+
+    assert speedup >= MIN_SPEEDUP, (
+        f"streaming pipeline only {speedup:.2f}x the replay rate "
+        f"({monitor_rate:.0f} vs {replay_rate:.0f} pkts/s)"
+    )

@@ -1,7 +1,8 @@
 #!/usr/bin/env bash
-# Per-PR perf gate: run the tier-1 tests, then the scan-throughput
-# benchmark, and append the benchmark result (stamped with commit and
-# timestamp) to BENCH_history.jsonl so every PR records its perf delta.
+# Per-PR perf gate: run the tier-1 tests, then the perf benchmarks
+# (scan throughput, monitor throughput), and append each benchmark's
+# result (stamped with commit and timestamp) to BENCH_history.jsonl so
+# every PR records its perf delta.
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
@@ -13,20 +14,29 @@ python -m pytest -x -q tests
 echo "== scan-throughput benchmark =="
 python -m pytest -q -s benchmarks/test_perf_scan_throughput.py
 
+echo "== monitor-throughput benchmark =="
+python -m pytest -q -s benchmarks/test_perf_monitor_throughput.py
+
 python - <<'PY'
 import datetime
 import json
 import pathlib
 import subprocess
 
-result = json.loads(pathlib.Path("BENCH_scan_throughput.json").read_text())
-result["commit"] = subprocess.run(
+commit = subprocess.run(
     ["git", "rev-parse", "--short", "HEAD"], capture_output=True, text=True
 ).stdout.strip() or None
-result["timestamp"] = datetime.datetime.now(datetime.timezone.utc).isoformat(
+timestamp = datetime.datetime.now(datetime.timezone.utc).isoformat(
     timespec="seconds"
 )
-with open("BENCH_history.jsonl", "a", encoding="utf-8") as history:
-    history.write(json.dumps(result) + "\n")
-print(f"appended {result['benchmark']} @ {result['commit']} to BENCH_history.jsonl")
+for result_file in (
+    "BENCH_scan_throughput.json",
+    "BENCH_monitor_throughput.json",
+):
+    result = json.loads(pathlib.Path(result_file).read_text())
+    result["commit"] = commit
+    result["timestamp"] = timestamp
+    with open("BENCH_history.jsonl", "a", encoding="utf-8") as history:
+        history.write(json.dumps(result) + "\n")
+    print(f"appended {result['benchmark']} @ {commit} to BENCH_history.jsonl")
 PY

@@ -13,6 +13,9 @@ synthetic, calibrated Internet (see DESIGN.md):
   extension;
 * :mod:`repro.web` — HTTP/3 exchanges, server stack profiles, and the
   zgrab2-equivalent scanner;
+* :mod:`repro.monitor` — the streaming on-path monitoring service:
+  many-flow traffic multiplexing, bounded flow-table pipeline, windowed
+  RTT aggregation, JSONL metric snapshots;
 * :mod:`repro.internet` — providers, AS database, domain population;
 * :mod:`repro.campaign` — weekly/longitudinal measurement scheduling;
 * :mod:`repro.analysis` — the aggregations behind Tables 1-4 and
@@ -53,6 +56,13 @@ from repro.internet import (
     build_default_asdb,
     build_population,
 )
+from repro.monitor import (
+    MonitorConfig,
+    MonitorPipeline,
+    TrafficConfig,
+    TrafficMux,
+    run_monitor,
+)
 from repro.qlog import TraceRecorder, read_qlog, recorder_to_qlog, write_qlog
 from repro.web import (
     ParallelScanConfig,
@@ -71,6 +81,8 @@ __all__ = [
     "DEFAULT_CAMPAIGN",
     "GreaseFilterVariant",
     "ListGroup",
+    "MonitorConfig",
+    "MonitorPipeline",
     "Population",
     "PopulationConfig",
     "ResponsePlan",
@@ -80,6 +92,8 @@ __all__ = [
     "SpinObserver",
     "SpinPolicy",
     "TraceRecorder",
+    "TrafficConfig",
+    "TrafficMux",
     "__version__",
     "accuracy_study",
     "build_default_asdb",
@@ -94,6 +108,7 @@ __all__ = [
     "read_qlog",
     "recorder_to_qlog",
     "run_exchange",
+    "run_monitor",
     "support_overview",
     "webserver_shares",
     "write_qlog",

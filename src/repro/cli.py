@@ -1,16 +1,20 @@
 """Command-line interface for the spin-bit reproduction.
 
-Five subcommands mirror the study's workflow::
+Six subcommands mirror the study's workflow::
 
     repro scan        # build a population, scan it, export the dataset
     repro analyze     # run the connection-level analyses on a dataset
     repro compliance  # the Figure 2 longitudinal study
     repro report      # regenerate every table and figure in one run
+    repro monitor     # streaming on-path monitoring of many-flow traffic
     repro demo        # one observed connection, spin vs stack RTT
 
 ``scan`` writes the Appendix-B-style JSONL artifact that ``analyze``
 consumes, so the two halves can run on different machines — exactly how
-the paper separates measurement from analysis.
+the paper separates measurement from analysis.  ``monitor`` is the
+operator-side counterpart: it multiplexes many concurrent simulated
+connections into one tap stream and publishes windowed RTT metric
+snapshots as JSONL while the stream runs.
 """
 
 from __future__ import annotations
@@ -84,6 +88,46 @@ def _build_parser() -> argparse.ArgumentParser:
         "--skip-longitudinal",
         action="store_true",
         help="skip the 12-week Figure 2 study (the slowest part)",
+    )
+
+    monitor = sub.add_parser(
+        "monitor",
+        help="streaming on-path spin monitoring of interleaved many-flow traffic",
+    )
+    monitor.add_argument("--flows", type=int, default=200, help="concurrent flows")
+    monitor.add_argument("--seed", type=int, default=20230520)
+    monitor.add_argument(
+        "--arrival-window-ms",
+        type=float,
+        default=5_000.0,
+        help="flow starts are staggered uniformly over this span",
+    )
+    monitor.add_argument(
+        "--window-ms", type=float, default=1_000.0, help="aggregation window width"
+    )
+    monitor.add_argument(
+        "--slide",
+        type=int,
+        default=1,
+        help="sliding view over the last N windows (1 = tumbling only)",
+    )
+    monitor.add_argument(
+        "--max-flows", type=int, default=10_000, help="flow-table capacity"
+    )
+    monitor.add_argument(
+        "--idle-timeout-ms",
+        type=float,
+        default=30_000.0,
+        help="retire flows idle for this long",
+    )
+    monitor.add_argument(
+        "--overflow-policy",
+        choices=("evict-lru", "drop-new"),
+        default="evict-lru",
+        help="behaviour when the flow table is full",
+    )
+    monitor.add_argument(
+        "--out", required=True, help="snapshot JSONL path ('-' for stdout)"
     )
 
     sub.add_parser("demo", help="one simulated connection, spin vs stack RTT")
@@ -225,6 +269,45 @@ def _cmd_compliance(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_monitor(args: argparse.Namespace) -> int:
+    from repro.monitor import (
+        MonitorConfig,
+        TrafficConfig,
+        WindowConfig,
+        run_monitor,
+    )
+
+    try:
+        traffic = TrafficConfig(
+            flows=args.flows,
+            seed=args.seed,
+            arrival_window_ms=args.arrival_window_ms,
+        )
+        monitor = MonitorConfig(
+            max_flows=args.max_flows,
+            idle_timeout_ms=args.idle_timeout_ms,
+            overflow_policy=args.overflow_policy,
+            window=WindowConfig(
+                window_ms=args.window_ms, slide_windows=args.slide
+            ),
+        )
+    except ValueError as error:
+        raise SystemExit(f"repro: error: {error}")
+    print(
+        f"monitoring {traffic.flows} flows "
+        f"(seed {traffic.seed}, {monitor.window.window_ms:.0f} ms windows, "
+        f"table capacity {monitor.max_flows}) ...",
+        file=sys.stderr,
+    )
+    stream, close = _open_out(args.out)
+    try:
+        run_monitor(traffic, monitor, out=stream, verbose=True)
+    finally:
+        if close:
+            stream.close()
+    return 0
+
+
 def _cmd_demo(_: argparse.Namespace) -> int:
     from repro._util.rng import derive_rng
     from repro.core.metrics import compare_means
@@ -285,6 +368,7 @@ _COMMANDS = {
     "report": _cmd_report,
     "analyze": _cmd_analyze,
     "compliance": _cmd_compliance,
+    "monitor": _cmd_monitor,
     "demo": _cmd_demo,
 }
 

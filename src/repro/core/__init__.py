@@ -24,6 +24,7 @@ from repro.core.observer import (
     SpinEdge,
     SpinObservation,
     SpinObserver,
+    StreamingSpinObserver,
     observe_recorder,
     spin_rtts_from_edges,
 )
@@ -34,7 +35,7 @@ from repro.core.spin import (
     SpinPolicy,
     resolve_connection_policy,
 )
-from repro.core.flow_table import FlowRecord, SpinFlowTable
+from repro.core.flow_table import FlowRecord, FlowTableStats, SpinFlowTable
 from repro.core.tomography import ComponentSample, SpinTomographyObserver
 from repro.core.vec import VecObserver, VecSenderState
 from repro.core.wire_observer import Direction, WireObserver, WireObserverStats
@@ -54,9 +55,11 @@ __all__ = [
     "SpinObserver",
     "SpinPolicy",
     "StaticThresholdFilter",
+    "StreamingSpinObserver",
     "Direction",
     "ComponentSample",
     "FlowRecord",
+    "FlowTableStats",
     "SpinFlowTable",
     "SpinTomographyObserver",
     "VecObserver",

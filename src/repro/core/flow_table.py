@@ -10,20 +10,35 @@ must demultiplex it into flows before spin measurement is possible.
   server-to-client direction (the client's CID, stable for the
   connection's lifetime in this model);
 * each flow gets its own packet-number reconstruction and spin observer
-  (reusing :class:`~repro.core.wire_observer.WireObserver` state);
-* idle flows are evicted after a configurable timeout, exactly like a
-  hardware flow table with limited capacity would.
+  (by default :class:`~repro.core.observer.SpinObserver` state; a
+  long-running monitor plugs in the bounded-memory
+  :class:`~repro.core.observer.StreamingSpinObserver` instead);
+* the table is bounded like a switch/NIC flow table: idle flows expire
+  after a timeout, and at capacity either the least-recently-seen flow
+  is evicted or new flows are dropped (``overflow_policy``).
+
+Recency is maintained as an :class:`~collections.OrderedDict` in
+last-seen order, so capacity eviction pops the front in O(1) and the
+idle sweep only touches actually-stale entries.  Idle sweeps are
+amortized: at most one per ``idle_timeout_ms / 4`` of *stream* time, so
+per-datagram cost stays O(1) even with millions of flows resident.
 """
 
 from __future__ import annotations
 
+from collections import OrderedDict
 from dataclasses import dataclass, field
+from typing import Callable
 
 from repro.core.observer import SpinObservation, SpinObserver
 from repro.quic.datagram import decode_datagram
 from repro.quic.packet import HeaderParseError, LongHeader, ShortHeader
 
-__all__ = ["FlowRecord", "SpinFlowTable"]
+__all__ = ["FlowRecord", "FlowTableStats", "SpinFlowTable"]
+
+#: Valid ``overflow_policy`` values: evict the LRU flow to make room, or
+#: drop packets of not-yet-tracked flows while the table is full.
+OVERFLOW_POLICIES = ("evict-lru", "drop-new")
 
 
 @dataclass
@@ -42,13 +57,65 @@ class FlowRecord:
         return self._observer.observation()
 
 
+@dataclass
+class FlowTableStats:
+    """Table health counters (the monitor's gauge/counter export).
+
+    ``flows_evicted`` counts capacity evictions, ``flows_expired`` idle
+    timeouts, ``overflow_drops`` packets discarded under the
+    ``drop-new`` policy because the table was full.  ``peak_flows`` is
+    the high-water mark of resident flows.
+    """
+
+    datagrams: int = 0
+    packets: int = 0
+    short_header_packets: int = 0
+    parse_errors: int = 0
+    flows_created: int = 0
+    flows_evicted: int = 0
+    flows_expired: int = 0
+    overflow_drops: int = 0
+    peak_flows: int = 0
+    idle_sweeps: int = 0
+
+    @property
+    def flows_retired(self) -> int:
+        """Flows that left the table (evicted + expired)."""
+        return self.flows_evicted + self.flows_expired
+
+    def as_dict(self) -> dict:
+        """JSON-serializable counter block (snapshot export)."""
+        return {
+            "datagrams": self.datagrams,
+            "packets": self.packets,
+            "short_header_packets": self.short_header_packets,
+            "parse_errors": self.parse_errors,
+            "flows_created": self.flows_created,
+            "flows_evicted": self.flows_evicted,
+            "flows_expired": self.flows_expired,
+            "overflow_drops": self.overflow_drops,
+            "peak_flows": self.peak_flows,
+            "idle_sweeps": self.idle_sweeps,
+        }
+
+
 class SpinFlowTable:
     """Demultiplexes a tapped packet stream into per-flow spin state.
 
-    ``max_flows`` bounds the table; when full, the least recently seen
-    flow is evicted (its observation is retired to ``evicted``).
+    ``max_flows`` bounds the table; when full, ``overflow_policy``
+    decides between evicting the least-recently-seen flow
+    (``"evict-lru"``, the default) and dropping packets of new flows
+    (``"drop-new"``, counting ``stats.overflow_drops``).
     ``idle_timeout_ms`` retires flows that stay silent — both behaviours
     mirror switch/NIC flow tables.
+
+    Retired flows are appended to ``evicted`` unless ``retain_retired``
+    is false (a long-running monitor must not accumulate them) and are
+    always reported through the ``on_retire(flow, reason)`` hook, with
+    ``reason`` one of ``"evicted"`` / ``"expired"``.  ``on_packet(flow,
+    time_ms)`` fires for every demultiplexed short-header packet;
+    ``observer_factory(flow_key)`` swaps the per-flow observer
+    implementation.
     """
 
     def __init__(
@@ -56,27 +123,59 @@ class SpinFlowTable:
         short_dcid_length: int = 8,
         max_flows: int = 10_000,
         idle_timeout_ms: float = 30_000.0,
+        overflow_policy: str = "evict-lru",
+        retain_retired: bool = True,
+        observer_factory: Callable[[str], SpinObserver] | None = None,
+        on_retire: Callable[[FlowRecord, str], None] | None = None,
+        on_packet: Callable[[FlowRecord, float], None] | None = None,
     ):
         if max_flows < 1:
             raise ValueError("max_flows must be positive")
         if idle_timeout_ms <= 0:
             raise ValueError("idle_timeout_ms must be positive")
+        if overflow_policy not in OVERFLOW_POLICIES:
+            raise ValueError(
+                f"overflow_policy must be one of {OVERFLOW_POLICIES}, "
+                f"got {overflow_policy!r}"
+            )
         self.short_dcid_length = short_dcid_length
         self.max_flows = max_flows
         self.idle_timeout_ms = idle_timeout_ms
-        self.flows: dict[str, FlowRecord] = {}
+        self.overflow_policy = overflow_policy
+        self.retain_retired = retain_retired
+        self.observer_factory = observer_factory
+        self.on_retire = on_retire
+        self.on_packet = on_packet
+        #: Resident flows in last-seen order (front = least recent).
+        self.flows: OrderedDict[str, FlowRecord] = OrderedDict()
         self.evicted: list[FlowRecord] = []
-        self.parse_errors = 0
+        self.stats = FlowTableStats()
+        #: Stream time before which no idle sweep runs (amortization).
+        self._next_sweep_ms = float("-inf")
+
+    @property
+    def parse_errors(self) -> int:
+        """Undecodable datagrams seen so far (alias of ``stats``)."""
+        return self.stats.parse_errors
+
+    @property
+    def active_flows(self) -> int:
+        """Number of flows currently resident."""
+        return len(self.flows)
 
     def on_server_datagram(self, time_ms: float, data: bytes) -> None:
         """Process one server-to-client datagram from the tap."""
-        self._expire_idle(time_ms)
+        stats = self.stats
+        stats.datagrams += 1
+        if time_ms >= self._next_sweep_ms:
+            self._expire_idle(time_ms)
         try:
             packets = decode_datagram(data, self.short_dcid_length)
         except (HeaderParseError, ValueError):
-            self.parse_errors += 1
+            stats.parse_errors += 1
             return
         for packet in packets:
+            stats.packets += 1
             header = packet.header
             if isinstance(header, LongHeader):
                 continue
@@ -84,42 +183,80 @@ class SpinFlowTable:
                 continue  # version negotiation packets carry no flow data
             key = header.destination_cid.hex or "(empty)"
             flow = self._flow(key, time_ms)
+            if flow is None:
+                stats.overflow_drops += 1
+                continue
+            stats.short_header_packets += 1
             flow.last_seen_ms = time_ms
             flow.packets += 1
             full_pn = self._reconstruct(flow, header.packet_number, header.pn_length)
             flow._observer.on_packet(time_ms, full_pn, header.spin_bit)
+            if self.on_packet is not None:
+                self.on_packet(flow, time_ms)
 
     def observations(self) -> dict[str, SpinObservation]:
         """Current per-flow observations (active flows only)."""
         return {key: flow.observation() for key, flow in self.flows.items()}
 
     def all_flows(self) -> list[FlowRecord]:
-        """Active plus evicted flows, in first-seen order."""
+        """Active plus retained retired flows, in first-seen order."""
         combined = list(self.flows.values()) + self.evicted
         combined.sort(key=lambda flow: flow.first_seen_ms)
         return combined
 
     # ------------------------------------------------------------------
 
-    def _flow(self, key: str, time_ms: float) -> FlowRecord:
+    def _flow(self, key: str, time_ms: float) -> FlowRecord | None:
         flow = self.flows.get(key)
         if flow is not None:
+            self.flows.move_to_end(key)
             return flow
         if len(self.flows) >= self.max_flows:
-            oldest_key = min(self.flows, key=lambda k: self.flows[k].last_seen_ms)
-            self.evicted.append(self.flows.pop(oldest_key))
-        flow = FlowRecord(flow_key=key, first_seen_ms=time_ms, last_seen_ms=time_ms)
+            if self.overflow_policy == "drop-new":
+                return None
+            # Front of the OrderedDict is the least recently seen flow.
+            _, lru = self.flows.popitem(last=False)
+            self.stats.flows_evicted += 1
+            self._retire(lru, "evicted")
+        if self.observer_factory is not None:
+            observer = self.observer_factory(key)
+            flow = FlowRecord(
+                flow_key=key,
+                first_seen_ms=time_ms,
+                last_seen_ms=time_ms,
+                _observer=observer,
+            )
+        else:
+            flow = FlowRecord(
+                flow_key=key, first_seen_ms=time_ms, last_seen_ms=time_ms
+            )
         self.flows[key] = flow
+        self.stats.flows_created += 1
+        if len(self.flows) > self.stats.peak_flows:
+            self.stats.peak_flows = len(self.flows)
         return flow
 
     def _expire_idle(self, now_ms: float) -> None:
-        expired = [
-            key
-            for key, flow in self.flows.items()
-            if now_ms - flow.last_seen_ms > self.idle_timeout_ms
-        ]
-        for key in expired:
-            self.evicted.append(self.flows.pop(key))
+        self._next_sweep_ms = now_ms + self.idle_timeout_ms / 4.0
+        self.stats.idle_sweeps += 1
+        deadline = now_ms - self.idle_timeout_ms
+        flows = self.flows
+        # Recency order means stale flows cluster at the front; stop at
+        # the first fresh one instead of sweeping the whole table.
+        while flows:
+            key = next(iter(flows))
+            flow = flows[key]
+            if flow.last_seen_ms >= deadline:
+                break
+            del flows[key]
+            self.stats.flows_expired += 1
+            self._retire(flow, "expired")
+
+    def _retire(self, flow: FlowRecord, reason: str) -> None:
+        if self.retain_retired:
+            self.evicted.append(flow)
+        if self.on_retire is not None:
+            self.on_retire(flow, reason)
 
     @staticmethod
     def _reconstruct(flow: FlowRecord, truncated: int, pn_length: int) -> int:

@@ -19,7 +19,7 @@ Two orderings are analyzed:
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Iterable, Sequence
+from typing import Callable, Iterable, Sequence
 
 from repro.qlog.recorder import PacketEvent, TraceRecorder
 
@@ -27,6 +27,7 @@ __all__ = [
     "SpinEdge",
     "SpinObservation",
     "SpinObserver",
+    "StreamingSpinObserver",
     "observe_recorder",
     "spin_rtts_from_edges",
 ]
@@ -117,6 +118,82 @@ class SpinObserver:
         observation.edges_sorted = _detect_edges(ordered)
         observation.rtts_sorted_ms = spin_rtts_from_edges(observation.edges_sorted)
         return observation
+
+
+class StreamingSpinObserver:
+    """O(1)-memory received-order spin observer for long-running taps.
+
+    :class:`SpinObserver` buffers every packet so it can compute both
+    the R (received) and S (packet-number-sorted) orderings — fine for
+    one connection, unbounded for a monitoring service that watches
+    thousands of flows for hours.  This variant detects spin edges
+    incrementally in arrival order and *retires* each RTT sample as it
+    is produced: through the ``on_sample(time_ms, rtt_ms)`` callback
+    when one is given, otherwise into a buffer drained with
+    :meth:`take_samples`.  The S ordering is unavailable by
+    construction (it needs the full packet sequence);
+    :meth:`observation` reports received-order results only.
+    """
+
+    __slots__ = (
+        "on_sample",
+        "packets_seen",
+        "values_seen",
+        "edges_seen",
+        "_last_value",
+        "_last_edge_ms",
+        "_pending",
+    )
+
+    def __init__(
+        self, on_sample: "Callable[[float, float], None] | None" = None
+    ) -> None:
+        self.on_sample = on_sample
+        self.packets_seen = 0
+        self.values_seen: set[bool] = set()
+        self.edges_seen = 0
+        self._last_value: bool | None = None
+        self._last_edge_ms: float | None = None
+        self._pending: list[float] = []
+
+    def on_packet(self, time_ms: float, packet_number: int, spin_bit: bool) -> None:
+        """Record one received 1-RTT packet (arrival order)."""
+        self.packets_seen += 1
+        self.values_seen.add(spin_bit)
+        last = self._last_value
+        if spin_bit != last:
+            self._last_value = spin_bit
+            if last is None:
+                return
+            self.edges_seen += 1
+            previous_edge = self._last_edge_ms
+            self._last_edge_ms = time_ms
+            if previous_edge is not None:
+                rtt = time_ms - previous_edge
+                if self.on_sample is not None:
+                    self.on_sample(time_ms, rtt)
+                else:
+                    self._pending.append(rtt)
+
+    def take_samples(self) -> list[float]:
+        """Drain RTT samples buffered since the last call (no callback mode)."""
+        samples = self._pending
+        self._pending = []
+        return samples
+
+    def observation(self) -> SpinObservation:
+        """A summary observation; received-order series are not retained.
+
+        ``rtts_received_ms`` holds only the samples not yet retired (the
+        pending buffer), so a drained observer reports counts and
+        ``values_seen`` but empty series — by design: the samples live
+        downstream in the aggregation layer.
+        """
+        return SpinObservation(
+            packets_seen=self.packets_seen,
+            values_seen=set(self.values_seen),
+            rtts_received_ms=list(self._pending),
+        )
 
 
 def _detect_edges(packets: Sequence[tuple[float, int, bool]]) -> list[SpinEdge]:

@@ -1,0 +1,57 @@
+"""Streaming on-path spin-bit monitoring of interleaved many-flow traffic.
+
+The operator-side counterpart to the scanner: where :mod:`repro.web`
+measures one connection at a time from the client, this subpackage
+implements the long-running *monitoring plane* the paper motivates —
+an on-path service that ingests one interleaved packet stream from many
+concurrent users and continuously publishes windowed RTT statistics.
+
+* :mod:`repro.monitor.traffic` — the traffic multiplexer: N concurrent
+  simulated connections (mixed stacks, mixed path classes, staggered
+  starts) on one shared simulator, emitted as a single time-ordered
+  tap stream;
+* :mod:`repro.monitor.pipeline` — the bounded-memory streaming
+  pipeline around :class:`~repro.core.flow_table.SpinFlowTable`;
+* :mod:`repro.monitor.aggregate` — tumbling/sliding windows with
+  fixed-bin log-histogram RTT percentiles;
+* :mod:`repro.monitor.snapshots` — JSONL metric snapshots and the
+  ``repro monitor`` service entry point.
+"""
+
+from repro.monitor.aggregate import (
+    LogHistogram,
+    WindowAggregator,
+    WindowConfig,
+    WindowSnapshot,
+)
+from repro.monitor.pipeline import MonitorConfig, MonitorPipeline, MonitorSummary
+from repro.monitor.snapshots import SCHEMA_VERSION, SnapshotWriter, run_monitor
+from repro.monitor.traffic import (
+    DEFAULT_PATH_CLASSES,
+    DEFAULT_STACK_MIX,
+    FlowSpec,
+    PathClass,
+    TapDatagram,
+    TrafficConfig,
+    TrafficMux,
+)
+
+__all__ = [
+    "DEFAULT_PATH_CLASSES",
+    "DEFAULT_STACK_MIX",
+    "FlowSpec",
+    "LogHistogram",
+    "MonitorConfig",
+    "MonitorPipeline",
+    "MonitorSummary",
+    "PathClass",
+    "SCHEMA_VERSION",
+    "SnapshotWriter",
+    "TapDatagram",
+    "TrafficConfig",
+    "TrafficMux",
+    "WindowAggregator",
+    "WindowConfig",
+    "WindowSnapshot",
+    "run_monitor",
+]

@@ -1,0 +1,362 @@
+"""Windowed aggregation for the streaming monitor.
+
+A long-running monitoring plane cannot keep per-sample data: it
+publishes *windowed* statistics and forgets the raw samples.  Two
+pieces implement that here:
+
+* :class:`LogHistogram` — a fixed-bin log-scale histogram (constant
+  memory, exact count/mean/min/max, approximate percentiles with a
+  relative error bounded by the bin ratio — ~±3.7 % at the default 32
+  bins per decade).  This is the standard telemetry trick (Prometheus /
+  HdrHistogram style) for streaming RTT percentiles.
+* :class:`WindowAggregator` — tumbling windows over *stream* time, each
+  accumulating flow/packet/sample counters plus a histogram; an
+  optional sliding view merges the last ``slide_windows`` tumbling
+  windows (pane-based sliding windows, no sample replay).
+
+All state is O(bins + active flow keys per window); nothing grows with
+stream length.
+"""
+
+from __future__ import annotations
+
+import math
+from collections import deque
+from dataclasses import dataclass, field
+
+__all__ = [
+    "LogHistogram",
+    "WindowConfig",
+    "WindowSnapshot",
+    "WindowAggregator",
+]
+
+
+class LogHistogram:
+    """Fixed-bin log-scale histogram with streaming percentiles.
+
+    Bins cover ``[min_value, max_value)`` with ``bins_per_decade``
+    logarithmically spaced bins per factor of ten; values outside the
+    range land in dedicated under-/overflow bins, so nothing is ever
+    dropped.  ``count``/``mean``/``min``/``max`` are exact; percentiles
+    are read from the bin cumulative and reported at the bin's
+    geometric midpoint.
+    """
+
+    __slots__ = (
+        "min_value",
+        "max_value",
+        "bins_per_decade",
+        "counts",
+        "underflow",
+        "overflow",
+        "count",
+        "total",
+        "min_seen",
+        "max_seen",
+        "_log_min",
+    )
+
+    def __init__(
+        self,
+        min_value: float = 0.1,
+        max_value: float = 60_000.0,
+        bins_per_decade: int = 32,
+    ):
+        if min_value <= 0 or max_value <= min_value:
+            raise ValueError("need 0 < min_value < max_value")
+        if bins_per_decade < 1:
+            raise ValueError("bins_per_decade must be positive")
+        self.min_value = min_value
+        self.max_value = max_value
+        self.bins_per_decade = bins_per_decade
+        self._log_min = math.log10(min_value)
+        decades = math.log10(max_value) - self._log_min
+        self.counts = [0] * (int(math.ceil(decades * bins_per_decade)) or 1)
+        self.underflow = 0
+        self.overflow = 0
+        self.count = 0
+        self.total = 0.0
+        self.min_seen = math.inf
+        self.max_seen = -math.inf
+
+    def add(self, value: float) -> None:
+        """Record one observation."""
+        self.count += 1
+        self.total += value
+        if value < self.min_seen:
+            self.min_seen = value
+        if value > self.max_seen:
+            self.max_seen = value
+        if value < self.min_value:
+            self.underflow += 1
+        elif value >= self.max_value:
+            self.overflow += 1
+        else:
+            index = int(
+                (math.log10(value) - self._log_min) * self.bins_per_decade
+            )
+            if index >= len(self.counts):  # float edge at max_value
+                index = len(self.counts) - 1
+            self.counts[index] += 1
+
+    def merge(self, other: "LogHistogram") -> None:
+        """Fold ``other`` (same binning) into this histogram."""
+        if (
+            other.min_value != self.min_value
+            or other.max_value != self.max_value
+            or other.bins_per_decade != self.bins_per_decade
+        ):
+            raise ValueError("cannot merge histograms with different binning")
+        for index, count in enumerate(other.counts):
+            self.counts[index] += count
+        self.underflow += other.underflow
+        self.overflow += other.overflow
+        self.count += other.count
+        self.total += other.total
+        self.min_seen = min(self.min_seen, other.min_seen)
+        self.max_seen = max(self.max_seen, other.max_seen)
+
+    @property
+    def mean(self) -> float | None:
+        """Exact arithmetic mean; ``None`` when empty."""
+        return self.total / self.count if self.count else None
+
+    def percentile(self, q: float) -> float | None:
+        """Approximate q-th percentile (``q`` in [0, 100]); ``None`` if empty.
+
+        Underflow observations report the exact minimum seen, overflow
+        the exact maximum; interior bins report their geometric
+        midpoint, clamped into the exact [min, max] envelope.
+        """
+        if not 0.0 <= q <= 100.0:
+            raise ValueError(f"percentile q must be in [0, 100], got {q}")
+        if self.count == 0:
+            return None
+        target = (q / 100.0) * self.count
+        cumulative = self.underflow
+        if target <= cumulative:
+            return self.min_seen
+        for index, count in enumerate(self.counts):
+            cumulative += count
+            if target <= cumulative:
+                midpoint = 10.0 ** (
+                    self._log_min + (index + 0.5) / self.bins_per_decade
+                )
+                return min(max(midpoint, self.min_seen), self.max_seen)
+        return self.max_seen
+
+    def summary(self) -> dict:
+        """The snapshot-export block: count + streaming statistics."""
+        if self.count == 0:
+            return {"count": 0}
+        return {
+            "count": self.count,
+            "mean_ms": round(self.total / self.count, 3),
+            "min_ms": round(self.min_seen, 3),
+            "max_ms": round(self.max_seen, 3),
+            "p50_ms": round(self.percentile(50.0), 3),
+            "p90_ms": round(self.percentile(90.0), 3),
+            "p99_ms": round(self.percentile(99.0), 3),
+        }
+
+
+@dataclass(frozen=True)
+class WindowConfig:
+    """Window geometry and histogram binning of the aggregation layer."""
+
+    window_ms: float = 1_000.0
+    #: Sliding view = merge of the last N tumbling windows; 1 disables
+    #: the sliding block in snapshots (pure tumbling).
+    slide_windows: int = 1
+    hist_min_ms: float = 0.1
+    hist_max_ms: float = 60_000.0
+    hist_bins_per_decade: int = 32
+
+    def __post_init__(self) -> None:
+        if self.window_ms <= 0:
+            raise ValueError("window_ms must be positive")
+        if self.slide_windows < 1:
+            raise ValueError("slide_windows must be >= 1")
+
+    def make_histogram(self) -> LogHistogram:
+        return LogHistogram(
+            self.hist_min_ms, self.hist_max_ms, self.hist_bins_per_decade
+        )
+
+
+class _WindowState:
+    """Mutable accumulator for one open tumbling window."""
+
+    __slots__ = (
+        "index",
+        "start_ms",
+        "end_ms",
+        "datagrams",
+        "packets",
+        "parse_errors",
+        "flows_created",
+        "flows_evicted",
+        "flows_expired",
+        "overflow_drops",
+        "flow_keys",
+        "samples",
+    )
+
+    def __init__(self, index: int, start_ms: float, end_ms: float, samples):
+        self.index = index
+        self.start_ms = start_ms
+        self.end_ms = end_ms
+        self.datagrams = 0
+        self.packets = 0
+        self.parse_errors = 0
+        self.flows_created = 0
+        self.flows_evicted = 0
+        self.flows_expired = 0
+        self.overflow_drops = 0
+        self.flow_keys: set[str] = set()
+        self.samples = samples
+
+
+@dataclass(frozen=True)
+class WindowSnapshot:
+    """One closed window, ready for JSONL export."""
+
+    index: int
+    start_ms: float
+    end_ms: float
+    datagrams: int
+    packets: int
+    parse_errors: int
+    flows: dict
+    samples: dict
+    table: dict
+    sliding: dict | None = None
+
+    def as_dict(self) -> dict:
+        data = {
+            "index": self.index,
+            "start_ms": round(self.start_ms, 3),
+            "end_ms": round(self.end_ms, 3),
+            "datagrams": self.datagrams,
+            "packets": self.packets,
+            "parse_errors": self.parse_errors,
+            "flows": self.flows,
+            "samples": self.samples,
+            "table": self.table,
+        }
+        if self.sliding is not None:
+            data["sliding"] = self.sliding
+        return data
+
+
+class WindowAggregator:
+    """Tumbling (and optionally sliding) windows over stream time.
+
+    The caller feeds monotonically non-decreasing event times; windows
+    are aligned to multiples of ``window_ms`` starting at the first
+    event.  :meth:`roll` closes every window that ends at or before the
+    given time and returns the snapshots; windows with no traffic at
+    all are skipped rather than emitted as empty lines (an idle tap
+    publishes nothing, like a real exporter between scrapes).
+    """
+
+    def __init__(self, config: WindowConfig | None = None):
+        self.config = config or WindowConfig()
+        self.lifetime = self.config.make_histogram()
+        self.windows_emitted = 0
+        self._current: _WindowState | None = None
+        self._recent: deque[_WindowState] = deque(
+            maxlen=self.config.slide_windows
+        )
+        self._next_index = 0
+
+    # -- recording ------------------------------------------------------
+
+    def window_for(self, time_ms: float) -> _WindowState:
+        """The open window containing ``time_ms`` (creating it lazily)."""
+        current = self._current
+        if current is None or time_ms >= current.end_ms:
+            width = self.config.window_ms
+            index = int(time_ms // width)
+            current = _WindowState(
+                index=index,
+                start_ms=index * width,
+                end_ms=(index + 1) * width,
+                samples=self.config.make_histogram(),
+            )
+            self._current = current
+        return current
+
+    def record_sample(self, time_ms: float, rtt_ms: float) -> None:
+        """One spin RTT sample retired from the flow table."""
+        self.window_for(time_ms).samples.add(rtt_ms)
+        self.lifetime.add(rtt_ms)
+
+    # -- window lifecycle ----------------------------------------------
+
+    def roll(self, time_ms: float, table_health: dict) -> list[WindowSnapshot]:
+        """Close windows ending at or before ``time_ms``.
+
+        ``table_health`` is attached to each closed snapshot — gauges
+        read at close time (the pipeline passes the flow table's
+        current counters).
+        """
+        current = self._current
+        if current is None or time_ms < current.end_ms:
+            return []
+        return [self._close(table_health)]
+
+    def flush(self, table_health: dict) -> list[WindowSnapshot]:
+        """Close the trailing partial window at end of stream."""
+        if self._current is None:
+            return []
+        return [self._close(table_health)]
+
+    def _close(self, table_health: dict) -> WindowSnapshot:
+        window = self._current
+        self._current = None
+        self._recent.append(window)
+        self.windows_emitted += 1
+        sliding = None
+        if self.config.slide_windows > 1:
+            sliding = self._sliding_summary()
+        return WindowSnapshot(
+            index=window.index,
+            start_ms=window.start_ms,
+            end_ms=window.end_ms,
+            datagrams=window.datagrams,
+            packets=window.packets,
+            parse_errors=window.parse_errors,
+            flows={
+                "distinct": len(window.flow_keys),
+                "created": window.flows_created,
+                "evicted": window.flows_evicted,
+                "expired": window.flows_expired,
+                "overflow_drops": window.overflow_drops,
+            },
+            samples=window.samples.summary(),
+            table=table_health,
+            sliding=sliding,
+        )
+
+    def _sliding_summary(self) -> dict:
+        """Merge of the last ``slide_windows`` closed windows."""
+        merged = self.config.make_histogram()
+        datagrams = packets = 0
+        flow_keys: set[str] = set()
+        for window in self._recent:
+            merged.merge(window.samples)
+            datagrams += window.datagrams
+            packets += window.packets
+            flow_keys |= window.flow_keys
+        return {
+            "windows": len(self._recent),
+            "span_ms": round(
+                self._recent[-1].end_ms - self._recent[0].start_ms, 3
+            ),
+            "datagrams": datagrams,
+            "packets": packets,
+            "flows_distinct": len(flow_keys),
+            "samples": merged.summary(),
+        }

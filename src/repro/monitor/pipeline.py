@@ -1,0 +1,194 @@
+"""The streaming monitoring pipeline: tap stream in, metrics out.
+
+:class:`MonitorPipeline` is the on-path service loop: every
+server-to-client datagram is demultiplexed by a bounded
+:class:`~repro.core.flow_table.SpinFlowTable`, spin-RTT samples are
+retired *immediately* into the windowed aggregation layer (flows hold
+O(1) observer state via
+:class:`~repro.core.observer.StreamingSpinObserver`, no per-sample
+storage anywhere), and every closed window is published through the
+``on_snapshot`` callback.  Memory is bounded by ``max_flows`` plus one
+open window — independent of how long the stream runs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Iterable
+
+from repro.core.flow_table import FlowRecord, SpinFlowTable
+from repro.core.observer import StreamingSpinObserver
+from repro.monitor.aggregate import WindowAggregator, WindowConfig, WindowSnapshot
+from repro.monitor.traffic import TapDatagram
+
+__all__ = ["MonitorConfig", "MonitorPipeline", "MonitorSummary"]
+
+
+@dataclass(frozen=True)
+class MonitorConfig:
+    """Sizing of the monitoring plane (flow table + windows)."""
+
+    short_dcid_length: int = 8
+    max_flows: int = 10_000
+    idle_timeout_ms: float = 30_000.0
+    overflow_policy: str = "evict-lru"
+    window: WindowConfig = field(default_factory=WindowConfig)
+
+
+@dataclass
+class MonitorSummary:
+    """Final run summary (the last JSONL line of a monitor run)."""
+
+    duration_ms: float
+    windows: int
+    datagrams: int
+    packets: int
+    short_header_packets: int
+    parse_errors: int
+    flows_created: int
+    flows_evicted: int
+    flows_expired: int
+    flows_active_at_end: int
+    overflow_drops: int
+    peak_flows: int
+    spin_flows: int
+    samples: dict
+
+    def as_dict(self) -> dict:
+        return {
+            "duration_ms": round(self.duration_ms, 3),
+            "windows": self.windows,
+            "datagrams": self.datagrams,
+            "packets": self.packets,
+            "short_header_packets": self.short_header_packets,
+            "parse_errors": self.parse_errors,
+            "flows": {
+                "created": self.flows_created,
+                "evicted": self.flows_evicted,
+                "expired": self.flows_expired,
+                "active_at_end": self.flows_active_at_end,
+                "overflow_drops": self.overflow_drops,
+                "peak": self.peak_flows,
+                "spinning": self.spin_flows,
+            },
+            "samples": self.samples,
+        }
+
+
+class MonitorPipeline:
+    """Feeds a tapped datagram stream through bounded per-flow state.
+
+    ``on_snapshot`` receives each closed :class:`WindowSnapshot` as the
+    stream time passes its end — during processing, not at the end of
+    the run, which is what makes this a *streaming* service rather than
+    a batch replay.
+    """
+
+    def __init__(
+        self,
+        config: MonitorConfig | None = None,
+        on_snapshot: Callable[[WindowSnapshot], None] | None = None,
+    ):
+        self.config = config or MonitorConfig()
+        self.on_snapshot = on_snapshot
+        self.aggregator = WindowAggregator(self.config.window)
+        self.table = SpinFlowTable(
+            short_dcid_length=self.config.short_dcid_length,
+            max_flows=self.config.max_flows,
+            idle_timeout_ms=self.config.idle_timeout_ms,
+            overflow_policy=self.config.overflow_policy,
+            retain_retired=False,
+            observer_factory=self._make_observer,
+            on_retire=self._on_retire,
+            on_packet=self._on_packet,
+        )
+        self._last_time_ms = 0.0
+        self._spin_flows_retired = 0
+
+    # -- ingestion ------------------------------------------------------
+
+    def process(self, time_ms: float, data: bytes) -> None:
+        """Ingest one tapped server-to-client datagram."""
+        aggregator = self.aggregator
+        for snapshot in aggregator.roll(time_ms, self._table_health()):
+            if self.on_snapshot is not None:
+                self.on_snapshot(snapshot)
+        self._last_time_ms = time_ms
+        window = aggregator.window_for(time_ms)
+        table = self.table
+        stats = table.stats
+        packets_before = stats.packets
+        errors_before = stats.parse_errors
+        created_before = stats.flows_created
+        evicted_before = stats.flows_evicted
+        expired_before = stats.flows_expired
+        drops_before = stats.overflow_drops
+        table.on_server_datagram(time_ms, data)
+        window.datagrams += 1
+        window.packets += stats.packets - packets_before
+        window.parse_errors += stats.parse_errors - errors_before
+        window.flows_created += stats.flows_created - created_before
+        window.flows_evicted += stats.flows_evicted - evicted_before
+        window.flows_expired += stats.flows_expired - expired_before
+        window.overflow_drops += stats.overflow_drops - drops_before
+
+    def process_stream(self, stream: Iterable[TapDatagram]) -> MonitorSummary:
+        """Consume an entire tap stream and return the final summary."""
+        process = self.process
+        for tap in stream:
+            process(tap.time_ms, tap.data)
+        return self.finish()
+
+    def finish(self) -> MonitorSummary:
+        """Flush the trailing window and compute the run summary."""
+        for snapshot in self.aggregator.flush(self._table_health()):
+            if self.on_snapshot is not None:
+                self.on_snapshot(snapshot)
+        stats = self.table.stats
+        spin_flows = self._spin_flows_retired + sum(
+            1
+            for flow in self.table.flows.values()
+            if len(flow._observer.values_seen) == 2
+        )
+        return MonitorSummary(
+            duration_ms=self._last_time_ms,
+            windows=self.aggregator.windows_emitted,
+            datagrams=stats.datagrams,
+            packets=stats.packets,
+            short_header_packets=stats.short_header_packets,
+            parse_errors=stats.parse_errors,
+            flows_created=stats.flows_created,
+            flows_evicted=stats.flows_evicted,
+            flows_expired=stats.flows_expired,
+            flows_active_at_end=len(self.table.flows),
+            overflow_drops=stats.overflow_drops,
+            peak_flows=stats.peak_flows,
+            spin_flows=spin_flows,
+            samples=self.aggregator.lifetime.summary(),
+        )
+
+    # -- flow-table hooks ----------------------------------------------
+
+    def _make_observer(self, flow_key: str) -> StreamingSpinObserver:
+        return StreamingSpinObserver(on_sample=self.aggregator.record_sample)
+
+    def _on_retire(self, flow: FlowRecord, reason: str) -> None:
+        if len(flow._observer.values_seen) == 2:
+            self._spin_flows_retired += 1
+
+    def _on_packet(self, flow: FlowRecord, time_ms: float) -> None:
+        self.aggregator.window_for(time_ms).flow_keys.add(flow.flow_key)
+
+    def _table_health(self) -> dict:
+        """Gauges + cumulative counters at this instant."""
+        stats = self.table.stats
+        return {
+            "active_flows": len(self.table.flows),
+            "peak_flows": stats.peak_flows,
+            "flows_created": stats.flows_created,
+            "flows_evicted": stats.flows_evicted,
+            "flows_expired": stats.flows_expired,
+            "overflow_drops": stats.overflow_drops,
+            "parse_errors": stats.parse_errors,
+            "idle_sweeps": stats.idle_sweeps,
+        }

@@ -1,0 +1,90 @@
+"""Snapshot export: periodic JSONL metrics + final run summary.
+
+Schema (one JSON object per line, ``sort_keys`` for stable diffs):
+
+* ``{"type": "window", "schema": 1, ...}`` — one line per closed
+  aggregation window, written *while the stream is being consumed*:
+  window geometry (``index``/``start_ms``/``end_ms``), traffic counters
+  (``datagrams``/``packets``/``parse_errors``), per-window flow counts
+  (``flows``: distinct/created/evicted/expired/overflow_drops),
+  streaming RTT statistics (``samples``: count/mean/min/max/p50/p90/p99
+  in ms), table health gauges at close time (``table``), and — when
+  sliding windows are enabled — a ``sliding`` block merging the last N
+  windows.
+* ``{"type": "summary", "schema": 1, ...}`` — the final line: totals
+  for the whole run (see
+  :class:`repro.monitor.pipeline.MonitorSummary`).
+
+Everything is keyed to *simulated stream time*; no wall-clock values
+appear, so two runs with the same seed produce byte-identical files —
+the property ``repro monitor``'s determinism guarantee rests on.
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+from typing import IO
+
+from repro.monitor.aggregate import WindowSnapshot
+from repro.monitor.pipeline import MonitorConfig, MonitorPipeline, MonitorSummary
+from repro.monitor.traffic import TrafficConfig, TrafficMux
+
+__all__ = ["SCHEMA_VERSION", "SnapshotWriter", "run_monitor"]
+
+SCHEMA_VERSION = 1
+
+
+class SnapshotWriter:
+    """Writes window snapshots and the run summary as JSONL."""
+
+    def __init__(self, stream: IO[str]):
+        self._stream = stream
+        self.lines_written = 0
+
+    def write_window(self, snapshot: WindowSnapshot) -> None:
+        self._write({"type": "window", **snapshot.as_dict()})
+
+    def write_summary(self, summary: MonitorSummary) -> None:
+        self._write({"type": "summary", **summary.as_dict()})
+
+    def _write(self, payload: dict) -> None:
+        payload["schema"] = SCHEMA_VERSION
+        self._stream.write(json.dumps(payload, sort_keys=True) + "\n")
+        self.lines_written += 1
+
+
+def run_monitor(
+    traffic: TrafficConfig,
+    monitor: MonitorConfig | None = None,
+    out: IO[str] | None = None,
+    verbose: bool = False,
+) -> MonitorSummary:
+    """Run the full monitoring service once: mux → pipeline → snapshots.
+
+    Generates the interleaved tap stream for ``traffic``, feeds it
+    through a :class:`MonitorPipeline` sized by ``monitor``, and writes
+    window snapshots plus the final summary to ``out`` (omitted when
+    ``out`` is ``None``).  Returns the summary.
+    """
+    writer = SnapshotWriter(out) if out is not None else None
+    pipeline = MonitorPipeline(
+        monitor, on_snapshot=writer.write_window if writer else None
+    )
+    mux = TrafficMux(traffic)
+    summary = pipeline.process_stream(mux.stream())
+    if writer is not None:
+        writer.write_summary(summary)
+    if verbose:
+        samples = summary.samples
+        p50 = samples.get("p50_ms")
+        print(
+            f"monitored {summary.flows_created} flows / "
+            f"{summary.datagrams} datagrams over "
+            f"{summary.duration_ms / 1000.0:.1f} s of stream time: "
+            f"{samples.get('count', 0)} RTT samples"
+            + (f", p50 {p50:.1f} ms" if p50 is not None else "")
+            + f", {summary.windows} windows, peak {summary.peak_flows} flows",
+            file=sys.stderr,
+        )
+    return summary

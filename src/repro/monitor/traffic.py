@@ -1,0 +1,273 @@
+"""Synthetic many-flow traffic: a tap's-eye view of a busy link.
+
+The scanner replays one connection at a time; an on-path operator sees
+thousands of users at once.  :class:`TrafficMux` closes that gap: it
+drives N concurrent simulated HTTP/3 connections — mixed server stacks,
+mixed path classes (RTT / loss / reordering), staggered starts — on one
+shared discrete-event simulator and emits the *interleaved*
+server-to-client datagram stream exactly as a mid-path tap would
+observe it.
+
+Determinism mirrors the scanner: each flow's randomness is derived
+independently from ``(seed, "monitor", "flow", index)`` via the same
+:class:`~repro._util.rng.SeedPrefix` scheme, so the stream is
+bit-identical across runs *and* any single flow can be re-simulated in
+isolation (:meth:`TrafficMux.replay_single`) yielding exactly its slice
+of the interleaved stream — the property the flow-table equivalence
+tests assert.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, NamedTuple
+
+from repro._util.rng import SeedPrefix, derive_rng
+from repro._util.stats import weighted_choice
+from repro.core.spin import SpinPolicy, resolve_connection_policy
+from repro.netsim.delays import LogNormalDelay, UniformDelay
+from repro.netsim.events import Simulator
+from repro.netsim.path import PathProfile
+from repro.quic.connection import ConnectionConfig
+from repro.web.http3 import ResponsePlan, build_exchange
+from repro.web.server_profiles import stack_by_name
+
+__all__ = [
+    "DEFAULT_PATH_CLASSES",
+    "DEFAULT_STACK_MIX",
+    "FlowSpec",
+    "PathClass",
+    "TapDatagram",
+    "TrafficConfig",
+    "TrafficMux",
+]
+
+
+class TapDatagram(NamedTuple):
+    """One server-to-client datagram as seen by the mid-path tap."""
+
+    time_ms: float
+    flow_index: int
+    data: bytes
+
+
+@dataclass(frozen=True)
+class PathClass:
+    """One population of network paths the monitored users sit behind."""
+
+    name: str
+    min_delay_ms: float
+    max_delay_ms: float
+    jitter_ms: float
+    loss_probability: float
+    reorder_probability: float
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.min_delay_ms <= self.max_delay_ms:
+            raise ValueError("invalid one-way delay range")
+
+
+#: RTT diversity of the monitored user population, metro access to
+#: intercontinental transit, with impairments growing with distance.
+DEFAULT_PATH_CLASSES: tuple[tuple[PathClass, float], ...] = (
+    (PathClass("metro", 1.5, 8.0, 0.3, 0.0003, 0.0005), 0.25),
+    (PathClass("regional", 8.0, 25.0, 0.8, 0.001, 0.0015), 0.40),
+    (PathClass("continental", 25.0, 60.0, 1.5, 0.003, 0.003), 0.25),
+    (PathClass("intercontinental", 60.0, 140.0, 2.5, 0.008, 0.005), 0.10),
+)
+
+#: Server-stack mix of the monitored traffic, roughly the deployment
+#: shares behind the paper's Tables 2/3 (LiteSpeed dominating spin
+#: support, hyperscalers without it, a rare-behaviour tail).
+DEFAULT_STACK_MIX: tuple[tuple[str, float], ...] = (
+    ("litespeed", 0.30),
+    ("cloudflare", 0.22),
+    ("nginx", 0.18),
+    ("gws", 0.10),
+    ("fastly", 0.06),
+    ("imunify360", 0.05),
+    ("caddy-spin", 0.04),
+    ("litespeed-draft", 0.03),
+    ("gws-spin", 0.01),
+    ("allone-appliance", 0.004),
+    ("grease-packet", 0.003),
+    ("grease-connection", 0.003),
+)
+
+
+@dataclass(frozen=True)
+class TrafficConfig:
+    """Shape of the monitored traffic aggregate."""
+
+    flows: int = 100
+    seed: int = 20230520
+    #: Flow starts are staggered uniformly over this span, so the tap
+    #: always sees ramp-up, steady interleaving, and drain-out phases.
+    arrival_window_ms: float = 5_000.0
+    short_dcid_length: int = 8
+    client_spin_policy: SpinPolicy = SpinPolicy.SPIN
+    server_flush_dispatch_ms: tuple[float, float] = (0.8, 2.5)
+    stack_mix: tuple[tuple[str, float], ...] = DEFAULT_STACK_MIX
+    path_classes: tuple[tuple[PathClass, float], ...] = DEFAULT_PATH_CLASSES
+    #: Simulated-time granularity at which the stream generator yields
+    #: batches; smaller values bound the tap buffer tighter.
+    drain_window_ms: float = 250.0
+    #: Event-cascade runaway guard; ``None`` scales with ``flows``.
+    max_events: int | None = None
+
+    def __post_init__(self) -> None:
+        if self.flows < 1:
+            raise ValueError("flows must be positive")
+        if self.arrival_window_ms < 0:
+            raise ValueError("arrival_window_ms must be non-negative")
+        if self.drain_window_ms <= 0:
+            raise ValueError("drain_window_ms must be positive")
+
+    @property
+    def event_budget(self) -> int:
+        return self.max_events or max(400_000, 6_000 * self.flows)
+
+
+@dataclass(frozen=True)
+class FlowSpec:
+    """Everything needed to (re-)simulate one flow deterministically."""
+
+    index: int
+    host: str
+    start_ms: float
+    stack_name: str
+    path_class: str
+    propagation_delay_ms: float
+    jitter_ms: float
+    loss_probability: float
+    reorder_probability: float
+    server_policy: SpinPolicy
+    retry_required: bool
+    plan: ResponsePlan
+    exchange_seed: int
+
+
+def _spec_for(config: TrafficConfig, prefix: SeedPrefix, index: int) -> FlowSpec:
+    """Draw flow ``index``'s parameters from its own derived stream."""
+    rng = prefix.derive(index)
+    start_ms = rng.random() * config.arrival_window_ms
+    classes = [entry[0] for entry in config.path_classes]
+    class_weights = [entry[1] for entry in config.path_classes]
+    path_class = weighted_choice(rng, classes, class_weights)
+    propagation = rng.uniform(path_class.min_delay_ms, path_class.max_delay_ms)
+    names = [entry[0] for entry in config.stack_mix]
+    stack_weights = [entry[1] for entry in config.stack_mix]
+    stack = stack_by_name(weighted_choice(rng, names, stack_weights))
+    server_policy = resolve_connection_policy(stack.spin_config, rng)
+    retry_required = (
+        stack.retry_probability > 0.0 and rng.random() < stack.retry_probability
+    )
+    plan = stack.sample_plan(rng, redirect_target=None)
+    return FlowSpec(
+        index=index,
+        host=f"flow-{index}.monitored.test",
+        start_ms=start_ms,
+        stack_name=stack.name,
+        path_class=path_class.name,
+        propagation_delay_ms=propagation,
+        jitter_ms=path_class.jitter_ms,
+        loss_probability=path_class.loss_probability,
+        reorder_probability=path_class.reorder_probability,
+        server_policy=server_policy,
+        retry_required=retry_required,
+        plan=plan,
+        exchange_seed=rng.getrandbits(64),
+    )
+
+
+class TrafficMux:
+    """N concurrent flows, one time-ordered interleaved tap stream.
+
+    All flows share one simulator; each is wired up via
+    :func:`repro.web.http3.build_exchange` with its ``connect()``
+    scheduled at the flow's staggered start.  A tap on each flow's
+    downlink (mid-path, position 0.5) appends the observed datagrams to
+    a shared buffer, which :meth:`stream` drains in simulated-time
+    windows — so the generator yields a strictly time-ordered stream
+    while only ever buffering one window's worth of datagrams and the
+    state of currently-active connections.
+    """
+
+    def __init__(self, config: TrafficConfig | None = None):
+        self.config = config or TrafficConfig()
+        prefix = SeedPrefix(self.config.seed, "monitor", "flow")
+        self.specs: list[FlowSpec] = [
+            _spec_for(self.config, prefix, index)
+            for index in range(self.config.flows)
+        ]
+
+    def stream(self) -> Iterator[TapDatagram]:
+        """Yield the interleaved server-to-client stream in time order."""
+        simulator = Simulator()
+        buffer: list[TapDatagram] = []
+        for spec in self.specs:
+            self._launch(simulator, spec, buffer)
+        budget = self.config.event_budget
+        window = self.config.drain_window_ms
+        while simulator.pending_events:
+            deadline = simulator.next_event_time_ms + window
+            simulator.run_until(deadline, max_events=budget)
+            if buffer:
+                yield from buffer
+                buffer.clear()
+
+    def replay_single(self, index: int) -> list[TapDatagram]:
+        """Re-simulate flow ``index`` alone.
+
+        Returns exactly the flow's datagrams from the interleaved
+        stream (same payloads, same tap times): flow randomness is
+        per-flow derived and flows share no simulator state beyond the
+        event queue, so isolation does not perturb the flow.
+        """
+        simulator = Simulator()
+        buffer: list[TapDatagram] = []
+        self._launch(simulator, self.specs[index], buffer)
+        simulator.run(max_events=self.config.event_budget)
+        return buffer
+
+    # ------------------------------------------------------------------
+
+    def _launch(
+        self,
+        simulator: Simulator,
+        spec: FlowSpec,
+        buffer: list[TapDatagram],
+    ) -> None:
+        profile = PathProfile(
+            propagation_delay_ms=spec.propagation_delay_ms,
+            jitter=UniformDelay(0.0, spec.jitter_ms),
+            loss_probability=spec.loss_probability,
+            reorder_probability=spec.reorder_probability,
+            reorder_extra_delay=LogNormalDelay(median_ms=5.0, sigma=1.2),
+        )
+        stack = stack_by_name(spec.stack_name)
+        handle = build_exchange(
+            simulator,
+            spec.host,
+            [spec.plan],
+            self.config.client_spin_policy,
+            spec.server_policy,
+            profile,
+            profile,
+            derive_rng(spec.exchange_seed, "exchange"),
+            server_config=ConnectionConfig(
+                flush_dispatch_ms=self.config.server_flush_dispatch_ms,
+                version=stack.supported_versions[0],
+                supported_versions=stack.supported_versions,
+                retry_required=spec.retry_required,
+                ack_delay_exponent=stack.ack_delay_exponent,
+                max_ack_delay_ms=stack.max_ack_delay_ms,
+            ),
+            start_ms=spec.start_ms,
+        )
+        handle.downlink.install_tap(
+            lambda time_ms, data, index=spec.index: buffer.append(
+                TapDatagram(time_ms, index, data)
+            ),
+            position=0.5,
+        )

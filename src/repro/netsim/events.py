@@ -40,6 +40,16 @@ class Simulator:
         return len(self._queue)
 
     @property
+    def next_event_time_ms(self) -> float | None:
+        """Timestamp of the earliest pending event; ``None`` when idle.
+
+        Lets incremental consumers (``run_until`` loops) place their
+        next deadline relative to actual upcoming work instead of
+        stepping through empty stretches of simulated time.
+        """
+        return self._queue[0][0] if self._queue else None
+
+    @property
     def processed_events(self) -> int:
         """Number of events executed since construction."""
         return self._processed

@@ -1,9 +1,11 @@
 """Web measurement substrate: HTTP/3 exchanges, server stacks, scanner."""
 
 from repro.web.http3 import (
+    ExchangeHandle,
     ExchangeResult,
     ResponsePlan,
     SessionResult,
+    build_exchange,
     run_exchange,
     run_session,
 )
@@ -20,6 +22,7 @@ from repro.web.server_profiles import STACKS, ServerStackProfile, stack_by_name
 __all__ = [
     "ConnectionRecord",
     "DomainScanResult",
+    "ExchangeHandle",
     "ExchangeResult",
     "ParallelScanConfig",
     "ResponsePlan",
@@ -29,6 +32,7 @@ __all__ = [
     "ScanDataset",
     "Scanner",
     "ServerStackProfile",
+    "build_exchange",
     "run_exchange",
     "run_session",
     "stack_by_name",

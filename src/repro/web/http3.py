@@ -25,7 +25,15 @@ from repro.netsim.path import PathProfile, duplex_paths
 from repro.qlog.recorder import TraceRecorder
 from repro.quic.connection import ConnectionConfig, QuicEndpoint
 
-__all__ = ["ExchangeResult", "ResponsePlan", "SessionResult", "run_exchange", "run_session"]
+__all__ = [
+    "ExchangeHandle",
+    "ExchangeResult",
+    "ResponsePlan",
+    "SessionResult",
+    "build_exchange",
+    "run_exchange",
+    "run_session",
+]
 
 #: HTTP/3 control overhead is ignored; stream 0 carries the request.
 _REQUEST_STREAM_ID = 0
@@ -259,9 +267,36 @@ class _ClientApp:
         return status, server, location, body_bytes
 
 
-def run_exchange(
+@dataclass
+class ExchangeHandle:
+    """Live handles of one connection wired into a simulator.
+
+    Returned by :func:`build_exchange` before any event has run:
+    callers that own the simulator (the scanner's per-connection
+    :func:`run_exchange`, or the monitor's traffic multiplexer driving
+    hundreds of connections on one shared event queue) keep whichever
+    handles they need and let the rest be garbage-collected once the
+    connection's events drain.
+    """
+
+    host: str
+    client: QuicEndpoint
+    server: QuicEndpoint
+    uplink: "Path"
+    downlink: "Path"
+    client_app: _ClientApp
+    recorder: TraceRecorder | None
+
+    @property
+    def done(self) -> bool:
+        """Whether the client session completed all its requests."""
+        return self.client_app.done
+
+
+def build_exchange(
+    simulator: Simulator,
     host: str,
-    plan: ResponsePlan,
+    plans: list[ResponsePlan],
     client_spin_policy: SpinPolicy,
     server_spin_policy: SpinPolicy,
     uplink_profile: PathProfile,
@@ -269,25 +304,29 @@ def run_exchange(
     rng: random.Random,
     client_config: ConnectionConfig | None = None,
     server_config: ConnectionConfig | None = None,
-    path: str = "/",
-    max_events: int = 200_000,
-    wire_observer=None,
+    paths: list[str] | None = None,
+    think_gaps_ms: list[float] | None = None,
+    recorder: TraceRecorder | None = None,
     final_probe: bool = True,
-) -> ExchangeResult:
-    """Simulate one complete HTTP/3 fetch and return its trace.
+    wire_observer=None,
+    start_ms: float | None = None,
+) -> ExchangeHandle:
+    """Wire one HTTP/3 connection into ``simulator`` without running it.
 
-    Creates a fresh simulator, endpoint pair, and duplex path; runs until
-    the event cascade drains.  The returned recorder is the client-side
-    qlog-equivalent trace the analysis pipeline consumes.
+    ``plans[k]`` answers request ``k`` on ``paths[k]`` (default: one GET
+    of ``/``).  With ``start_ms`` set, the client's ``connect()`` is
+    scheduled at that absolute simulated time instead of being invoked
+    immediately — this is how the traffic multiplexer staggers many
+    concurrent connections on one shared simulator.  ``recorder`` is
+    optional: a monitoring tap that observes from the path does not need
+    the client-side qlog trace.
 
-    ``wire_observer`` optionally installs an on-path
-    :class:`repro.core.wire_observer.WireObserver` tap that sees every
-    raw datagram of the connection (the network operator's view).
+    RNG stream derivation (client / server / paths forks, in that
+    order) is identical to the historical in-:func:`run_exchange`
+    setup, so single-connection results are bit-identical.
     """
-    simulator = Simulator()
     client_config = client_config or ConnectionConfig()
     server_config = server_config or ConnectionConfig()
-    recorder = TraceRecorder(vantage_point="client")
 
     client = QuicEndpoint(
         simulator,
@@ -321,12 +360,77 @@ def run_exchange(
 
         tap_paths(simulator, uplink, downlink, wire_observer)
 
-    client_app = _ClientApp(simulator, client, host, [path], final_probe=final_probe)
-    _ServerApp(simulator, server, [plan])
+    client_app = _ClientApp(
+        simulator,
+        client,
+        host,
+        paths or ["/"] * len(plans),
+        think_gaps_ms,
+        final_probe=final_probe,
+    )
+    _ServerApp(simulator, server, plans)
 
-    client.connect()
+    if start_ms is None:
+        client.connect()
+    else:
+        simulator.schedule_at(start_ms, client.connect)
+    return ExchangeHandle(
+        host=host,
+        client=client,
+        server=server,
+        uplink=uplink,
+        downlink=downlink,
+        client_app=client_app,
+        recorder=recorder,
+    )
+
+
+def run_exchange(
+    host: str,
+    plan: ResponsePlan,
+    client_spin_policy: SpinPolicy,
+    server_spin_policy: SpinPolicy,
+    uplink_profile: PathProfile,
+    downlink_profile: PathProfile,
+    rng: random.Random,
+    client_config: ConnectionConfig | None = None,
+    server_config: ConnectionConfig | None = None,
+    path: str = "/",
+    max_events: int = 200_000,
+    wire_observer=None,
+    final_probe: bool = True,
+) -> ExchangeResult:
+    """Simulate one complete HTTP/3 fetch and return its trace.
+
+    Creates a fresh simulator, endpoint pair, and duplex path; runs until
+    the event cascade drains.  The returned recorder is the client-side
+    qlog-equivalent trace the analysis pipeline consumes.
+
+    ``wire_observer`` optionally installs an on-path
+    :class:`repro.core.wire_observer.WireObserver` tap that sees every
+    raw datagram of the connection (the network operator's view).
+    """
+    simulator = Simulator()
+    recorder = TraceRecorder(vantage_point="client")
+    handle = build_exchange(
+        simulator,
+        host,
+        [plan],
+        client_spin_policy,
+        server_spin_policy,
+        uplink_profile,
+        downlink_profile,
+        rng,
+        client_config=client_config,
+        server_config=server_config,
+        paths=[path],
+        recorder=recorder,
+        final_probe=final_probe,
+        wire_observer=wire_observer,
+    )
     simulator.run(max_events=max_events)
 
+    client, server, client_app = handle.client, handle.server, handle.client_app
     recorder.odcid_hex = client.local_cid.hex
     status, server_header, location, body_bytes = client_app.parse_response()
     success = client_app.done and client.failed is None
@@ -382,47 +486,26 @@ def run_session(
     Section 6 raises.
     """
     simulator = Simulator()
-    client_config = client_config or ConnectionConfig()
-    server_config = server_config or ConnectionConfig()
     recorder = TraceRecorder(vantage_point="client")
-
-    client = QuicEndpoint(
+    handle = build_exchange(
         simulator,
-        EndpointRole.CLIENT,
-        client_config,
+        host,
+        plans,
         client_spin_policy,
-        fork_rng(rng, "client"),
-        recorder=recorder,
-    )
-    server = QuicEndpoint(
-        simulator,
-        EndpointRole.SERVER,
-        server_config,
         server_spin_policy,
-        fork_rng(rng, "server"),
-    )
-    uplink, downlink = duplex_paths(
-        simulator,
         uplink_profile,
         downlink_profile,
-        client.receive_datagram,
-        server.receive_datagram,
-        fork_rng(rng, "paths"),
+        rng,
+        client_config=client_config,
+        server_config=server_config,
+        paths=[f"/page-{index}" for index in range(len(plans))],
+        think_gaps_ms=think_gaps_ms,
+        recorder=recorder,
+        wire_observer=wire_observer,
     )
-    client.attach_transport(uplink.send)
-    server.attach_transport(downlink.send)
-    if wire_observer is not None:
-        from repro.core.wire_observer import tap_paths
-
-        tap_paths(simulator, uplink, downlink, wire_observer)
-
-    paths = [f"/page-{index}" for index in range(len(plans))]
-    client_app = _ClientApp(simulator, client, host, paths, think_gaps_ms)
-    _ServerApp(simulator, server, plans)
-
-    client.connect()
     simulator.run(max_events=max_events)
 
+    client, server, client_app = handle.client, handle.server, handle.client_app
     recorder.odcid_hex = client.local_cid.hex
     success = client_app.done and client.failed is None
     total_bytes = sum(len(body) for body in client_app.responses.values())

@@ -106,6 +106,131 @@ class TestTableManagement:
             SpinFlowTable(idle_timeout_ms=0.0)
 
 
+class TestChurn:
+    """Bounded-table behaviour under flow churn (LRU, expiry, overflow)."""
+
+    def test_lru_eviction_respects_recency(self):
+        """A flow touched recently survives even if it was created first."""
+        table = SpinFlowTable(short_dcid_length=8, max_flows=2)
+        cid_a, cid_b, cid_c = (bytes([i] * 8) for i in range(3))
+        table.on_server_datagram(0.0, datagram(cid_a, 0, False))
+        table.on_server_datagram(1.0, datagram(cid_b, 0, False))
+        table.on_server_datagram(2.0, datagram(cid_a, 1, False))  # refresh A
+        table.on_server_datagram(3.0, datagram(cid_c, 0, False))
+        assert [f.flow_key for f in table.evicted] == [ConnectionId(cid_b).hex]
+        assert ConnectionId(cid_a).hex in table.flows
+        assert table.stats.flows_evicted == 1
+
+    def test_eviction_order_under_sustained_overflow(self):
+        """Continuous churn always evicts the least recently seen flow."""
+        table = SpinFlowTable(short_dcid_length=8, max_flows=4)
+        cids = [bytes([i] * 8) for i in range(10)]
+        for index, cid in enumerate(cids):
+            table.on_server_datagram(float(index), datagram(cid, 0, False))
+        assert [f.flow_key for f in table.evicted] == [
+            ConnectionId(cid).hex for cid in cids[:6]
+        ]
+        assert len(table.flows) == 4
+        assert table.stats.peak_flows == 4
+
+    def test_drop_new_policy_counts_overflow_drops(self):
+        table = SpinFlowTable(
+            short_dcid_length=8, max_flows=2, overflow_policy="drop-new"
+        )
+        cids = [bytes([i] * 8) for i in range(3)]
+        for index, cid in enumerate(cids):
+            table.on_server_datagram(float(index), datagram(cid, 0, False))
+        # The third flow was dropped, not admitted; nothing was evicted.
+        assert len(table.flows) == 2
+        assert table.evicted == []
+        assert table.stats.overflow_drops == 1
+        assert table.stats.flows_created == 2
+        # Established flows still update while the table is full.
+        table.on_server_datagram(3.0, datagram(cids[0], 1, True))
+        assert table.flows[ConnectionId(cids[0]).hex].packets == 2
+
+    def test_unknown_overflow_policy_rejected(self):
+        with pytest.raises(ValueError):
+            SpinFlowTable(overflow_policy="magic")
+
+    def test_idle_expiry_is_amortized_but_still_happens(self):
+        """Sweeps run at most every idle_timeout/4 of stream time, yet
+        idle flows are still retired within the timeout plus that slack."""
+        table = SpinFlowTable(short_dcid_length=8, idle_timeout_ms=100.0)
+        idle_cid = bytes([9] * 8)
+        busy_cid = bytes([1] * 8)
+        table.on_server_datagram(0.0, datagram(idle_cid, 0, False))
+        for step in range(1, 200):
+            table.on_server_datagram(float(step), datagram(busy_cid, step, False))
+        assert ConnectionId(idle_cid).hex not in table.flows
+        assert table.stats.flows_expired == 1
+        # Amortization: far fewer sweeps than datagrams.
+        assert table.stats.idle_sweeps <= 200 / (100.0 / 4.0) + 2
+        expired = next(
+            f for f in table.evicted if f.flow_key == ConnectionId(idle_cid).hex
+        )
+        # Retired no later than timeout + sweep period after last activity.
+        assert expired.last_seen_ms == 0.0
+
+    def test_retire_hook_reports_reason(self):
+        retired = []
+        table = SpinFlowTable(
+            short_dcid_length=8,
+            max_flows=1,
+            idle_timeout_ms=100.0,
+            retain_retired=False,
+            on_retire=lambda flow, reason: retired.append((flow.flow_key, reason)),
+        )
+        cid_a, cid_b = bytes([1] * 8), bytes([2] * 8)
+        table.on_server_datagram(0.0, datagram(cid_a, 0, False))
+        table.on_server_datagram(1.0, datagram(cid_b, 0, False))  # evicts A
+        table.on_server_datagram(500.0, datagram(cid_a, 1, False))  # expires B
+        assert retired == [
+            (ConnectionId(cid_a).hex, "evicted"),
+            (ConnectionId(cid_b).hex, "expired"),
+        ]
+        # retain_retired=False keeps the retired list empty (bounded memory).
+        assert table.evicted == []
+
+    def test_on_packet_hook_and_stats_counters(self):
+        seen = []
+        table = SpinFlowTable(
+            short_dcid_length=8,
+            on_packet=lambda flow, time_ms: seen.append((flow.flow_key, time_ms)),
+        )
+        table.on_server_datagram(0.0, datagram(CID_A, 0, False))
+        table.on_server_datagram(1.0, datagram(CID_B, 0, True))
+        table.on_server_datagram(2.0, b"junk-datagram")
+        stats = table.stats
+        assert stats.datagrams == 3
+        assert stats.short_header_packets == 2
+        assert stats.parse_errors == 1
+        assert stats.flows_created == 2
+        assert stats.flows_retired == 0
+        assert len(seen) == 2
+        assert seen[0][0] == ConnectionId(CID_A).hex
+
+    def test_streaming_observer_factory(self):
+        """The table accepts a pluggable bounded-memory observer."""
+        from repro.core.observer import StreamingSpinObserver
+
+        samples = []
+        table = SpinFlowTable(
+            short_dcid_length=8,
+            observer_factory=lambda key: StreamingSpinObserver(
+                on_sample=lambda t, rtt: samples.append((key, rtt))
+            ),
+        )
+        for pn in range(6):
+            table.on_server_datagram(pn * 40.0, datagram(CID_A, pn, pn % 2 == 1))
+        # Edges at 40,80,...: samples are consecutive edge intervals.
+        assert samples == [(ConnectionId(CID_A).hex, 40.0)] * 4
+        flow = table.flows[ConnectionId(CID_A).hex]
+        # Retired samples are not accumulated in the flow record.
+        assert flow.observation().rtts_received_ms == []
+        assert flow.observation().values_seen == {False, True}
+
+
 class TestRealTraffic:
     def test_table_matches_single_flow_observer(self):
         """Feeding one real connection through the table equals the

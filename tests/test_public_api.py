@@ -22,6 +22,7 @@ class TestTopLevelApi:
         import repro.campaign
         import repro.core
         import repro.internet
+        import repro.monitor
         import repro.netsim
         import repro.qlog
         import repro.quic
@@ -32,6 +33,7 @@ class TestTopLevelApi:
             repro.campaign,
             repro.core,
             repro.internet,
+            repro.monitor,
             repro.netsim,
             repro.qlog,
             repro.quic,
