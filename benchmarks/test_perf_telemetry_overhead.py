@@ -1,0 +1,135 @@
+"""Telemetry overhead: instrumented vs. bare scan and monitor runs.
+
+The telemetry plane (:mod:`repro.telemetry`) is threaded through every
+hot path — the simulator loop, the QUIC endpoints, the flow table —
+guarded by ``is None`` checks and pre-bound series objects.  This
+benchmark quantifies what turning it on costs: scan throughput
+(domains/sec) and monitor ingest (datagrams/sec) are measured with
+telemetry off and on, and the slowdown must stay under 10 %.
+
+Writes ``BENCH_telemetry_overhead.json`` at the repo root;
+``scripts/bench.sh`` appends each run to ``BENCH_history.jsonl``.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from pathlib import Path
+
+from repro.monitor.pipeline import MonitorConfig, MonitorPipeline
+from repro.monitor.traffic import TrafficConfig, TrafficMux
+from repro.telemetry import Telemetry
+from repro.web.scanner import ScanConfig, Scanner
+
+#: Fixed workload sizes; big enough that per-run setup is noise.
+BENCH_DOMAINS = 400
+BENCH_FLOWS = 120
+
+#: Maximum tolerated telemetry-on slowdown (issue acceptance: <10 %),
+#: measured on best-of-N runs to suppress wall-clock jitter.
+OVERHEAD_LIMIT = 0.10
+RUNS = 3
+
+_RESULT_PATH = Path(__file__).resolve().parent.parent / "BENCH_telemetry_overhead.json"
+
+
+def _best_of(runs: int, fn) -> float:
+    best = None
+    for _ in range(runs):
+        start = time.perf_counter()
+        fn()
+        elapsed = time.perf_counter() - start
+        if best is None or elapsed < best:
+            best = elapsed
+    return best
+
+
+def _scan_elapsed(population, telemetry_on: bool) -> float:
+    domains = population.domains[:BENCH_DOMAINS]
+
+    def run():
+        scanner = Scanner(
+            population,
+            ScanConfig(),
+            telemetry=Telemetry() if telemetry_on else None,
+        )
+        scanner.scan(week_label="cw20-2023", ip_version=4, domains=domains)
+
+    return _best_of(RUNS, run)
+
+
+def _monitor_elapsed(telemetry_on: bool) -> tuple[float, int]:
+    traffic = TrafficConfig(flows=BENCH_FLOWS, seed=20230520)
+    datagrams = 0
+
+    def run():
+        nonlocal datagrams
+        telemetry = Telemetry() if telemetry_on else None
+        pipeline = MonitorPipeline(MonitorConfig(), telemetry=telemetry)
+        mux = TrafficMux(
+            traffic,
+            metrics=telemetry.registry if telemetry is not None else None,
+        )
+        summary = pipeline.process_stream(mux.stream())
+        datagrams = summary.datagrams
+
+    return _best_of(RUNS, run), datagrams
+
+
+def test_telemetry_overhead(population):
+    # Warm-up pass: fault in code paths and caches so the first measured
+    # configuration doesn't absorb one-time costs.
+    _scan_elapsed(population, telemetry_on=True)
+    _monitor_elapsed(telemetry_on=True)
+
+    scan_off = _scan_elapsed(population, telemetry_on=False)
+    scan_on = _scan_elapsed(population, telemetry_on=True)
+    monitor_off, datagrams = _monitor_elapsed(telemetry_on=False)
+    monitor_on, _ = _monitor_elapsed(telemetry_on=True)
+
+    scan_overhead = scan_on / scan_off - 1.0
+    monitor_overhead = monitor_on / monitor_off - 1.0
+
+    payload = {
+        "benchmark": "telemetry_overhead",
+        "bench_domains": BENCH_DOMAINS,
+        "bench_flows": BENCH_FLOWS,
+        "results": {
+            "scan": {
+                "off_s": round(scan_off, 3),
+                "on_s": round(scan_on, 3),
+                "domains_per_sec_off": round(BENCH_DOMAINS / scan_off, 1),
+                "domains_per_sec_on": round(BENCH_DOMAINS / scan_on, 1),
+                "overhead": round(scan_overhead, 4),
+            },
+            "monitor": {
+                "off_s": round(monitor_off, 3),
+                "on_s": round(monitor_on, 3),
+                "datagrams_per_sec_off": round(datagrams / monitor_off, 1),
+                "datagrams_per_sec_on": round(datagrams / monitor_on, 1),
+                "overhead": round(monitor_overhead, 4),
+            },
+        },
+    }
+    _RESULT_PATH.write_text(json.dumps(payload, indent=2) + "\n", encoding="utf-8")
+
+    print()
+    print(f"telemetry overhead ({BENCH_DOMAINS} domains, {BENCH_FLOWS} flows):")
+    print(
+        f"  scan     off {scan_off:.3f} s  on {scan_on:.3f} s "
+        f"({scan_overhead * 100:+.1f} %)"
+    )
+    print(
+        f"  monitor  off {monitor_off:.3f} s  on {monitor_on:.3f} s "
+        f"({monitor_overhead * 100:+.1f} %)"
+    )
+
+    assert scan_overhead < OVERHEAD_LIMIT, (
+        f"scan telemetry overhead {scan_overhead * 100:.1f} % exceeds "
+        f"{OVERHEAD_LIMIT * 100:.0f} %"
+    )
+    assert monitor_overhead < OVERHEAD_LIMIT, (
+        f"monitor telemetry overhead {monitor_overhead * 100:.1f} % exceeds "
+        f"{OVERHEAD_LIMIT * 100:.0f} %"
+    )

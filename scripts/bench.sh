@@ -8,6 +8,9 @@ set -euo pipefail
 cd "$(dirname "$0")/.."
 export PYTHONPATH="src${PYTHONPATH:+:$PYTHONPATH}"
 
+echo "== determinism lint =="
+python scripts/check_determinism_lint.py
+
 echo "== tier-1 tests =="
 python -m pytest -x -q tests
 
@@ -16,6 +19,9 @@ python -m pytest -q -s benchmarks/test_perf_scan_throughput.py
 
 echo "== monitor-throughput benchmark =="
 python -m pytest -q -s benchmarks/test_perf_monitor_throughput.py
+
+echo "== telemetry-overhead benchmark =="
+python -m pytest -q -s benchmarks/test_perf_telemetry_overhead.py
 
 python - <<'PY'
 import datetime
@@ -32,6 +38,7 @@ timestamp = datetime.datetime.now(datetime.timezone.utc).isoformat(
 for result_file in (
     "BENCH_scan_throughput.json",
     "BENCH_monitor_throughput.json",
+    "BENCH_telemetry_overhead.json",
 ):
     result = json.loads(pathlib.Path(result_file).read_text())
     result["commit"] = commit

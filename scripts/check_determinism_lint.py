@@ -1,0 +1,78 @@
+#!/usr/bin/env python3
+"""Determinism lint: no wall-clock reads in the measurement code.
+
+Every artifact this repo produces — datasets, monitor snapshots,
+telemetry traces, Prometheus exports — must be a pure function of the
+seed.  The easiest way to break that silently is a wall-clock read, so
+this lint greps ``src/`` for the usual suspects:
+
+* ``time.time(``
+* ``datetime.now(`` / ``datetime.utcnow(``
+* ``perf_counter(``
+
+and fails if any appear.  Benchmarks (``benchmarks/``) legitimately
+measure wall-clock and are not scanned.  A source line may opt out with
+a ``# wallclock-ok`` pragma when the value is *diagnostics only* and
+never enters an artifact (e.g. the scanner's stderr throughput line);
+DESIGN.md documents the rule.
+
+Exit status: 0 when clean, 1 with one ``path:line: text`` per offender.
+"""
+
+from __future__ import annotations
+
+import re
+import sys
+from pathlib import Path
+
+#: Wall-clock reads that would make outputs machine/run dependent.
+FORBIDDEN = (
+    re.compile(r"\btime\.time\("),
+    re.compile(r"\bdatetime\.now\("),
+    re.compile(r"\bdatetime\.utcnow\("),
+    re.compile(r"\bperf_counter\("),
+)
+
+PRAGMA = "wallclock-ok"
+
+
+def find_violations(root: Path) -> list[tuple[Path, int, str]]:
+    violations: list[tuple[Path, int, str]] = []
+    for path in sorted(root.rglob("*.py")):
+        for number, line in enumerate(
+            path.read_text(encoding="utf-8").splitlines(), start=1
+        ):
+            if PRAGMA in line:
+                continue
+            if any(pattern.search(line) for pattern in FORBIDDEN):
+                violations.append((path, number, line.strip()))
+    return violations
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = argv if argv is not None else sys.argv[1:]
+    root = Path(args[0]) if args else Path(__file__).resolve().parent.parent / "src"
+    if not root.is_dir():
+        print(f"determinism lint: no such directory: {root}", file=sys.stderr)
+        return 2
+    violations = find_violations(root)
+    if violations:
+        print(
+            "determinism lint: wall-clock reads in measurement code "
+            f"({len(violations)}):",
+            file=sys.stderr,
+        )
+        for path, number, text in violations:
+            print(f"  {path}:{number}: {text}", file=sys.stderr)
+        print(
+            "  (benchmark-only timing belongs in benchmarks/; "
+            f"diagnostics may annotate the line with '# {PRAGMA}')",
+            file=sys.stderr,
+        )
+        return 1
+    print(f"determinism lint: clean ({root})")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

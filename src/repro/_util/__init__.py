@@ -5,6 +5,7 @@ random-number handling, time-unit constants, and statistics primitives
 used by both the simulator and the analysis pipeline.
 """
 
+from repro._util.histogram import LogHistogram
 from repro._util.rng import derive_rng, fork_rng
 from repro._util.stats import (
     Histogram,
@@ -17,6 +18,7 @@ from repro._util.units import MS_PER_SECOND, US_PER_MS, ms_to_seconds, seconds_t
 
 __all__ = [
     "Histogram",
+    "LogHistogram",
     "MS_PER_SECOND",
     "US_PER_MS",
     "binomial_pmf",

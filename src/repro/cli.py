@@ -1,6 +1,6 @@
 """Command-line interface for the spin-bit reproduction.
 
-Six subcommands mirror the study's workflow::
+Seven subcommands mirror the study's workflow::
 
     repro scan        # build a population, scan it, export the dataset
     repro analyze     # run the connection-level analyses on a dataset
@@ -8,6 +8,7 @@ Six subcommands mirror the study's workflow::
     repro report      # regenerate every table and figure in one run
     repro monitor     # streaming on-path monitoring of many-flow traffic
     repro demo        # one observed connection, spin vs stack RTT
+    repro telemetry   # summarize a --telemetry-out directory
 
 ``scan`` writes the Appendix-B-style JSONL artifact that ``analyze``
 consumes, so the two halves can run on different machines — exactly how
@@ -15,6 +16,13 @@ the paper separates measurement from analysis.  ``monitor`` is the
 operator-side counterpart: it multiplexes many concurrent simulated
 connections into one tap stream and publishes windowed RTT metric
 snapshots as JSONL while the stream runs.
+
+Output discipline: stdout carries only machine-parseable command output
+(datasets, analysis blocks, summaries); every progress or diagnostic
+line goes to stderr.  ``--telemetry-out DIR`` on ``scan`` and
+``monitor`` additionally writes the deterministic telemetry directory
+(see :mod:`repro.telemetry`), which ``repro telemetry summarize DIR``
+renders for humans.
 """
 
 from __future__ import annotations
@@ -55,6 +63,13 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     scan.add_argument(
         "--out", required=True, help="output JSONL path ('-' for stdout)"
+    )
+    scan.add_argument(
+        "--telemetry-out",
+        default=None,
+        metavar="DIR",
+        help="write deterministic telemetry (trace.jsonl, metrics.prom, ...) "
+        "to this directory",
     )
 
     analyze = sub.add_parser("analyze", help="analyze an exported JSONL dataset")
@@ -129,8 +144,24 @@ def _build_parser() -> argparse.ArgumentParser:
     monitor.add_argument(
         "--out", required=True, help="snapshot JSONL path ('-' for stdout)"
     )
+    monitor.add_argument(
+        "--telemetry-out",
+        default=None,
+        metavar="DIR",
+        help="write deterministic telemetry (trace.jsonl, metrics.prom, ...) "
+        "to this directory",
+    )
 
     sub.add_parser("demo", help="one simulated connection, spin vs stack RTT")
+
+    telemetry = sub.add_parser(
+        "telemetry", help="inspect telemetry directories written by scan/monitor"
+    )
+    telemetry_sub = telemetry.add_subparsers(dest="telemetry_command", required=True)
+    summarize = telemetry_sub.add_parser(
+        "summarize", help="human-readable digest of a saved telemetry directory"
+    )
+    summarize.add_argument("directory", help="directory passed to --telemetry-out")
     return parser
 
 
@@ -144,6 +175,22 @@ def _open_in(path: str):
     if path == "-":
         return sys.stdin, False
     return open(path, "r", encoding="utf-8"), True
+
+
+def _make_telemetry(telemetry_out: str | None):
+    """A Telemetry bundle when ``--telemetry-out`` was given, else None."""
+    if not telemetry_out:
+        return None
+    from repro.telemetry import Telemetry
+
+    return Telemetry()
+
+
+def _save_telemetry(telemetry, telemetry_out: str | None) -> None:
+    if telemetry is None:
+        return
+    telemetry.save(telemetry_out)
+    print(f"telemetry written to {telemetry_out}", file=sys.stderr)
 
 
 def _parallel_config(workers: int, chunk_size: int | None = None):
@@ -175,7 +222,8 @@ def _cmd_scan(args: argparse.Namespace) -> int:
         f"{parallel.workers} worker(s)) ...",
         file=sys.stderr,
     )
-    dataset = Scanner(population, parallel=parallel).scan(
+    telemetry = _make_telemetry(args.telemetry_out)
+    dataset = Scanner(population, parallel=parallel, telemetry=telemetry).scan(
         week_label=args.week, ip_version=args.ip_version, verbose=True
     )
     stream, close = _open_out(args.out)
@@ -184,6 +232,7 @@ def _cmd_scan(args: argparse.Namespace) -> int:
     finally:
         if close:
             stream.close()
+    _save_telemetry(telemetry, args.telemetry_out)
     print(f"exported {count} connection records", file=sys.stderr)
     return 0
 
@@ -204,7 +253,8 @@ def _cmd_analyze(args: argparse.Namespace) -> int:
     finally:
         if close:
             stream.close()
-    print(f"{len(records)} connection records loaded\n")
+    # Diagnostic, not analysis output: keep stdout machine-parseable.
+    print(f"{len(records)} connection records loaded", file=sys.stderr)
 
     wanted = args.section
 
@@ -299,12 +349,14 @@ def _cmd_monitor(args: argparse.Namespace) -> int:
         f"table capacity {monitor.max_flows}) ...",
         file=sys.stderr,
     )
+    telemetry = _make_telemetry(args.telemetry_out)
     stream, close = _open_out(args.out)
     try:
-        run_monitor(traffic, monitor, out=stream, verbose=True)
+        run_monitor(traffic, monitor, out=stream, verbose=True, telemetry=telemetry)
     finally:
         if close:
             stream.close()
+    _save_telemetry(telemetry, args.telemetry_out)
     return 0
 
 
@@ -363,6 +415,33 @@ def _cmd_report(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_telemetry(args: argparse.Namespace) -> int:
+    import json
+    from pathlib import Path
+
+    from repro.telemetry import (
+        SNAPSHOT_FILENAME,
+        TRACE_FILENAME,
+        read_trace,
+        render_summary,
+    )
+
+    directory = Path(args.directory)
+    snapshot_path = directory / SNAPSHOT_FILENAME
+    if not snapshot_path.is_file():
+        raise SystemExit(
+            f"repro: error: no telemetry snapshot at {snapshot_path}"
+        )
+    snapshot = json.loads(snapshot_path.read_text(encoding="utf-8"))
+    events = None
+    trace_path = directory / TRACE_FILENAME
+    if trace_path.is_file():
+        with open(trace_path, "r", encoding="utf-8") as stream:
+            events = read_trace(stream)
+    print(render_summary(snapshot, events))
+    return 0
+
+
 _COMMANDS = {
     "scan": _cmd_scan,
     "report": _cmd_report,
@@ -370,6 +449,7 @@ _COMMANDS = {
     "compliance": _cmd_compliance,
     "monitor": _cmd_monitor,
     "demo": _cmd_demo,
+    "telemetry": _cmd_telemetry,
 }
 
 

@@ -128,6 +128,7 @@ class SpinFlowTable:
         observer_factory: Callable[[str], SpinObserver] | None = None,
         on_retire: Callable[[FlowRecord, str], None] | None = None,
         on_packet: Callable[[FlowRecord, float], None] | None = None,
+        metrics=None,
     ):
         if max_flows < 1:
             raise ValueError("max_flows must be positive")
@@ -152,6 +153,35 @@ class SpinFlowTable:
         self.stats = FlowTableStats()
         #: Stream time before which no idle sweep runs (amortization).
         self._next_sweep_ms = float("-inf")
+        # Telemetry bindings (repro.telemetry.MetricsRegistry): the
+        # registry is the metrics plane; ``stats`` remains the
+        # snapshot-schema source so existing exports stay byte-stable.
+        if metrics is not None:
+            self._m_datagrams = metrics.counter("flow_table.datagrams")
+            self._m_parse_errors = metrics.counter("flow_table.parse_errors")
+            self._m_packets = metrics.counter("flow_table.packets")
+            self._m_short_packets = metrics.counter(
+                "flow_table.short_header_packets"
+            )
+            self._m_created = metrics.counter("flow_table.flows_created")
+            self._m_evicted = metrics.counter("flow_table.flows_evicted")
+            self._m_expired = metrics.counter("flow_table.flows_expired")
+            self._m_drops = metrics.counter("flow_table.overflow_drops")
+            self._m_sweeps = metrics.counter("flow_table.idle_sweeps")
+            self._m_active = metrics.gauge("flow_table.active_flows")
+            self._m_peak = metrics.gauge("flow_table.peak_flows", agg="max")
+        else:
+            self._m_datagrams = None
+            self._m_parse_errors = None
+            self._m_packets = None
+            self._m_short_packets = None
+            self._m_created = None
+            self._m_evicted = None
+            self._m_expired = None
+            self._m_drops = None
+            self._m_sweeps = None
+            self._m_active = None
+            self._m_peak = None
 
     @property
     def parse_errors(self) -> int:
@@ -167,15 +197,21 @@ class SpinFlowTable:
         """Process one server-to-client datagram from the tap."""
         stats = self.stats
         stats.datagrams += 1
+        if self._m_datagrams is not None:
+            self._m_datagrams.inc()
         if time_ms >= self._next_sweep_ms:
             self._expire_idle(time_ms)
         try:
             packets = decode_datagram(data, self.short_dcid_length)
         except (HeaderParseError, ValueError):
             stats.parse_errors += 1
+            if self._m_parse_errors is not None:
+                self._m_parse_errors.inc()
             return
         for packet in packets:
             stats.packets += 1
+            if self._m_packets is not None:
+                self._m_packets.inc()
             header = packet.header
             if isinstance(header, LongHeader):
                 continue
@@ -185,8 +221,12 @@ class SpinFlowTable:
             flow = self._flow(key, time_ms)
             if flow is None:
                 stats.overflow_drops += 1
+                if self._m_drops is not None:
+                    self._m_drops.inc()
                 continue
             stats.short_header_packets += 1
+            if self._m_short_packets is not None:
+                self._m_short_packets.inc()
             flow.last_seen_ms = time_ms
             flow.packets += 1
             full_pn = self._reconstruct(flow, header.packet_number, header.pn_length)
@@ -217,6 +257,8 @@ class SpinFlowTable:
             # Front of the OrderedDict is the least recently seen flow.
             _, lru = self.flows.popitem(last=False)
             self.stats.flows_evicted += 1
+            if self._m_evicted is not None:
+                self._m_evicted.inc()
             self._retire(lru, "evicted")
         if self.observer_factory is not None:
             observer = self.observer_factory(key)
@@ -234,15 +276,22 @@ class SpinFlowTable:
         self.stats.flows_created += 1
         if len(self.flows) > self.stats.peak_flows:
             self.stats.peak_flows = len(self.flows)
+        if self._m_created is not None:
+            self._m_created.inc()
+            self._m_active.set(len(self.flows))
+            self._m_peak.set_max(len(self.flows))
         return flow
 
     def _expire_idle(self, now_ms: float) -> None:
         self._next_sweep_ms = now_ms + self.idle_timeout_ms / 4.0
         self.stats.idle_sweeps += 1
+        if self._m_sweeps is not None:
+            self._m_sweeps.inc()
         deadline = now_ms - self.idle_timeout_ms
         flows = self.flows
         # Recency order means stale flows cluster at the front; stop at
         # the first fresh one instead of sweeping the whole table.
+        expired = 0
         while flows:
             key = next(iter(flows))
             flow = flows[key]
@@ -250,7 +299,11 @@ class SpinFlowTable:
                 break
             del flows[key]
             self.stats.flows_expired += 1
+            expired += 1
             self._retire(flow, "expired")
+        if expired and self._m_expired is not None:
+            self._m_expired.inc(expired)
+            self._m_active.set(len(flows))
 
     def _retire(self, flow: FlowRecord, reason: str) -> None:
         if self.retain_retired:

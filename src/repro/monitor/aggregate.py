@@ -4,11 +4,14 @@ A long-running monitoring plane cannot keep per-sample data: it
 publishes *windowed* statistics and forgets the raw samples.  Two
 pieces implement that here:
 
-* :class:`LogHistogram` — a fixed-bin log-scale histogram (constant
-  memory, exact count/mean/min/max, approximate percentiles with a
-  relative error bounded by the bin ratio — ~±3.7 % at the default 32
-  bins per decade).  This is the standard telemetry trick (Prometheus /
-  HdrHistogram style) for streaming RTT percentiles.
+* :class:`~repro._util.histogram.LogHistogram` (re-exported here for
+  back-compat) — a fixed-bin log-scale histogram (constant memory,
+  exact count/mean/min/max, approximate percentiles with a relative
+  error bounded by the bin ratio — ~±3.7 % at the default 32 bins per
+  decade).  This is the standard telemetry trick (Prometheus /
+  HdrHistogram style) for streaming RTT percentiles; the telemetry
+  plane (:mod:`repro.telemetry`) uses the same class for its metric
+  histograms.
 * :class:`WindowAggregator` — tumbling windows over *stream* time, each
   accumulating flow/packet/sample counters plus a histogram; an
   optional sliding view merges the last ``slide_windows`` tumbling
@@ -20,9 +23,10 @@ stream length.
 
 from __future__ import annotations
 
-import math
 from collections import deque
 from dataclasses import dataclass, field
+
+from repro._util.histogram import LogHistogram
 
 __all__ = [
     "LogHistogram",
@@ -30,135 +34,6 @@ __all__ = [
     "WindowSnapshot",
     "WindowAggregator",
 ]
-
-
-class LogHistogram:
-    """Fixed-bin log-scale histogram with streaming percentiles.
-
-    Bins cover ``[min_value, max_value)`` with ``bins_per_decade``
-    logarithmically spaced bins per factor of ten; values outside the
-    range land in dedicated under-/overflow bins, so nothing is ever
-    dropped.  ``count``/``mean``/``min``/``max`` are exact; percentiles
-    are read from the bin cumulative and reported at the bin's
-    geometric midpoint.
-    """
-
-    __slots__ = (
-        "min_value",
-        "max_value",
-        "bins_per_decade",
-        "counts",
-        "underflow",
-        "overflow",
-        "count",
-        "total",
-        "min_seen",
-        "max_seen",
-        "_log_min",
-    )
-
-    def __init__(
-        self,
-        min_value: float = 0.1,
-        max_value: float = 60_000.0,
-        bins_per_decade: int = 32,
-    ):
-        if min_value <= 0 or max_value <= min_value:
-            raise ValueError("need 0 < min_value < max_value")
-        if bins_per_decade < 1:
-            raise ValueError("bins_per_decade must be positive")
-        self.min_value = min_value
-        self.max_value = max_value
-        self.bins_per_decade = bins_per_decade
-        self._log_min = math.log10(min_value)
-        decades = math.log10(max_value) - self._log_min
-        self.counts = [0] * (int(math.ceil(decades * bins_per_decade)) or 1)
-        self.underflow = 0
-        self.overflow = 0
-        self.count = 0
-        self.total = 0.0
-        self.min_seen = math.inf
-        self.max_seen = -math.inf
-
-    def add(self, value: float) -> None:
-        """Record one observation."""
-        self.count += 1
-        self.total += value
-        if value < self.min_seen:
-            self.min_seen = value
-        if value > self.max_seen:
-            self.max_seen = value
-        if value < self.min_value:
-            self.underflow += 1
-        elif value >= self.max_value:
-            self.overflow += 1
-        else:
-            index = int(
-                (math.log10(value) - self._log_min) * self.bins_per_decade
-            )
-            if index >= len(self.counts):  # float edge at max_value
-                index = len(self.counts) - 1
-            self.counts[index] += 1
-
-    def merge(self, other: "LogHistogram") -> None:
-        """Fold ``other`` (same binning) into this histogram."""
-        if (
-            other.min_value != self.min_value
-            or other.max_value != self.max_value
-            or other.bins_per_decade != self.bins_per_decade
-        ):
-            raise ValueError("cannot merge histograms with different binning")
-        for index, count in enumerate(other.counts):
-            self.counts[index] += count
-        self.underflow += other.underflow
-        self.overflow += other.overflow
-        self.count += other.count
-        self.total += other.total
-        self.min_seen = min(self.min_seen, other.min_seen)
-        self.max_seen = max(self.max_seen, other.max_seen)
-
-    @property
-    def mean(self) -> float | None:
-        """Exact arithmetic mean; ``None`` when empty."""
-        return self.total / self.count if self.count else None
-
-    def percentile(self, q: float) -> float | None:
-        """Approximate q-th percentile (``q`` in [0, 100]); ``None`` if empty.
-
-        Underflow observations report the exact minimum seen, overflow
-        the exact maximum; interior bins report their geometric
-        midpoint, clamped into the exact [min, max] envelope.
-        """
-        if not 0.0 <= q <= 100.0:
-            raise ValueError(f"percentile q must be in [0, 100], got {q}")
-        if self.count == 0:
-            return None
-        target = (q / 100.0) * self.count
-        cumulative = self.underflow
-        if target <= cumulative:
-            return self.min_seen
-        for index, count in enumerate(self.counts):
-            cumulative += count
-            if target <= cumulative:
-                midpoint = 10.0 ** (
-                    self._log_min + (index + 0.5) / self.bins_per_decade
-                )
-                return min(max(midpoint, self.min_seen), self.max_seen)
-        return self.max_seen
-
-    def summary(self) -> dict:
-        """The snapshot-export block: count + streaming statistics."""
-        if self.count == 0:
-            return {"count": 0}
-        return {
-            "count": self.count,
-            "mean_ms": round(self.total / self.count, 3),
-            "min_ms": round(self.min_seen, 3),
-            "max_ms": round(self.max_seen, 3),
-            "p50_ms": round(self.percentile(50.0), 3),
-            "p90_ms": round(self.percentile(90.0), 3),
-            "p99_ms": round(self.percentile(99.0), 3),
-        }
 
 
 @dataclass(frozen=True)

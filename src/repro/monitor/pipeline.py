@@ -88,9 +88,16 @@ class MonitorPipeline:
         self,
         config: MonitorConfig | None = None,
         on_snapshot: Callable[[WindowSnapshot], None] | None = None,
+        telemetry=None,
     ):
         self.config = config or MonitorConfig()
         self.on_snapshot = on_snapshot
+        #: Optional :class:`repro.telemetry.Telemetry` bundle: the flow
+        #: table reports into its registry, window closes and the final
+        #: summary become trace events (stamped with *stream* time), and
+        #: ``finish()`` folds the lifetime RTT histogram into the
+        #: ``monitor.rtt_ms`` series — zero per-sample hot-path cost.
+        self.telemetry = telemetry
         self.aggregator = WindowAggregator(self.config.window)
         self.table = SpinFlowTable(
             short_dcid_length=self.config.short_dcid_length,
@@ -101,6 +108,7 @@ class MonitorPipeline:
             observer_factory=self._make_observer,
             on_retire=self._on_retire,
             on_packet=self._on_packet,
+            metrics=telemetry.registry if telemetry is not None else None,
         )
         self._last_time_ms = 0.0
         self._spin_flows_retired = 0
@@ -111,8 +119,7 @@ class MonitorPipeline:
         """Ingest one tapped server-to-client datagram."""
         aggregator = self.aggregator
         for snapshot in aggregator.roll(time_ms, self._table_health()):
-            if self.on_snapshot is not None:
-                self.on_snapshot(snapshot)
+            self._publish(snapshot)
         self._last_time_ms = time_ms
         window = aggregator.window_for(time_ms)
         table = self.table
@@ -142,15 +149,14 @@ class MonitorPipeline:
     def finish(self) -> MonitorSummary:
         """Flush the trailing window and compute the run summary."""
         for snapshot in self.aggregator.flush(self._table_health()):
-            if self.on_snapshot is not None:
-                self.on_snapshot(snapshot)
+            self._publish(snapshot)
         stats = self.table.stats
         spin_flows = self._spin_flows_retired + sum(
             1
             for flow in self.table.flows.values()
             if len(flow._observer.values_seen) == 2
         )
-        return MonitorSummary(
+        summary = MonitorSummary(
             duration_ms=self._last_time_ms,
             windows=self.aggregator.windows_emitted,
             datagrams=stats.datagrams,
@@ -166,6 +172,49 @@ class MonitorPipeline:
             spin_flows=spin_flows,
             samples=self.aggregator.lifetime.summary(),
         )
+        if self.telemetry is not None:
+            registry = self.telemetry.registry
+            lifetime = self.aggregator.lifetime
+            metric = registry.histogram("monitor.rtt_ms")
+            if metric.hist.count == 0 and (
+                metric.hist.min_value,
+                metric.hist.max_value,
+                metric.hist.bins_per_decade,
+            ) != (
+                lifetime.min_value,
+                lifetime.max_value,
+                lifetime.bins_per_decade,
+            ):
+                # Adopt the monitor's own binning so the lifetime
+                # histogram folds in losslessly whatever WindowConfig
+                # the run used.
+                metric.hist = self.config.window.make_histogram()
+            metric.hist.merge(lifetime)
+            registry.counter("monitor.spin_flows").inc(spin_flows)
+            self.telemetry.tracer.event(
+                "monitor.summary",
+                time_ms=summary.duration_ms,
+                windows=summary.windows,
+                datagrams=summary.datagrams,
+                flows_created=summary.flows_created,
+                spin_flows=spin_flows,
+                samples=summary.samples.get("count", 0),
+            )
+        return summary
+
+    def _publish(self, snapshot: WindowSnapshot) -> None:
+        """Deliver one closed window: callback + trace event."""
+        if self.on_snapshot is not None:
+            self.on_snapshot(snapshot)
+        if self.telemetry is not None:
+            self.telemetry.registry.counter("monitor.windows_closed").inc()
+            self.telemetry.tracer.event(
+                "monitor.window",
+                time_ms=snapshot.end_ms,
+                index=snapshot.index,
+                datagrams=snapshot.datagrams,
+                samples=snapshot.samples.get("count", 0),
+            )
 
     # -- flow-table hooks ----------------------------------------------
 

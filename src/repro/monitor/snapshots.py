@@ -59,19 +59,27 @@ def run_monitor(
     monitor: MonitorConfig | None = None,
     out: IO[str] | None = None,
     verbose: bool = False,
+    telemetry=None,
 ) -> MonitorSummary:
     """Run the full monitoring service once: mux → pipeline → snapshots.
 
     Generates the interleaved tap stream for ``traffic``, feeds it
     through a :class:`MonitorPipeline` sized by ``monitor``, and writes
     window snapshots plus the final summary to ``out`` (omitted when
-    ``out`` is ``None``).  Returns the summary.
+    ``out`` is ``None``).  Returns the summary.  ``telemetry``
+    optionally threads a :class:`repro.telemetry.Telemetry` bundle
+    through the traffic generator, the flow table, and the pipeline.
     """
     writer = SnapshotWriter(out) if out is not None else None
     pipeline = MonitorPipeline(
-        monitor, on_snapshot=writer.write_window if writer else None
+        monitor,
+        on_snapshot=writer.write_window if writer else None,
+        telemetry=telemetry,
     )
-    mux = TrafficMux(traffic)
+    mux = TrafficMux(
+        traffic,
+        metrics=telemetry.registry if telemetry is not None else None,
+    )
     summary = pipeline.process_stream(mux.stream())
     if writer is not None:
         writer.write_summary(summary)

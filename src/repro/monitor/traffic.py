@@ -193,8 +193,11 @@ class TrafficMux:
     state of currently-active connections.
     """
 
-    def __init__(self, config: TrafficConfig | None = None):
+    def __init__(self, config: TrafficConfig | None = None, metrics=None):
         self.config = config or TrafficConfig()
+        #: Optional telemetry registry: the shared simulator and every
+        #: launched endpoint report into it during :meth:`stream`.
+        self.metrics = metrics
         prefix = SeedPrefix(self.config.seed, "monitor", "flow")
         self.specs: list[FlowSpec] = [
             _spec_for(self.config, prefix, index)
@@ -203,10 +206,10 @@ class TrafficMux:
 
     def stream(self) -> Iterator[TapDatagram]:
         """Yield the interleaved server-to-client stream in time order."""
-        simulator = Simulator()
+        simulator = Simulator(metrics=self.metrics)
         buffer: list[TapDatagram] = []
         for spec in self.specs:
-            self._launch(simulator, spec, buffer)
+            self._launch(simulator, spec, buffer, metrics=self.metrics)
         budget = self.config.event_budget
         window = self.config.drain_window_ms
         while simulator.pending_events:
@@ -237,6 +240,7 @@ class TrafficMux:
         simulator: Simulator,
         spec: FlowSpec,
         buffer: list[TapDatagram],
+        metrics=None,
     ) -> None:
         profile = PathProfile(
             propagation_delay_ms=spec.propagation_delay_ms,
@@ -264,6 +268,7 @@ class TrafficMux:
                 max_ack_delay_ms=stack.max_ack_delay_ms,
             ),
             start_ms=spec.start_ms,
+            metrics=metrics,
         )
         handle.downlink.install_tap(
             lambda time_ms, data, index=spec.index: buffer.append(

@@ -19,15 +19,33 @@ __all__ = ["Simulator"]
 
 
 class Simulator:
-    """Event queue plus clock; the spine of every simulated measurement."""
+    """Event queue plus clock; the spine of every simulated measurement.
 
-    def __init__(self, start_ms: float = 0.0):
+    ``metrics`` optionally binds the simulator to a telemetry registry
+    (:mod:`repro.telemetry`): events dispatched are counted and the
+    queue's high-water mark is exported as a max-aggregated gauge.  The
+    bookkeeping itself is wall-clock free, so the exported values are
+    deterministic functions of the simulation.
+    """
+
+    def __init__(self, start_ms: float = 0.0, metrics=None):
         self.clock = SimClock(start_ms)
         self._queue: list[tuple[float, int, Callable[[], None]]] = []
         #: Monotone tiebreaker for FIFO among equal timestamps; a plain
         #: int avoids one generator frame per scheduled event.
         self._sequence = 0
         self._processed = 0
+        #: Largest queue length ever reached (always tracked; exporting
+        #: it costs nothing beyond one compare per schedule).
+        self.queue_high_water = 0
+        if metrics is not None:
+            self._m_events = metrics.counter("netsim.events_dispatched")
+            self._m_high_water = metrics.gauge(
+                "netsim.queue_high_water", agg="max"
+            )
+        else:
+            self._m_events = None
+            self._m_high_water = None
 
     @property
     def now_ms(self) -> float:
@@ -69,6 +87,8 @@ class Simulator:
         sequence = self._sequence
         self._sequence = sequence + 1
         heappush(self._queue, (time_ms, sequence, callback))
+        if len(self._queue) > self.queue_high_water:
+            self.queue_high_water = len(self._queue)
 
     def run(self, max_events: int = 1_000_000) -> int:
         """Execute events until the queue drains.
@@ -89,6 +109,7 @@ class Simulator:
             callback()
             executed += 1
             self._processed += 1
+        self._export_metrics(executed)
         return executed
 
     def run_until(self, deadline_ms: float, max_events: int = 1_000_000) -> int:
@@ -106,4 +127,11 @@ class Simulator:
             self._processed += 1
         if self.clock.now_ms < deadline_ms:
             advance_to(deadline_ms)
+        self._export_metrics(executed)
         return executed
+
+    def _export_metrics(self, executed: int) -> None:
+        """Flush per-run counters to the bound registry (if any)."""
+        if self._m_events is not None:
+            self._m_events.inc(executed)
+            self._m_high_water.set_max(self.queue_high_water)

@@ -182,12 +182,33 @@ class QuicEndpoint:
         spin_policy: SpinPolicy,
         rng: random.Random,
         recorder: TraceRecorder | None = None,
+        metrics=None,
     ):
         self.simulator = simulator
         self.role = role
         self.config = config
         self.rng = rng
         self.recorder = recorder
+        # Telemetry bindings (repro.telemetry.MetricsRegistry).  The
+        # role label splits client/server series; spin edges count
+        # received short-header packets whose spin value flipped — the
+        # raw signal every passive RTT estimate in the paper rests on.
+        if metrics is not None:
+            role_label = role.value
+            self._m_packets_sent = metrics.counter(
+                "quic.packets_sent", role=role_label
+            )
+            self._m_packets_received = metrics.counter(
+                "quic.packets_received", role=role_label
+            )
+            self._m_spin_edges = metrics.counter(
+                "quic.spin_edges", role=role_label
+            )
+        else:
+            self._m_packets_sent = None
+            self._m_packets_received = None
+            self._m_spin_edges = None
+        self._last_spin_rx: bool | None = None
         self.spin = SpinBitState(role, spin_policy, rng)
         self.vec_state = VecSenderState() if config.enable_vec else None
         self.rtt_estimator = RttEstimator(max_ack_delay_ms=config.max_ack_delay_ms)
@@ -322,6 +343,15 @@ class QuicEndpoint:
     def _receive_packet(self, packet: ParsedPacket) -> None:
         header = packet.header
         now = self.simulator.now_ms
+        if self._m_packets_received is not None:
+            self._m_packets_received.inc()
+            if isinstance(header, ShortHeader):
+                if (
+                    self._last_spin_rx is not None
+                    and header.spin_bit != self._last_spin_rx
+                ):
+                    self._m_spin_edges.inc()
+                self._last_spin_rx = header.spin_bit
         if isinstance(header, VersionNegotiationHeader):
             if self.recorder is not None:
                 self.recorder.on_packet_received(
@@ -834,6 +864,8 @@ class QuicEndpoint:
             raise RuntimeError("endpoint has no transport attached")
         data = encode_datagram(packets)
         now = self.simulator.now_ms
+        if self._m_packets_sent is not None:
+            self._m_packets_sent.inc(len(packets))
         if self.recorder is not None:
             for packet in packets:
                 is_short = isinstance(packet.header, ShortHeader)

@@ -1,0 +1,60 @@
+"""Deterministic tracing + metrics plane across scan, monitor, netsim.
+
+The paper's methodology is instrumentation all the way down — the
+authors extended zgrab2/quic-go with qlog capture because a 200M-domain
+measurement you cannot observe is a measurement you cannot trust, and
+the on-path operator use case is precisely about *exporting* passive
+RTT metrics.  This package is the reproduction's equivalent: a
+zero-dependency observability layer every subsystem reports into.
+
+* :mod:`repro.telemetry.metrics` — counters, gauges, log-bucket
+  histograms in a :class:`MetricsRegistry` with labeled series, scoped
+  child registries, and lossless deterministic merge (parallel-scan
+  worker registries fold into exactly the sequential registry);
+* :mod:`repro.telemetry.trace` — qlog-style trace events stamped with
+  the *simulated* clock plus a monotonic step counter, never
+  wall-clock, so equal seeds yield byte-identical traces;
+* :mod:`repro.telemetry.export` — JSONL trace writer, Prometheus
+  text-format snapshots, and the human ``render_summary``;
+* :mod:`repro.telemetry.runtime` — the :class:`Telemetry` bundle the
+  CLI threads through ``repro scan/monitor --telemetry-out DIR`` and
+  reads back via ``repro telemetry summarize DIR``.
+"""
+
+from repro.telemetry.export import (
+    DIAG_FILENAME,
+    PROM_FILENAME,
+    SNAPSHOT_FILENAME,
+    TRACE_FILENAME,
+    read_trace,
+    registry_to_prometheus,
+    render_summary,
+    write_trace_jsonl,
+)
+from repro.telemetry.metrics import (
+    Counter,
+    Gauge,
+    HistogramMetric,
+    MetricsRegistry,
+)
+from repro.telemetry.runtime import Telemetry
+from repro.telemetry.trace import Span, TraceEvent, Tracer
+
+__all__ = [
+    "Counter",
+    "DIAG_FILENAME",
+    "Gauge",
+    "HistogramMetric",
+    "MetricsRegistry",
+    "PROM_FILENAME",
+    "SNAPSHOT_FILENAME",
+    "Span",
+    "TRACE_FILENAME",
+    "Telemetry",
+    "TraceEvent",
+    "Tracer",
+    "read_trace",
+    "registry_to_prometheus",
+    "render_summary",
+    "write_trace_jsonl",
+]

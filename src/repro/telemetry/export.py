@@ -1,0 +1,178 @@
+"""Telemetry exporters: JSONL traces, Prometheus text, human summary.
+
+Three formats, one invariant — every byte is a deterministic function
+of the recorded data:
+
+* ``trace.jsonl`` — one JSON object per trace event, ``sort_keys``,
+  with a monotonic ``step`` assigned in write order.
+* ``metrics.prom`` — Prometheus text exposition: counters as
+  ``_total``, gauges plain, histograms as summaries (quantile series
+  plus ``_sum``/``_count``), all series sorted by key.
+* :func:`render_summary` — the human-readable digest behind
+  ``repro telemetry summarize``.
+"""
+
+from __future__ import annotations
+
+import json
+from collections import Counter as _TallyCounter
+from typing import IO, Iterable
+
+from repro.telemetry.metrics import MetricsRegistry, _series_id
+from repro.telemetry.trace import TraceEvent
+
+__all__ = [
+    "DIAG_FILENAME",
+    "PROM_FILENAME",
+    "SNAPSHOT_FILENAME",
+    "TRACE_FILENAME",
+    "read_trace",
+    "registry_to_prometheus",
+    "render_summary",
+    "write_trace_jsonl",
+]
+
+TRACE_FILENAME = "trace.jsonl"
+DIAG_FILENAME = "diag.jsonl"
+PROM_FILENAME = "metrics.prom"
+SNAPSHOT_FILENAME = "metrics.json"
+
+#: Quantiles exported for every histogram series.
+_QUANTILES = (50.0, 90.0, 99.0)
+
+
+def write_trace_jsonl(events: Iterable[TraceEvent], stream: IO[str]) -> int:
+    """Write ``events`` as JSONL, numbering them with ``step``.
+
+    The step counter is the global monotonic order of the trace (event
+    timestamps are local simulated clocks and may legitimately rewind
+    between units).  Returns the number of lines written.
+    """
+    count = 0
+    for step, event in enumerate(events):
+        payload = {
+            "step": step,
+            "ts_ms": round(event.time_ms, 6),
+            "name": event.name,
+            "attrs": event.attrs,
+        }
+        stream.write(json.dumps(payload, sort_keys=True) + "\n")
+        count += 1
+    return count
+
+
+def read_trace(stream: IO[str]) -> list[dict]:
+    """Load a trace JSONL stream back into a list of event dicts."""
+    return [json.loads(line) for line in stream if line.strip()]
+
+
+def _prom_name(name: str) -> str:
+    return "repro_" + name.replace(".", "_").replace("-", "_")
+
+
+def _prom_value(value: float) -> str:
+    if isinstance(value, bool):  # pragma: no cover - defensive
+        return "1" if value else "0"
+    if isinstance(value, int):
+        return str(value)
+    return repr(value)
+
+
+def _prom_labels(items, extra: tuple[tuple[str, str], ...] = ()) -> str:
+    merged = tuple(items) + extra
+    if not merged:
+        return ""
+    rendered = ",".join(f'{key}="{value}"' for key, value in merged)
+    return "{" + rendered + "}"
+
+
+def registry_to_prometheus(registry: MetricsRegistry) -> str:
+    """Render the registry in Prometheus text exposition format."""
+    lines: list[str] = []
+    typed: set[str] = set()
+    for series in registry.series():
+        if series.kind == "counter":
+            name = _prom_name(series.name) + "_total"
+            if name not in typed:
+                typed.add(name)
+                lines.append(f"# TYPE {name} counter")
+            lines.append(
+                f"{name}{_prom_labels(series.labels)} {_prom_value(series.value)}"
+            )
+        elif series.kind == "gauge":
+            name = _prom_name(series.name)
+            if name not in typed:
+                typed.add(name)
+                lines.append(f"# TYPE {name} gauge")
+            lines.append(
+                f"{name}{_prom_labels(series.labels)} {_prom_value(series.value)}"
+            )
+        else:  # histogram -> Prometheus summary
+            name = _prom_name(series.name)
+            if name not in typed:
+                typed.add(name)
+                lines.append(f"# TYPE {name} summary")
+            hist = series.hist
+            for q in _QUANTILES:
+                value = hist.percentile(q)
+                if value is None:
+                    continue
+                labels = _prom_labels(
+                    series.labels, (("quantile", repr(q / 100.0)),)
+                )
+                lines.append(f"{name}{labels} {_prom_value(value)}")
+            lines.append(
+                f"{name}_sum{_prom_labels(series.labels)} "
+                f"{_prom_value(hist.total)}"
+            )
+            lines.append(
+                f"{name}_count{_prom_labels(series.labels)} {hist.count}"
+            )
+    return "\n".join(lines) + ("\n" if lines else "")
+
+
+def render_summary(
+    snapshot: dict, trace_events: list[dict] | None = None
+) -> str:
+    """Human-readable digest of a registry snapshot (+ optional trace).
+
+    Takes the :meth:`MetricsRegistry.snapshot` dict (or the same loaded
+    back from ``metrics.json``), so it works on live registries and on
+    saved telemetry directories alike.
+    """
+    lines: list[str] = []
+    if trace_events is not None:
+        tally = _TallyCounter(event["name"] for event in trace_events)
+        rendered = ", ".join(
+            f"{name} x{count}" for name, count in sorted(tally.items())
+        )
+        lines.append(f"trace: {len(trace_events)} events")
+        if rendered:
+            lines.append(f"  {rendered}")
+    counters = snapshot.get("counters", {})
+    if counters:
+        lines.append("counters:")
+        for series_id, value in counters.items():
+            lines.append(f"  {series_id:44s} {value}")
+    gauges = snapshot.get("gauges", {})
+    if gauges:
+        lines.append("gauges:")
+        for series_id, value in gauges.items():
+            lines.append(f"  {series_id:44s} {value:g}")
+    histograms = snapshot.get("histograms", {})
+    if histograms:
+        lines.append("histograms:")
+        for series_id, summary in histograms.items():
+            if summary.get("count", 0) == 0:
+                lines.append(f"  {series_id:44s} (empty)")
+                continue
+            lines.append(
+                f"  {series_id:44s} count={summary['count']}"
+                f" mean={summary['mean_ms']:g}"
+                f" p50={summary['p50_ms']:g}"
+                f" p90={summary['p90_ms']:g}"
+                f" p99={summary['p99_ms']:g}"
+            )
+    if not lines:
+        lines.append("(no telemetry recorded)")
+    return "\n".join(lines)

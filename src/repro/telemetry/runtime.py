@@ -1,0 +1,91 @@
+"""The per-run telemetry bundle: one registry plus one tracer.
+
+:class:`Telemetry` is what gets threaded through the subsystems: the
+scanner, the monitor pipeline, and the CLI all accept an optional
+``telemetry`` argument and, when given, report into its
+:class:`~repro.telemetry.metrics.MetricsRegistry` and
+:class:`~repro.telemetry.trace.Tracer`.  ``None`` means telemetry is
+off and the instrumented code paths pay a single ``is None`` check.
+
+:meth:`Telemetry.save` writes the standard telemetry directory::
+
+    DIR/trace.jsonl    deterministic trace (byte-identical per seed)
+    DIR/diag.jsonl     sharding-dependent diagnostics (still no wall clock)
+    DIR/metrics.json   registry snapshot (lossless reload for summarize)
+    DIR/metrics.prom   Prometheus text exposition snapshot
+
+which ``repro telemetry summarize DIR`` reads back.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from repro.telemetry.export import (
+    DIAG_FILENAME,
+    PROM_FILENAME,
+    SNAPSHOT_FILENAME,
+    TRACE_FILENAME,
+    registry_to_prometheus,
+    render_summary,
+    write_trace_jsonl,
+)
+from repro.telemetry.metrics import MetricsRegistry
+from repro.telemetry.trace import Tracer
+
+__all__ = ["Telemetry"]
+
+
+class Telemetry:
+    """Registry + tracer for one run (or one worker shard of a run)."""
+
+    def __init__(
+        self,
+        registry: MetricsRegistry | None = None,
+        tracer: Tracer | None = None,
+    ):
+        self.registry = registry or MetricsRegistry()
+        self.tracer = tracer or Tracer()
+
+    def absorb_shard(self, registry: MetricsRegistry, events, diag_events) -> None:
+        """Fold one worker shard's telemetry into this bundle.
+
+        Must be called in shard order: registry merges are lossless and
+        order-insensitive for counters/histograms, but trace events are
+        concatenated, and shard order is what makes the concatenation
+        equal the sequential emission order.
+        """
+        self.registry.merge(registry)
+        self.tracer.extend(events, diag_events)
+
+    def summary_text(self) -> str:
+        """Human-readable digest of the current state."""
+        trace_dicts = [
+            {"name": event.name} for event in self.tracer.events
+        ]
+        return render_summary(self.registry.snapshot(), trace_dicts)
+
+    def save(self, out_dir: str | Path) -> dict[str, Path]:
+        """Write the telemetry directory; returns the written paths."""
+        directory = Path(out_dir)
+        directory.mkdir(parents=True, exist_ok=True)
+        paths = {
+            "trace": directory / TRACE_FILENAME,
+            "diag": directory / DIAG_FILENAME,
+            "snapshot": directory / SNAPSHOT_FILENAME,
+            "prom": directory / PROM_FILENAME,
+        }
+        with open(paths["trace"], "w", encoding="utf-8") as stream:
+            write_trace_jsonl(self.tracer.events, stream)
+        with open(paths["diag"], "w", encoding="utf-8") as stream:
+            write_trace_jsonl(self.tracer.diag_events, stream)
+        paths["snapshot"].write_text(
+            json.dumps(self.registry.snapshot(), indent=2, sort_keys=True)
+            + "\n",
+            encoding="utf-8",
+        )
+        paths["prom"].write_text(
+            registry_to_prometheus(self.registry), encoding="utf-8"
+        )
+        return paths

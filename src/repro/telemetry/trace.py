@@ -1,0 +1,138 @@
+"""Deterministic qlog-style tracing.
+
+A :class:`Tracer` records a flat stream of
+:class:`TraceEvent`\\ s — ``(time_ms, name, attrs)`` — that the JSONL
+exporter later writes one-per-line with a monotonic ``step`` counter.
+
+**The simulated-clock rule.**  Event timestamps are *always* simulated
+time (the :class:`~repro.netsim.events.Simulator` clock of the unit the
+event belongs to, or the monitor's stream time) — never wall-clock.
+Together with the step counter assigned in write order this makes a
+trace a pure function of the seed: equal seeds yield byte-identical
+trace files, regardless of machine speed or worker count.  ``time_ms``
+is therefore *local* to the traced unit (each scanned domain's
+simulation starts at 0); the ``step`` field, not ``time_ms``, is the
+global order.
+
+Events come in two streams:
+
+* **deterministic** (the default) — part of the reproducibility
+  contract; identical across worker counts.
+* **diagnostic** (``diag=True``) — sharding- or environment-dependent
+  context (per-shard spans, worker layout) that is still wall-clock
+  free but legitimately varies with ``--workers``; exported to a
+  separate ``diag.jsonl`` so it can never contaminate the deterministic
+  trace.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, NamedTuple
+
+__all__ = ["Span", "TraceEvent", "Tracer"]
+
+
+class TraceEvent(NamedTuple):
+    """One trace line: simulated timestamp, event name, attributes."""
+
+    time_ms: float
+    name: str
+    attrs: dict
+
+
+class Span:
+    """An in-progress traced operation; emits one event when it ends.
+
+    Usable as a context manager::
+
+        with tracer.span("scan.domain", domain=name) as span:
+            ...
+            span.annotate(connections=2)
+            span.end(time_ms=sim_end_ms)
+
+    The single event-per-span design (rather than qlog's begin/end
+    pairs) keeps traces compact and means a span's attributes can be
+    filled in as the work runs; ``start_ms`` is recorded as an
+    attribute, the event's own timestamp is the end time.
+    """
+
+    __slots__ = ("_tracer", "name", "start_ms", "attrs", "_diag", "_ended")
+
+    def __init__(
+        self,
+        tracer: "Tracer",
+        name: str,
+        start_ms: float,
+        attrs: dict,
+        diag: bool,
+    ):
+        self._tracer = tracer
+        self.name = name
+        self.start_ms = start_ms
+        self.attrs = attrs
+        self._diag = diag
+        self._ended = False
+
+    def annotate(self, **attrs: object) -> None:
+        """Attach attributes to the span before it ends."""
+        self.attrs.update(attrs)
+
+    def end(self, time_ms: float | None = None) -> None:
+        """Emit the span's event, stamped ``time_ms`` (default: start)."""
+        if self._ended:
+            return
+        self._ended = True
+        end_ms = self.start_ms if time_ms is None else time_ms
+        attrs = {"start_ms": self.start_ms, **self.attrs}
+        self._tracer.event(self.name, time_ms=end_ms, diag=self._diag, **attrs)
+
+    def __enter__(self) -> "Span":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.end()
+
+
+class Tracer:
+    """Collects trace events in emission order.
+
+    Emission order *is* the trace order: the exporter numbers events as
+    written, so any code path that emits events deterministically
+    (e.g. per-domain in population order) produces a byte-identical
+    file however the work was sharded.
+    """
+
+    def __init__(self) -> None:
+        self.events: list[TraceEvent] = []
+        self.diag_events: list[TraceEvent] = []
+
+    def event(
+        self,
+        name: str,
+        time_ms: float = 0.0,
+        diag: bool = False,
+        **attrs: object,
+    ) -> TraceEvent:
+        """Record one event; returns it (mainly for tests)."""
+        event = TraceEvent(time_ms, name, attrs)
+        (self.diag_events if diag else self.events).append(event)
+        return event
+
+    def span(
+        self,
+        name: str,
+        time_ms: float = 0.0,
+        diag: bool = False,
+        **attrs: object,
+    ) -> Span:
+        """Open a :class:`Span` starting at simulated ``time_ms``."""
+        return Span(self, name, time_ms, dict(attrs), diag)
+
+    def extend(
+        self,
+        events: Iterable[TraceEvent],
+        diag_events: Iterable[TraceEvent] = (),
+    ) -> None:
+        """Append events recorded elsewhere (a worker shard's tracer)."""
+        self.events.extend(events)
+        self.diag_events.extend(diag_events)

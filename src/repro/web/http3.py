@@ -310,6 +310,7 @@ def build_exchange(
     final_probe: bool = True,
     wire_observer=None,
     start_ms: float | None = None,
+    metrics=None,
 ) -> ExchangeHandle:
     """Wire one HTTP/3 connection into ``simulator`` without running it.
 
@@ -335,6 +336,7 @@ def build_exchange(
         client_spin_policy,
         fork_rng(rng, "client"),
         recorder=recorder,
+        metrics=metrics,
     )
     server = QuicEndpoint(
         simulator,
@@ -342,6 +344,7 @@ def build_exchange(
         server_config,
         server_spin_policy,
         fork_rng(rng, "server"),
+        metrics=metrics,
     )
 
     uplink, downlink = duplex_paths(
@@ -399,6 +402,7 @@ def run_exchange(
     max_events: int = 200_000,
     wire_observer=None,
     final_probe: bool = True,
+    metrics=None,
 ) -> ExchangeResult:
     """Simulate one complete HTTP/3 fetch and return its trace.
 
@@ -410,7 +414,7 @@ def run_exchange(
     :class:`repro.core.wire_observer.WireObserver` tap that sees every
     raw datagram of the connection (the network operator's view).
     """
-    simulator = Simulator()
+    simulator = Simulator(metrics=metrics)
     recorder = TraceRecorder(vantage_point="client")
     handle = build_exchange(
         simulator,
@@ -427,6 +431,7 @@ def run_exchange(
         recorder=recorder,
         final_probe=final_probe,
         wire_observer=wire_observer,
+        metrics=metrics,
     )
     simulator.run(max_events=max_events)
 

@@ -77,23 +77,48 @@ class ParallelScanConfig:
 # ----------------------------------------------------------------------
 
 _WORKER_SCANNER: "Scanner | None" = None
+_WORKER_TELEMETRY_ENABLED = False
 
 
-def _init_worker(population: "Population", scan_config: "ScanConfig") -> None:
-    global _WORKER_SCANNER
+def _init_worker(
+    population: "Population",
+    scan_config: "ScanConfig",
+    telemetry_enabled: bool = False,
+) -> None:
+    global _WORKER_SCANNER, _WORKER_TELEMETRY_ENABLED
     from repro.web.scanner import Scanner
 
     _WORKER_SCANNER = Scanner(population, scan_config)
+    _WORKER_TELEMETRY_ENABLED = telemetry_enabled
 
 
-def _scan_shard(
-    task: tuple[int, Sequence["DomainRecord"], str, int, int],
-) -> tuple[int, list["DomainScanResult"]]:
+def _scan_shard(task: tuple[int, Sequence["DomainRecord"], str, int, int]):
+    """Scan one shard; ships back results plus the shard's telemetry.
+
+    When telemetry is enabled each shard records into a *fresh*
+    :class:`~repro.telemetry.Telemetry` bundle (registry + trace
+    events); the parent folds the bundles back in shard order, which
+    reproduces the sequential emission order exactly.
+    """
     shard_index, domains, week_label, ip_version, probe = task
-    assert _WORKER_SCANNER is not None, "worker pool not initialized"
-    return shard_index, _WORKER_SCANNER.scan_sequential(
-        domains, week_label, ip_version, probe
-    )
+    scanner = _WORKER_SCANNER
+    assert scanner is not None, "worker pool not initialized"
+    if _WORKER_TELEMETRY_ENABLED:
+        from repro.telemetry import Telemetry
+
+        scanner.telemetry = Telemetry()
+    results = scanner.scan_sequential(domains, week_label, ip_version, probe)
+    if scanner.telemetry is not None:
+        shard_telemetry = scanner.telemetry
+        scanner.telemetry = None
+        return (
+            shard_index,
+            results,
+            shard_telemetry.registry,
+            shard_telemetry.tracer.events,
+            shard_telemetry.tracer.diag_events,
+        )
+    return shard_index, results, None, (), ()
 
 
 def scan_sharded(
@@ -115,12 +140,32 @@ def scan_sharded(
         (shard_index, targets[start : start + chunk], week_label, ip_version, probe)
         for shard_index, start in enumerate(range(0, len(targets), chunk))
     ]
+    telemetry = scanner.telemetry
     merged: list[list["DomainScanResult"] | None] = [None] * len(tasks)
+    shard_telemetry: list[tuple | None] = [None] * len(tasks)
     with ProcessPoolExecutor(
         max_workers=min(parallel.workers, len(tasks)) or 1,
         initializer=_init_worker,
-        initargs=(scanner.population, scanner.config),
+        initargs=(scanner.population, scanner.config, telemetry is not None),
     ) as pool:
-        for shard_index, results in pool.map(_scan_shard, tasks):
+        for shard_index, results, registry, events, diag_events in pool.map(
+            _scan_shard, tasks
+        ):
             merged[shard_index] = results
+            if registry is not None:
+                shard_telemetry[shard_index] = (registry, events, diag_events)
+    if telemetry is not None:
+        # Absorb in shard order — completion order must not leak into
+        # the trace — and note the shard layout as diagnostics only.
+        for shard_index, shard in enumerate(shard_telemetry):
+            if shard is None:
+                continue
+            registry, events, diag_events = shard
+            telemetry.absorb_shard(registry, events, diag_events)
+            telemetry.tracer.event(
+                "scan.shard",
+                diag=True,
+                shard=shard_index,
+                domains=len(tasks[shard_index][1]),
+            )
     return [result for shard in merged for result in shard]  # type: ignore[union-attr]

@@ -28,6 +28,7 @@ from repro.netsim.delays import LogNormalDelay, UniformDelay
 from repro.netsim.path import PathProfile
 from repro.quic.connection import ConnectionConfig
 from repro.qlog.writer import recorder_to_qlog
+from repro.telemetry import Telemetry
 from repro.web.http3 import run_exchange
 from repro.web.parallel import ParallelScanConfig, scan_sharded
 from repro.web.server_profiles import ServerStackProfile, stack_by_name
@@ -164,10 +165,18 @@ class Scanner:
         population: Population,
         config: ScanConfig | None = None,
         parallel: ParallelScanConfig | None = None,
+        telemetry: Telemetry | None = None,
     ):
         self.population = population
         self.config = config or ScanConfig()
         self.parallel = parallel or ParallelScanConfig()
+        #: Optional :class:`repro.telemetry.Telemetry` bundle.  All scan
+        #: metrics and trace events are deterministic functions of the
+        #: scan arguments: event timestamps are *simulated* milliseconds
+        #: (each domain's event cascade), never wall-clock, and the
+        #: per-domain emission order is population order regardless of
+        #: worker count (parallel shards are absorbed in shard order).
+        self.telemetry = telemetry
 
     def scan(
         self,
@@ -189,7 +198,16 @@ class Scanner:
         """
         targets = domains if domains is not None else self.population.domains
         workers = self.parallel.workers if len(targets) > 1 else 1
-        started = time.perf_counter()
+        started = time.perf_counter()  # wallclock-ok: stderr diagnostics only
+        if self.telemetry is not None:
+            # Deliberately no worker count here: scan.begin is part of
+            # the deterministic trace, which must not depend on sharding.
+            self.telemetry.tracer.event(
+                "scan.begin",
+                week=week_label,
+                ip_version=ip_version,
+                domains=len(targets),
+            )
         if workers > 1:
             results = scan_sharded(
                 self, targets, week_label, ip_version, probe, self.parallel
@@ -197,7 +215,7 @@ class Scanner:
         else:
             results = self.scan_sequential(targets, week_label, ip_version, probe)
         if verbose:
-            elapsed = time.perf_counter() - started
+            elapsed = time.perf_counter() - started  # wallclock-ok: diagnostics
             rate = len(targets) / elapsed if elapsed > 0 else float("inf")
             print(
                 f"scanned {len(targets)} domains in {elapsed:.1f} s "
@@ -241,8 +259,18 @@ class Scanner:
         epoch: int,
         seed_prefix: SeedPrefix,
     ) -> DomainScanResult:
+        telemetry = self.telemetry
+        registry = telemetry.registry if telemetry is not None else None
+        self._domain_sim_ms = 0.0
+        if registry is not None:
+            registry.counter("scan.domains").inc()
+
         rng = seed_prefix.derive(domain.name, probe)
         if not domain.resolves or (ip_version == 6 and not domain.has_aaaa):
+            if telemetry is not None:
+                telemetry.tracer.event(
+                    "scan.domain", domain=domain.name, resolved=False
+                )
             return DomainScanResult(domain=domain, resolved=False, quic_support=False)
 
         ip = self.population.host_of(domain, ip_version)
@@ -254,7 +282,13 @@ class Scanner:
             if domain.quic_enabled
             else None
         )
+        if registry is not None:
+            registry.counter("scan.domains_resolved").inc()
         if stack_name is None:
+            if telemetry is not None:
+                telemetry.tracer.event(
+                    "scan.domain", domain=domain.name, resolved=True, quic=False
+                )
             return result
         stack = stack_by_name(stack_name)
         provider = self.population.provider_of(domain)
@@ -271,10 +305,27 @@ class Scanner:
                 result.quic_support = True
             if record.status in (301, 302, 307, 308) and redirects_left > 0:
                 redirects_left -= 1
+                if registry is not None:
+                    registry.counter("scan.redirects_followed").inc()
                 # Landing-page redirects overwhelmingly stay on the same
                 # host (http→https, apex→www); the scanner reconnects.
                 continue
             break
+        if registry is not None:
+            if result.quic_support:
+                registry.counter("scan.domains_quic").inc()
+            if result.shows_spin_activity:
+                registry.counter("scan.domains_spinning").inc()
+        if telemetry is not None:
+            telemetry.tracer.event(
+                "scan.domain",
+                time_ms=self._domain_sim_ms,
+                domain=domain.name,
+                resolved=True,
+                quic=result.quic_support,
+                spins=result.shows_spin_activity,
+                connections=len(result.connections),
+            )
         return result
 
     def _connect_once(
@@ -310,6 +361,8 @@ class Scanner:
             ),
         )
 
+        telemetry = self.telemetry
+        registry = telemetry.registry if telemetry is not None else None
         exchange = run_exchange(
             host,
             plan,
@@ -327,7 +380,23 @@ class Scanner:
                 ack_delay_exponent=stack.ack_delay_exponent,
                 max_ack_delay_ms=stack.max_ack_delay_ms,
             ),
+            metrics=registry,
         )
+        sim_end_ms = exchange.client.simulator.now_ms
+        self._domain_sim_ms += sim_end_ms
+        if registry is not None:
+            registry.counter("scan.connections").inc()
+            outcome = "success" if exchange.success else "failure"
+            registry.counter("scan.handshakes", outcome=outcome).inc()
+            registry.histogram("scan.exchange_sim_ms").observe(sim_end_ms)
+        if telemetry is not None:
+            telemetry.tracer.event(
+                "scan.connection",
+                time_ms=sim_end_ms,
+                host=host,
+                status=exchange.status,
+                success=exchange.success,
+            )
 
         observation = observe_recorder(exchange.recorder)
         stack_rtts = exchange.recorder.stack_rtts_ms()

@@ -48,6 +48,14 @@ class TestScanAnalyze:
         assert "filter study" in out
         assert "Cloudflare" in out
 
+    def test_analyze_diagnostics_go_to_stderr(self, dataset_path, capsys):
+        """stdout carries only analysis output; progress lines go to
+        stderr so ``repro analyze ... > report.txt`` stays clean."""
+        assert main(["analyze", str(dataset_path)]) == 0
+        captured = capsys.readouterr()
+        assert "connection records loaded" in captured.err
+        assert "connection records loaded" not in captured.out
+
     def test_analyze_single_section(self, dataset_path, capsys):
         assert main(["analyze", str(dataset_path), "--section", "versions"]) == 0
         out = capsys.readouterr().out
@@ -66,6 +74,66 @@ class TestScanAnalyze:
             ]
         )
         assert again.read_text() == dataset_path.read_text()
+
+
+class TestTelemetryCommand:
+    @pytest.fixture(scope="class")
+    def telemetry_dir(self, tmp_path_factory):
+        directory = tmp_path_factory.mktemp("cli-telemetry") / "tele"
+        code = main(
+            [
+                "scan",
+                "--czds", "400",
+                "--toplist", "80",
+                "--seed", "21",
+                "--out", str(directory.parent / "dataset.jsonl"),
+                "--telemetry-out", str(directory),
+            ]
+        )
+        assert code == 0
+        return directory
+
+    def test_scan_writes_telemetry_directory(self, telemetry_dir):
+        for name in ("trace.jsonl", "diag.jsonl", "metrics.json", "metrics.prom"):
+            assert (telemetry_dir / name).is_file(), name
+
+    def test_trace_is_stepped_jsonl(self, telemetry_dir):
+        import json
+
+        lines = (telemetry_dir / "trace.jsonl").read_text().splitlines()
+        events = [json.loads(line) for line in lines]
+        assert events[0]["name"] == "scan.begin"
+        assert [event["step"] for event in events] == list(range(len(events)))
+
+    def test_summarize_renders_counters(self, telemetry_dir, capsys):
+        assert main(["telemetry", "summarize", str(telemetry_dir)]) == 0
+        out = capsys.readouterr().out
+        assert "counters:" in out
+        assert "scan.domains" in out
+        assert "trace:" in out
+
+    def test_summarize_missing_directory_fails(self, tmp_path):
+        with pytest.raises(SystemExit):
+            main(["telemetry", "summarize", str(tmp_path / "nope")])
+
+    def test_monitor_telemetry_deterministic(self, tmp_path, capsys):
+        for run in ("a", "b"):
+            assert main(
+                [
+                    "monitor",
+                    "--flows", "20",
+                    "--seed", "13",
+                    "--out", str(tmp_path / f"snapshots-{run}.jsonl"),
+                    "--telemetry-out", str(tmp_path / run),
+                ]
+            ) == 0
+        captured = capsys.readouterr()
+        assert "telemetry written to" in captured.err
+        assert "telemetry written to" not in captured.out
+        for name in ("trace.jsonl", "metrics.prom", "metrics.json"):
+            assert (tmp_path / "a" / name).read_bytes() == (
+                tmp_path / "b" / name
+            ).read_bytes(), name
 
 
 class TestCompliance:

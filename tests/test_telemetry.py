@@ -1,0 +1,304 @@
+"""The deterministic telemetry plane (``repro.telemetry``)."""
+
+from __future__ import annotations
+
+import io
+import json
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+from repro.monitor.pipeline import MonitorConfig, MonitorPipeline
+from repro.monitor.traffic import TrafficConfig, TrafficMux
+from repro.telemetry import (
+    MetricsRegistry,
+    Telemetry,
+    Tracer,
+    read_trace,
+    registry_to_prometheus,
+    render_summary,
+    write_trace_jsonl,
+)
+from repro.web.parallel import ParallelScanConfig
+from repro.web.scanner import ScanConfig, Scanner
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+
+class TestRegistry:
+    def test_counter_gauge_histogram(self):
+        registry = MetricsRegistry()
+        registry.counter("a.events").inc()
+        registry.counter("a.events").inc(4)
+        registry.gauge("a.level").set(3.5)
+        registry.gauge("a.peak", agg="max").set_max(7.0)
+        registry.gauge("a.peak", agg="max").set_max(2.0)
+        registry.histogram("a.rtt_ms").observe(25.0)
+        snapshot = registry.snapshot()
+        assert snapshot["counters"]["a.events"] == 5
+        assert snapshot["gauges"]["a.level"] == 3.5
+        assert snapshot["gauges"]["a.peak"] == 7.0
+        assert snapshot["histograms"]["a.rtt_ms"]["count"] == 1
+
+    def test_labels_split_series(self):
+        registry = MetricsRegistry()
+        registry.counter("pkts", role="client").inc(2)
+        registry.counter("pkts", role="server").inc(5)
+        snapshot = registry.snapshot()
+        assert snapshot["counters"]["pkts{role=client}"] == 2
+        assert snapshot["counters"]["pkts{role=server}"] == 5
+
+    def test_kind_conflict_rejected(self):
+        registry = MetricsRegistry()
+        registry.counter("x")
+        with pytest.raises(ValueError, match="already registered"):
+            registry.gauge("x")
+
+    def test_gauge_agg_conflict_rejected(self):
+        registry = MetricsRegistry()
+        registry.gauge("hw", agg="max")
+        with pytest.raises(ValueError, match="agg"):
+            registry.gauge("hw", agg="sum")
+
+    def test_child_bakes_constant_labels(self):
+        registry = MetricsRegistry()
+        child = registry.child(shard="3")
+        child.counter("done").inc()
+        registry.merge(child)
+        assert registry.snapshot()["counters"]["done{shard=3}"] == 1
+
+    def test_merge_equals_sequential(self):
+        sequential = MetricsRegistry()
+        shard_a, shard_b = MetricsRegistry(), MetricsRegistry()
+        for index in range(40):
+            target = shard_a if index % 2 == 0 else shard_b
+            for registry in (sequential, target):
+                registry.counter("n").inc()
+                registry.gauge("hw", agg="max").set_max(float(index))
+                registry.histogram("h").observe(0.3 + index * 7.7)
+        merged = MetricsRegistry()
+        merged.merge(shard_a)
+        merged.merge(shard_b)
+        assert merged.snapshot() == sequential.snapshot()
+        assert registry_to_prometheus(merged) == registry_to_prometheus(sequential)
+
+
+class TestTracer:
+    def test_event_streams_are_separate(self):
+        tracer = Tracer()
+        tracer.event("a", time_ms=1.0, k=1)
+        tracer.event("b", diag=True, shard=0)
+        assert [event.name for event in tracer.events] == ["a"]
+        assert [event.name for event in tracer.diag_events] == ["b"]
+
+    def test_span_emits_single_event(self):
+        tracer = Tracer()
+        with tracer.span("work", time_ms=5.0, unit="x") as span:
+            span.annotate(items=3)
+            span.end(time_ms=9.0)
+        (event,) = tracer.events
+        assert event.time_ms == 9.0
+        assert event.attrs == {"start_ms": 5.0, "unit": "x", "items": 3}
+
+    def test_jsonl_roundtrip_assigns_steps(self):
+        tracer = Tracer()
+        tracer.event("x", time_ms=2.0)
+        tracer.event("y", time_ms=1.0)  # local clocks may rewind
+        out = io.StringIO()
+        assert write_trace_jsonl(tracer.events, out) == 2
+        loaded = read_trace(io.StringIO(out.getvalue()))
+        assert [event["step"] for event in loaded] == [0, 1]
+        assert [event["name"] for event in loaded] == ["x", "y"]
+
+
+class TestExport:
+    def test_prometheus_format(self):
+        registry = MetricsRegistry()
+        registry.counter("scan.domains").inc(3)
+        registry.gauge("netsim.queue_high_water", agg="max").set_max(9.0)
+        registry.histogram("rtt-ms").observe(10.0)
+        text = registry_to_prometheus(registry)
+        assert "# TYPE repro_scan_domains_total counter" in text
+        assert "repro_scan_domains_total 3" in text
+        assert "repro_netsim_queue_high_water 9.0" in text
+        assert '# TYPE repro_rtt_ms summary' in text
+        assert 'repro_rtt_ms{quantile="0.5"}' in text
+        assert "repro_rtt_ms_count 1" in text
+        assert text.endswith("\n")
+
+    def test_render_summary_mentions_everything(self):
+        registry = MetricsRegistry()
+        registry.counter("c").inc(2)
+        registry.histogram("h").observe(5.0)
+        text = render_summary(
+            registry.snapshot(), [{"name": "e"}, {"name": "e"}]
+        )
+        assert "trace: 2 events" in text
+        assert "e x2" in text
+        assert "c" in text and "2" in text
+        assert "count=1" in text
+        assert render_summary({}) == "(no telemetry recorded)"
+
+    def test_save_writes_the_directory(self, tmp_path):
+        telemetry = Telemetry()
+        telemetry.registry.counter("n").inc()
+        telemetry.tracer.event("e", time_ms=1.0)
+        telemetry.tracer.event("d", diag=True)
+        paths = telemetry.save(tmp_path / "tele")
+        for key in ("trace", "diag", "snapshot", "prom"):
+            assert paths[key].is_file()
+        snapshot = json.loads(paths["snapshot"].read_text())
+        assert snapshot["counters"]["n"] == 1
+        assert "telemetry" not in telemetry.summary_text()  # renders content
+
+
+class TestScanTelemetry:
+    @pytest.fixture(scope="class")
+    def targets(self, tiny_population):
+        return tiny_population.domains[:60]
+
+    def _scan(self, population, targets, workers, out_dir):
+        telemetry = Telemetry()
+        scanner = Scanner(
+            population,
+            ScanConfig(),
+            parallel=ParallelScanConfig(workers=workers),
+            telemetry=telemetry,
+        )
+        scanner.scan(week_label="cw20-2023", ip_version=4, domains=targets)
+        return telemetry.save(out_dir)
+
+    def test_trace_and_metrics_identical_across_worker_counts(
+        self, tiny_population, targets, tmp_path
+    ):
+        """The issue's acceptance criterion: equal seeds, any sharding,
+        byte-identical deterministic artifacts."""
+        seq = self._scan(tiny_population, targets, 1, tmp_path / "w1")
+        par = self._scan(tiny_population, targets, 4, tmp_path / "w4")
+        assert seq["trace"].read_bytes() == par["trace"].read_bytes()
+        assert seq["prom"].read_bytes() == par["prom"].read_bytes()
+        assert seq["snapshot"].read_bytes() == par["snapshot"].read_bytes()
+
+    def test_counters_match_dataset(self, tiny_population, targets):
+        telemetry = Telemetry()
+        scanner = Scanner(tiny_population, ScanConfig(), telemetry=telemetry)
+        dataset = scanner.scan(
+            week_label="cw20-2023", ip_version=4, domains=targets
+        )
+        counters = telemetry.registry.snapshot()["counters"]
+        assert counters["scan.domains"] == len(targets)
+        assert counters["scan.connections"] == len(dataset.connection_records())
+        assert counters["scan.domains_resolved"] == sum(
+            1 for result in dataset.results if result.resolved
+        )
+        assert counters["scan.domains_quic"] == sum(
+            1 for result in dataset.results if result.quic_support
+        )
+        successes = sum(
+            1 for record in dataset.connection_records() if record.success
+        )
+        assert counters.get("scan.handshakes{outcome=success}", 0) == successes
+        # One deterministic trace event per domain plus scan.begin.
+        domain_events = [
+            event
+            for event in telemetry.tracer.events
+            if event.name == "scan.domain"
+        ]
+        assert len(domain_events) == len(targets)
+        assert telemetry.tracer.events[0].name == "scan.begin"
+        assert "workers" not in telemetry.tracer.events[0].attrs
+
+    def test_telemetry_off_costs_nothing_semantically(
+        self, tiny_population, targets
+    ):
+        bare = Scanner(tiny_population, ScanConfig()).scan(
+            week_label="cw20-2023", ip_version=4, domains=targets
+        )
+        instrumented = Scanner(
+            tiny_population, ScanConfig(), telemetry=Telemetry()
+        ).scan(week_label="cw20-2023", ip_version=4, domains=targets)
+        assert bare == instrumented
+
+
+class TestMonitorTelemetry:
+    def test_pipeline_reports_into_registry(self):
+        telemetry = Telemetry()
+        traffic = TrafficConfig(flows=25, seed=5)
+        pipeline = MonitorPipeline(MonitorConfig(), telemetry=telemetry)
+        mux = TrafficMux(traffic, metrics=telemetry.registry)
+        summary = pipeline.process_stream(mux.stream())
+
+        snapshot = telemetry.registry.snapshot()
+        counters = snapshot["counters"]
+        assert counters["flow_table.datagrams"] == summary.datagrams
+        assert counters["flow_table.flows_created"] == summary.flows_created
+        assert counters["monitor.windows_closed"] == summary.windows
+        assert counters["monitor.spin_flows"] == summary.spin_flows
+        assert counters["netsim.events_dispatched"] > 0
+        assert snapshot["gauges"]["flow_table.peak_flows"] == summary.peak_flows
+        assert (
+            snapshot["histograms"]["monitor.rtt_ms"]["count"]
+            == summary.samples.get("count", 0)
+        )
+
+        window_events = [
+            event
+            for event in telemetry.tracer.events
+            if event.name == "monitor.window"
+        ]
+        assert len(window_events) == summary.windows
+        assert telemetry.tracer.events[-1].name == "monitor.summary"
+
+    def test_custom_window_binning_folds_in(self):
+        from repro.monitor.aggregate import WindowConfig
+
+        telemetry = Telemetry()
+        config = MonitorConfig(
+            window=WindowConfig(hist_min_ms=1.0, hist_bins_per_decade=8)
+        )
+        pipeline = MonitorPipeline(config, telemetry=telemetry)
+        mux = TrafficMux(TrafficConfig(flows=10, seed=5), metrics=telemetry.registry)
+        summary = pipeline.process_stream(mux.stream())
+        hist = telemetry.registry.snapshot()["histograms"]["monitor.rtt_ms"]
+        assert hist["count"] == summary.samples.get("count", 0)
+
+
+class TestDeterminismLint:
+    LINT = REPO_ROOT / "scripts" / "check_determinism_lint.py"
+
+    def test_src_tree_is_clean(self):
+        result = subprocess.run(
+            [sys.executable, str(self.LINT), str(REPO_ROOT / "src")],
+            capture_output=True,
+            text=True,
+        )
+        assert result.returncode == 0, result.stderr
+
+    def test_wall_clock_reads_are_caught(self, tmp_path):
+        bad = tmp_path / "bad.py"
+        bad.write_text(
+            "import time\nstart = time.time()\n", encoding="utf-8"
+        )
+        result = subprocess.run(
+            [sys.executable, str(self.LINT), str(tmp_path)],
+            capture_output=True,
+            text=True,
+        )
+        assert result.returncode == 1
+        assert "bad.py:2" in result.stderr
+
+    def test_pragma_escapes_the_lint(self, tmp_path):
+        ok = tmp_path / "ok.py"
+        ok.write_text(
+            "import time\n"
+            "start = time.perf_counter()  # wallclock-ok: diagnostics\n",
+            encoding="utf-8",
+        )
+        result = subprocess.run(
+            [sys.executable, str(self.LINT), str(tmp_path)],
+            capture_output=True,
+            text=True,
+        )
+        assert result.returncode == 0
