@@ -23,6 +23,12 @@ python -m pytest -q -s benchmarks/test_perf_monitor_throughput.py
 echo "== telemetry-overhead benchmark =="
 python -m pytest -q -s benchmarks/test_perf_telemetry_overhead.py
 
+echo "== fault-overhead benchmark =="
+python -m pytest -q -s benchmarks/test_perf_fault_overhead.py
+
+echo "== chaos smoke =="
+bash scripts/chaos_smoke.sh
+
 python - <<'PY'
 import datetime
 import json
@@ -39,6 +45,7 @@ for result_file in (
     "BENCH_scan_throughput.json",
     "BENCH_monitor_throughput.json",
     "BENCH_telemetry_overhead.json",
+    "BENCH_fault_overhead.json",
 ):
     result = json.loads(pathlib.Path(result_file).read_text())
     result["commit"] = commit

@@ -1,5 +1,5 @@
 #!/usr/bin/env python3
-"""Determinism lint: no wall-clock reads in the measurement code.
+"""Determinism + robustness lint for the measurement code.
 
 Every artifact this repo produces — datasets, monitor snapshots,
 telemetry traces, Prometheus exports — must be a pure function of the
@@ -10,11 +10,16 @@ this lint greps ``src/`` for the usual suspects:
 * ``datetime.now(`` / ``datetime.utcnow(``
 * ``perf_counter(``
 
-and fails if any appear.  Benchmarks (``benchmarks/``) legitimately
-measure wall-clock and are not scanned.  A source line may opt out with
-a ``# wallclock-ok`` pragma when the value is *diagnostics only* and
-never enters an artifact (e.g. the scanner's stderr throughput line);
-DESIGN.md documents the rule.
+Robustness rules ride along (PR 4): measurement code must not swallow
+arbitrary exceptions (``except:`` hides the very failures the taxonomy
+is supposed to classify) and must never sleep on the wall clock
+(``time.sleep`` — retry backoff is charged to *simulated* time).
+
+Benchmarks (``benchmarks/``) legitimately measure wall-clock and are
+not scanned.  A source line may opt out with the pattern's pragma when
+the value is *diagnostics only* and never enters an artifact (e.g. the
+scanner's stderr throughput line): ``# wallclock-ok`` for clock reads,
+``# robustness-ok`` for the robustness rules; DESIGN.md documents both.
 
 Exit status: 0 when clean, 1 with one ``path:line: text`` per offender.
 """
@@ -25,15 +30,22 @@ import re
 import sys
 from pathlib import Path
 
-#: Wall-clock reads that would make outputs machine/run dependent.
-FORBIDDEN = (
-    re.compile(r"\btime\.time\("),
-    re.compile(r"\bdatetime\.now\("),
-    re.compile(r"\bdatetime\.utcnow\("),
-    re.compile(r"\bperf_counter\("),
-)
+WALLCLOCK_PRAGMA = "wallclock-ok"
+ROBUSTNESS_PRAGMA = "robustness-ok"
 
-PRAGMA = "wallclock-ok"
+#: (pattern, opt-out pragma) pairs; a line matching a pattern passes
+#: only when it carries that pattern's pragma.
+FORBIDDEN = (
+    # Wall-clock reads that would make outputs machine/run dependent.
+    (re.compile(r"\btime\.time\("), WALLCLOCK_PRAGMA),
+    (re.compile(r"\bdatetime\.now\("), WALLCLOCK_PRAGMA),
+    (re.compile(r"\bdatetime\.utcnow\("), WALLCLOCK_PRAGMA),
+    (re.compile(r"\bperf_counter\("), WALLCLOCK_PRAGMA),
+    # Robustness: a bare except swallows failures the taxonomy must
+    # see; time.sleep stalls the scanner on the wall clock.
+    (re.compile(r"^\s*except\s*:"), ROBUSTNESS_PRAGMA),
+    (re.compile(r"\btime\.sleep\("), ROBUSTNESS_PRAGMA),
+)
 
 
 def find_violations(root: Path) -> list[tuple[Path, int, str]]:
@@ -42,10 +54,10 @@ def find_violations(root: Path) -> list[tuple[Path, int, str]]:
         for number, line in enumerate(
             path.read_text(encoding="utf-8").splitlines(), start=1
         ):
-            if PRAGMA in line:
-                continue
-            if any(pattern.search(line) for pattern in FORBIDDEN):
-                violations.append((path, number, line.strip()))
+            for pattern, pragma in FORBIDDEN:
+                if pattern.search(line) and pragma not in line:
+                    violations.append((path, number, line.strip()))
+                    break
     return violations
 
 
@@ -58,15 +70,16 @@ def main(argv: list[str] | None = None) -> int:
     violations = find_violations(root)
     if violations:
         print(
-            "determinism lint: wall-clock reads in measurement code "
+            "determinism lint: forbidden constructs in measurement code "
             f"({len(violations)}):",
             file=sys.stderr,
         )
         for path, number, text in violations:
             print(f"  {path}:{number}: {text}", file=sys.stderr)
         print(
-            "  (benchmark-only timing belongs in benchmarks/; "
-            f"diagnostics may annotate the line with '# {PRAGMA}')",
+            "  (benchmark-only timing belongs in benchmarks/; diagnostics "
+            f"may annotate the line with '# {WALLCLOCK_PRAGMA}', robustness "
+            f"opt-outs with '# {ROBUSTNESS_PRAGMA}')",
             file=sys.stderr,
         )
         return 1

@@ -34,6 +34,7 @@ from typing import IO, Iterable, Iterator
 
 from repro.core.classify import SpinBehaviour
 from repro.core.observer import SpinEdge, SpinObservation
+from repro.faults.taxonomy import FailureKind
 from repro.internet.asdb import IpAddr
 from repro.web.scanner import ConnectionRecord
 
@@ -62,7 +63,7 @@ def _edge_from_json(entry: list) -> SpinEdge:
 def record_to_dict(record: ConnectionRecord) -> dict:
     """One connection record as a JSON-serializable dict."""
     observation = record.observation
-    return {
+    data = {
         "schema": _SCHEMA_VERSION,
         "domain": record.domain,
         "host": record.host,
@@ -82,6 +83,11 @@ def record_to_dict(record: ConnectionRecord) -> dict:
         "stack_rtts_ms": record.stack_rtts_ms,
         "quic_version": record.negotiated_version,
     }
+    if record.failure is not None:
+        # Only present on classified failures: legacy datasets (and
+        # scans without faults/resilience) keep byte-identical lines.
+        data["failure"] = record.failure.value
+    return data
 
 
 def record_from_dict(data: dict) -> ConnectionRecord:
@@ -113,6 +119,9 @@ def record_from_dict(data: dict) -> ConnectionRecord:
             observation=observation,
             stack_rtts_ms=[float(v) for v in data["stack_rtts_ms"]],
             negotiated_version=data.get("quic_version"),
+            failure=(
+                FailureKind(data["failure"]) if data.get("failure") else None
+            ),
         )
     except (KeyError, TypeError, ValueError) as exc:
         raise ArtifactFormatError(f"malformed artifact record: {exc}") from exc

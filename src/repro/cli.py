@@ -71,12 +71,73 @@ def _build_parser() -> argparse.ArgumentParser:
         help="write deterministic telemetry (trace.jsonl, metrics.prom, ...) "
         "to this directory",
     )
+    scan.add_argument(
+        "--fault",
+        action="append",
+        default=None,
+        metavar="SPEC",
+        help="inject seeded faults: 'kind:prob[:magnitude]' (comma-separable, "
+        "repeatable); kinds: loss-burst, blackhole, handshake-stall, "
+        "vn-failure, reset, slow-server, qlog-truncate, corrupt-datagram",
+    )
+    scan.add_argument(
+        "--connect-timeout-ms",
+        type=float,
+        default=None,
+        help="simulated-time budget per connection attempt",
+    )
+    scan.add_argument(
+        "--domain-budget-ms",
+        type=float,
+        default=None,
+        help="simulated-time budget per domain (caps retries)",
+    )
+    scan.add_argument(
+        "--retries",
+        type=int,
+        default=0,
+        help="retry attempts after a retryable failure (default 0)",
+    )
+    scan.add_argument(
+        "--breaker-threshold",
+        type=int,
+        default=None,
+        help="trip a per-provider circuit breaker after this many "
+        "consecutive failures (default: off)",
+    )
+    scan.add_argument(
+        "--breaker-cooldown",
+        type=int,
+        default=20,
+        help="attempts a tripped breaker skips before half-opening",
+    )
+    scan.add_argument(
+        "--checkpoint-dir",
+        default=None,
+        metavar="DIR",
+        help="crash-safe resume: persist completed shards here and load "
+        "them back when re-running the same scan",
+    )
+    scan.add_argument(
+        "--qlog-sample-rate",
+        type=float,
+        default=0.0,
+        help="fraction of connections to capture full qlogs for",
+    )
+    scan.add_argument(
+        "--qlog-out",
+        default=None,
+        help="write sampled qlog documents as JSONL ('-' for stdout)",
+    )
 
     analyze = sub.add_parser("analyze", help="analyze an exported JSONL dataset")
     analyze.add_argument("dataset", help="JSONL path ('-' for stdin)")
     analyze.add_argument(
         "--section",
-        choices=("orgs", "webservers", "accuracy", "versions", "filters", "all"),
+        choices=(
+            "orgs", "webservers", "accuracy", "versions", "filters",
+            "failures", "all",
+        ),
         default="all",
     )
 
@@ -151,6 +212,14 @@ def _build_parser() -> argparse.ArgumentParser:
         help="write deterministic telemetry (trace.jsonl, metrics.prom, ...) "
         "to this directory",
     )
+    monitor.add_argument(
+        "--fault",
+        action="append",
+        default=None,
+        metavar="SPEC",
+        help="inject seeded faults into the tap stream; "
+        "'corrupt-datagram:prob' truncates that fraction of datagrams",
+    )
 
     sub.add_parser("demo", help="one simulated connection, spin vs stack RTT")
 
@@ -168,13 +237,59 @@ def _build_parser() -> argparse.ArgumentParser:
 def _open_out(path: str):
     if path == "-":
         return sys.stdout, False
-    return open(path, "w", encoding="utf-8"), True
+    try:
+        return open(path, "w", encoding="utf-8"), True
+    except OSError as error:
+        raise SystemExit(f"repro: error: cannot write {path}: {error}")
 
 
 def _open_in(path: str):
     if path == "-":
         return sys.stdin, False
-    return open(path, "r", encoding="utf-8"), True
+    try:
+        return open(path, "r", encoding="utf-8"), True
+    except OSError as error:
+        raise SystemExit(f"repro: error: cannot read {path}: {error}")
+
+
+def _fault_plan_from_args(fault_args):
+    """Parse repeated ``--fault`` values into one plan (or ``None``)."""
+    if not fault_args:
+        return None
+    from repro.faults import parse_fault_plan
+
+    try:
+        return parse_fault_plan(",".join(fault_args))
+    except ValueError as error:
+        raise SystemExit(f"repro: error: {error}")
+
+
+def _resilience_from_args(args):
+    """Build a ResilienceConfig from scan flags; ``None`` when all off."""
+    from repro.faults import BreakerPolicy, ResilienceConfig, RetryPolicy
+
+    retry = RetryPolicy(max_attempts=args.retries + 1) if args.retries else None
+    breaker = (
+        BreakerPolicy(
+            failure_threshold=args.breaker_threshold,
+            cooldown_attempts=args.breaker_cooldown,
+        )
+        if args.breaker_threshold is not None
+        else None
+    )
+    if (
+        args.connect_timeout_ms is None
+        and args.domain_budget_ms is None
+        and retry is None
+        and breaker is None
+    ):
+        return None
+    return ResilienceConfig(
+        connect_timeout_ms=args.connect_timeout_ms,
+        domain_budget_ms=args.domain_budget_ms,
+        retry=retry,
+        breaker=breaker,
+    )
 
 
 def _make_telemetry(telemetry_out: str | None):
@@ -206,10 +321,25 @@ def _parallel_config(workers: int, chunk_size: int | None = None):
 
 
 def _cmd_scan(args: argparse.Namespace) -> int:
-    from repro.analysis.artifacts import export_records
-    from repro.internet.population import PopulationConfig, build_population
-    from repro.web.scanner import Scanner
+    import json
 
+    from repro.analysis.artifacts import export_records
+    from repro.faults import CheckpointError
+    from repro.internet.population import PopulationConfig, build_population
+    from repro.web.scanner import ScanConfig, Scanner
+
+    # All configuration errors surface as one clean stderr line before
+    # any work starts; stdout stays machine-parseable.
+    faults = _fault_plan_from_args(args.fault)
+    try:
+        resilience = _resilience_from_args(args)
+        scan_config = ScanConfig(
+            qlog_sample_rate=args.qlog_sample_rate,
+            faults=faults,
+            resilience=resilience,
+        )
+    except ValueError as error:
+        raise SystemExit(f"repro: error: {error}")
     population = build_population(
         PopulationConfig(
             toplist_domains=args.toplist, czds_domains=args.czds, seed=args.seed
@@ -223,15 +353,58 @@ def _cmd_scan(args: argparse.Namespace) -> int:
         file=sys.stderr,
     )
     telemetry = _make_telemetry(args.telemetry_out)
-    dataset = Scanner(population, parallel=parallel, telemetry=telemetry).scan(
-        week_label=args.week, ip_version=args.ip_version, verbose=True
+    scanner = Scanner(
+        population, config=scan_config, parallel=parallel, telemetry=telemetry
     )
+    try:
+        dataset = scanner.scan(
+            week_label=args.week,
+            ip_version=args.ip_version,
+            verbose=True,
+            checkpoint_dir=args.checkpoint_dir,
+        )
+    except CheckpointError as error:
+        raise SystemExit(f"repro: error: {error}")
     stream, close = _open_out(args.out)
     try:
         count = export_records(dataset.connection_records(), stream)
     finally:
         if close:
             stream.close()
+    if args.qlog_out:
+        documents = [
+            record.qlog
+            for record in dataset.connection_records()
+            if record.qlog is not None
+        ]
+        lines = [json.dumps(doc, separators=(",", ":")) for doc in documents]
+        truncated = 0
+        if faults is not None:
+            from repro.faults import truncate_jsonl_lines
+
+            lines, truncated = truncate_jsonl_lines(lines, faults, args.seed)
+        qlog_stream, qlog_close = _open_out(args.qlog_out)
+        try:
+            for line in lines:
+                qlog_stream.write(line + "\n")
+        finally:
+            if qlog_close:
+                qlog_stream.close()
+        print(
+            f"exported {len(lines)} qlog documents"
+            + (f" ({truncated} truncated by fault injection)" if truncated else ""),
+            file=sys.stderr,
+        )
+    if scan_config.faults_active:
+        from repro.faults import failure_summary
+
+        summary = failure_summary(dataset.connection_records())
+        kinds = ", ".join(f"{k}={v}" for k, v in summary["kinds"].items())
+        print(
+            f"failures: {summary['failed']}/{summary['total']} connections"
+            + (f" ({kinds})" if kinds else ""),
+            file=sys.stderr,
+        )
     _save_telemetry(telemetry, args.telemetry_out)
     print(f"exported {count} connection records", file=sys.stderr)
     return 0
@@ -293,6 +466,13 @@ def _cmd_analyze(args: argparse.Namespace) -> int:
                 f"  underest={outcome.underestimate_share * 100:4.1f} %"
                 f"  lost={outcome.connections_lost}"
             )
+    if wanted in ("failures", "all"):
+        from repro.faults import failure_summary, render_failure_table
+
+        if wanted == "all":
+            print()
+        print("== failure taxonomy ==")
+        print(render_failure_table(failure_summary(records)))
     return 0
 
 
@@ -349,10 +529,18 @@ def _cmd_monitor(args: argparse.Namespace) -> int:
         f"table capacity {monitor.max_flows}) ...",
         file=sys.stderr,
     )
+    faults = _fault_plan_from_args(args.fault)
     telemetry = _make_telemetry(args.telemetry_out)
     stream, close = _open_out(args.out)
     try:
-        run_monitor(traffic, monitor, out=stream, verbose=True, telemetry=telemetry)
+        run_monitor(
+            traffic,
+            monitor,
+            out=stream,
+            verbose=True,
+            telemetry=telemetry,
+            faults=faults,
+        )
     finally:
         if close:
             stream.close()

@@ -203,7 +203,9 @@ class SpinFlowTable:
             self._expire_idle(time_ms)
         try:
             packets = decode_datagram(data, self.short_dcid_length)
-        except (HeaderParseError, ValueError):
+        except (HeaderParseError, ValueError, IndexError):
+            # IndexError covers datagrams truncated mid-header (fault
+            # injection, capture loss); a monitor must count, not crash.
             stats.parse_errors += 1
             if self._m_parse_errors is not None:
                 self._m_parse_errors.inc()

@@ -1,0 +1,155 @@
+"""Per-provider circuit breaker over merged scan results.
+
+A breaker with live cross-domain state inside the scan loop would make
+results depend on shard boundaries (worker N sees a different failure
+prefix than the sequential scan), so the breaker runs as a deterministic
+*post-merge pass* instead: :func:`apply_circuit_breaker` walks the
+merged results in population order, keyed by provider, and replaces the
+connections of skipped domains with a synthesized ``circuit_open``
+record.  Same inputs, same order, same output — at any ``--workers``
+count, and identically on a checkpoint resume (shard checkpoints store
+pre-breaker results).
+
+Schedules are counted in *attempts*, not wall-clock: after
+``failure_threshold`` consecutive failing domains the breaker opens and
+skips the provider's next ``cooldown_attempts`` domains, then half-opens
+— one probe domain is allowed through; its success closes the breaker,
+its failure re-opens it for another cooldown.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Callable, Sequence
+
+from repro.faults.taxonomy import FailureKind
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.web.scanner import DomainScanResult
+
+__all__ = ["BreakerPolicy", "CircuitBreaker", "apply_circuit_breaker"]
+
+
+@dataclass(frozen=True)
+class BreakerPolicy:
+    """When a provider's breaker trips and how long it stays open."""
+
+    failure_threshold: int = 5
+    cooldown_attempts: int = 20
+
+    def __post_init__(self) -> None:
+        if self.failure_threshold < 1:
+            raise ValueError("failure_threshold must be >= 1")
+        if self.cooldown_attempts < 1:
+            raise ValueError("cooldown_attempts must be >= 1")
+
+
+class CircuitBreaker:
+    """One provider's breaker state machine (closed → open → half-open)."""
+
+    def __init__(self, policy: BreakerPolicy):
+        self.policy = policy
+        self._consecutive_failures = 0
+        self._skips_remaining = 0
+        self._half_open = False
+        self.trips = 0
+        self.skipped = 0
+
+    @property
+    def is_open(self) -> bool:
+        return self._skips_remaining > 0
+
+    def allows(self) -> bool:
+        """Whether the next attempt may proceed; counts a skip if not."""
+        if self._skips_remaining > 0:
+            self._skips_remaining -= 1
+            self.skipped += 1
+            if self._skips_remaining == 0:
+                self._half_open = True
+            return False
+        return True
+
+    def record(self, success: bool) -> None:
+        """Feed the outcome of an allowed attempt back into the breaker."""
+        if success:
+            self._consecutive_failures = 0
+            self._half_open = False
+            return
+        if self._half_open:
+            # The half-open probe failed: straight back to open.
+            self._half_open = False
+            self._open()
+            return
+        self._consecutive_failures += 1
+        if self._consecutive_failures >= self.policy.failure_threshold:
+            self._open()
+
+    def _open(self) -> None:
+        self.trips += 1
+        self._consecutive_failures = 0
+        self._skips_remaining = self.policy.cooldown_attempts
+
+
+def _short_circuit(result: "DomainScanResult") -> None:
+    """Replace a skipped domain's connections with one breaker record."""
+    from repro.core.classify import classify_connection
+    from repro.core.observer import SpinObservation
+    from repro.web.scanner import ConnectionRecord
+
+    template = result.connections[0]
+    observation = SpinObservation()
+    record = ConnectionRecord(
+        domain=template.domain,
+        host=template.host,
+        ip=template.ip,
+        ip_version=template.ip_version,
+        provider_name=template.provider_name,
+        server_header=None,
+        status=None,
+        success=False,
+        behaviour=classify_connection(observation, []),
+        observation=observation,
+        stack_rtts_ms=[],
+        failure=FailureKind.CIRCUIT_OPEN,
+    )
+    result.connections = [record]
+    result.quic_support = False
+    result.failure = FailureKind.CIRCUIT_OPEN
+
+
+def apply_circuit_breaker(
+    results: Sequence["DomainScanResult"],
+    policy: BreakerPolicy,
+    key_of: Callable[["DomainScanResult"], str],
+    telemetry=None,
+) -> dict[str, CircuitBreaker]:
+    """Run the breaker pass over merged results, in place.
+
+    Domains without connection attempts (unresolved, no QUIC stack)
+    carry no signal and pass through untouched.  Returns the per-key
+    breakers so callers can inspect trip counts.
+    """
+    breakers: dict[str, CircuitBreaker] = {}
+    for result in results:
+        if not result.connections:
+            continue
+        key = key_of(result)
+        breaker = breakers.get(key)
+        if breaker is None:
+            breaker = breakers[key] = CircuitBreaker(policy)
+        if breaker.allows():
+            breaker.record(any(c.success for c in result.connections))
+        else:
+            _short_circuit(result)
+    if telemetry is not None:
+        for key in sorted(breakers):
+            breaker = breakers[key]
+            if breaker.trips:
+                telemetry.registry.counter(
+                    "scan.breaker_trips", provider=key
+                ).inc(breaker.trips)
+            if breaker.skipped:
+                telemetry.registry.counter(
+                    "scan.breaker_skipped", provider=key
+                ).inc(breaker.skipped)
+    return breakers

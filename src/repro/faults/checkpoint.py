@@ -1,0 +1,192 @@
+"""Crash-safe campaign resume from per-shard checkpoints.
+
+``repro scan --checkpoint-dir DIR`` persists every finished shard of
+domain results as one atomically-written JSONL file plus a manifest
+binding the directory to the scan's identity (seed, week, IP version,
+probe, target list, shard size).  A killed scan resumes by loading the
+finished shards and scanning only the rest; because each domain's
+randomness is independently derived and the circuit-breaker pass runs
+post-merge (never from checkpointed state), the resumed dataset is
+bit-identical to an uninterrupted run.
+
+Robustness rules: a missing, truncated, or otherwise unreadable shard
+file is treated as "not scanned yet" and simply re-scanned; a manifest
+that does not match the requested scan raises :class:`CheckpointError`
+(silently mixing two campaigns would corrupt the dataset).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+from pathlib import Path
+from typing import TYPE_CHECKING, Sequence
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.internet.population import DomainRecord
+    from repro.web.scanner import DomainScanResult
+
+__all__ = ["CheckpointError", "CheckpointStore", "scan_fingerprint"]
+
+_MANIFEST_SCHEMA = 1
+
+
+class CheckpointError(ValueError):
+    """Raised when a checkpoint directory cannot serve the scan."""
+
+
+def scan_fingerprint(
+    seed: int,
+    week_label: str,
+    ip_version: int,
+    probe: int,
+    targets: Sequence["DomainRecord"],
+    config_repr: str,
+) -> dict:
+    """Identity of one scan, for manifest compatibility checks.
+
+    The target list is folded to a digest so manifests stay small; the
+    scan config enters via its ``repr`` (frozen dataclasses render every
+    field), so resuming under a different fault plan or resilience
+    setting is rejected instead of silently mixing regimes.
+    """
+    names = hashlib.sha256(
+        "|".join(domain.name for domain in targets).encode("utf-8")
+    ).hexdigest()[:16]
+    config_digest = hashlib.sha256(config_repr.encode("utf-8")).hexdigest()[:16]
+    return {
+        "seed": seed,
+        "week": week_label,
+        "ip_version": ip_version,
+        "probe": probe,
+        "targets": len(targets),
+        "targets_digest": names,
+        "config_digest": config_digest,
+    }
+
+
+class CheckpointStore:
+    """Shard-granular result persistence under one directory."""
+
+    MANIFEST_NAME = "manifest.json"
+
+    def __init__(self, directory: str | os.PathLike, fingerprint: dict, chunk: int):
+        if chunk < 1:
+            raise CheckpointError("checkpoint chunk must be >= 1")
+        self.directory = Path(directory)
+        self.chunk = chunk
+        self.fingerprint = fingerprint
+        self.shards_loaded = 0
+        self.shards_saved = 0
+        self.directory.mkdir(parents=True, exist_ok=True)
+        manifest = {
+            "schema": _MANIFEST_SCHEMA,
+            "chunk": chunk,
+            "fingerprint": fingerprint,
+        }
+        path = self.directory / self.MANIFEST_NAME
+        if path.is_file():
+            try:
+                existing = json.loads(path.read_text(encoding="utf-8"))
+            except (OSError, json.JSONDecodeError) as exc:
+                raise CheckpointError(
+                    f"unreadable checkpoint manifest {path}: {exc}"
+                ) from exc
+            if existing != manifest:
+                raise CheckpointError(
+                    f"checkpoint directory {self.directory} belongs to a "
+                    "different scan (seed/week/targets/config mismatch); "
+                    "use a fresh directory"
+                )
+        else:
+            _atomic_write(path, json.dumps(manifest, sort_keys=True) + "\n")
+
+    def shard_path(self, shard_index: int) -> Path:
+        return self.directory / f"shard-{shard_index:05d}.jsonl"
+
+    def save_shard(
+        self, shard_index: int, results: Sequence["DomainScanResult"]
+    ) -> None:
+        """Persist one finished shard atomically (write + rename)."""
+        lines = [
+            json.dumps(_domain_result_to_dict(result), separators=(",", ":"))
+            for result in results
+        ]
+        _atomic_write(self.shard_path(shard_index), "\n".join(lines) + "\n")
+        self.shards_saved += 1
+
+    def load_shard(
+        self, shard_index: int, targets: Sequence["DomainRecord"]
+    ) -> "list[DomainScanResult] | None":
+        """Load one shard; ``None`` when absent or damaged (re-scan it)."""
+        path = self.shard_path(shard_index)
+        if not path.is_file():
+            return None
+        try:
+            lines = path.read_text(encoding="utf-8").splitlines()
+            if len(lines) != len(targets):
+                return None  # interrupted mid-write before the rename
+            results = []
+            for domain, line in zip(targets, lines):
+                data = json.loads(line)
+                if data.get("domain") != domain.name:
+                    return None
+                results.append(_domain_result_from_dict(data, domain))
+        except (OSError, ValueError, KeyError):
+            return None
+        self.shards_loaded += 1
+        return results
+
+
+def _atomic_write(path: Path, text: str) -> None:
+    tmp = path.with_suffix(path.suffix + ".tmp")
+    tmp.write_text(text, encoding="utf-8")
+    os.replace(tmp, path)
+
+
+def _domain_result_to_dict(result: "DomainScanResult") -> dict:
+    from repro.analysis.artifacts import record_to_dict
+
+    connections = []
+    for record in result.connections:
+        data = record_to_dict(record)
+        if record.qlog is not None:
+            data["qlog"] = record.qlog
+        connections.append(data)
+    return {
+        "domain": result.domain.name,
+        "resolved": result.resolved,
+        "quic_support": result.quic_support,
+        "resolved_ip": str(result.resolved_ip) if result.resolved_ip else None,
+        "failure": result.failure.value if result.failure is not None else None,
+        "connections": connections,
+    }
+
+
+def _domain_result_from_dict(data: dict, domain: "DomainRecord") -> "DomainScanResult":
+    import ipaddress
+
+    from repro.analysis.artifacts import record_from_dict
+    from repro.faults.taxonomy import FailureKind
+    from repro.internet.asdb import IpAddr
+    from repro.web.scanner import DomainScanResult
+
+    resolved_ip = None
+    if data.get("resolved_ip"):
+        address = ipaddress.ip_address(data["resolved_ip"])
+        resolved_ip = IpAddr(value=int(address), version=address.version)
+    connections = []
+    for entry in data["connections"]:
+        record = record_from_dict(entry)
+        record.qlog = entry.get("qlog")
+        connections.append(record)
+    failure = FailureKind(data["failure"]) if data.get("failure") else None
+    return DomainScanResult(
+        domain=domain,
+        resolved=bool(data["resolved"]),
+        quic_support=bool(data["quic_support"]),
+        resolved_ip=resolved_ip,
+        connections=connections,
+        failure=failure,
+    )

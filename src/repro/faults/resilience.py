@@ -1,0 +1,40 @@
+"""The absorbing side: timeout budgets, retries, breakers in one config.
+
+A :class:`ResilienceConfig` hangs off
+:class:`~repro.web.scanner.ScanConfig` (so it ships to pool workers with
+the rest of the scan configuration).  ``None`` everywhere — the default
+— leaves the scanner on its exact pre-resilience code path, which keeps
+fault-free output byte-identical to earlier builds.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.faults.breaker import BreakerPolicy
+from repro.faults.retry import RetryPolicy
+
+__all__ = ["ResilienceConfig"]
+
+
+@dataclass(frozen=True)
+class ResilienceConfig:
+    """Per-scan resilience tunables.
+
+    ``connect_timeout_ms`` caps one exchange's *simulated* duration
+    (attempts past it report ``timeout budget exceeded``);
+    ``domain_budget_ms`` caps a whole domain's accumulated simulated
+    time across attempts and backoffs — once exceeded, no further
+    retries are attempted (the in-progress attempt still completes).
+    """
+
+    connect_timeout_ms: float | None = None
+    domain_budget_ms: float | None = None
+    retry: RetryPolicy | None = None
+    breaker: BreakerPolicy | None = None
+
+    def __post_init__(self) -> None:
+        if self.connect_timeout_ms is not None and self.connect_timeout_ms <= 0:
+            raise ValueError("connect_timeout_ms must be positive")
+        if self.domain_budget_ms is not None and self.domain_budget_ms <= 0:
+            raise ValueError("domain_budget_ms must be positive")

@@ -60,6 +60,7 @@ def run_monitor(
     out: IO[str] | None = None,
     verbose: bool = False,
     telemetry=None,
+    faults=None,
 ) -> MonitorSummary:
     """Run the full monitoring service once: mux → pipeline → snapshots.
 
@@ -69,6 +70,13 @@ def run_monitor(
     ``out`` is ``None``).  Returns the summary.  ``telemetry``
     optionally threads a :class:`repro.telemetry.Telemetry` bundle
     through the traffic generator, the flow table, and the pipeline.
+
+    ``faults`` optionally takes a :class:`repro.faults.FaultPlan`; a
+    ``corrupt-datagram`` spec truncates the drawn fraction of tap
+    datagrams mid-flight (seeded from the traffic seed, so runs stay
+    byte-identical).  The flow table counts the damage as
+    ``parse_errors`` instead of crashing — the malformed-packet policy
+    an on-path monitor needs.
     """
     writer = SnapshotWriter(out) if out is not None else None
     pipeline = MonitorPipeline(
@@ -80,7 +88,19 @@ def run_monitor(
         traffic,
         metrics=telemetry.registry if telemetry is not None else None,
     )
-    summary = pipeline.process_stream(mux.stream())
+    stream = mux.stream()
+    if faults is not None and not faults.is_empty:
+        from repro._util.rng import derive_rng
+        from repro.faults.spec import FaultKind, corrupt_datagram_stream
+
+        spec = faults.spec(FaultKind.CORRUPT_DATAGRAM)
+        if spec is not None and spec.probability > 0.0:
+            stream = corrupt_datagram_stream(
+                stream,
+                spec.probability,
+                derive_rng(traffic.seed, "monitor", "faults"),
+            )
+    summary = pipeline.process_stream(stream)
     if writer is not None:
         writer.write_summary(summary)
     if verbose:

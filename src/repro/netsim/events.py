@@ -112,8 +112,17 @@ class Simulator:
         self._export_metrics(executed)
         return executed
 
-    def run_until(self, deadline_ms: float, max_events: int = 1_000_000) -> int:
-        """Execute events with timestamps up to ``deadline_ms`` inclusive."""
+    def run_until(
+        self, deadline_ms: float, max_events: int = 1_000_000, settle: bool = True
+    ) -> int:
+        """Execute events with timestamps up to ``deadline_ms`` inclusive.
+
+        With ``settle`` (the default) the clock advances to the deadline
+        even when the queue drains early; ``settle=False`` leaves the
+        clock at the last executed event, so a caller imposing a timeout
+        budget can tell "finished early" apart from "deadline reached"
+        without distorting the simulated end time.
+        """
         executed = 0
         queue = self._queue
         advance_to = self.clock.advance_to
@@ -125,7 +134,7 @@ class Simulator:
             callback()
             executed += 1
             self._processed += 1
-        if self.clock.now_ms < deadline_ms:
+        if settle and self.clock.now_ms < deadline_ms:
             advance_to(deadline_ms)
         self._export_metrics(executed)
         return executed

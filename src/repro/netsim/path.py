@@ -69,6 +69,9 @@ class PathStats:
     delivered: int = 0
     lost: int = 0
     reordered: int = 0
+    #: Subset of ``lost`` dropped by an installed impairment (fault
+    #: injection) rather than the profile's own loss process.
+    impaired: int = 0
 
 
 class Path:
@@ -97,6 +100,7 @@ class Path:
         self._link_free_at_ms = 0.0
         self._tap: Callable[[float, bytes], None] | None = None
         self._tap_position = 0.5
+        self._impairment: Callable[[float, random.Random], bool] | None = None
         self.stats = PathStats()
 
     def install_tap(
@@ -114,11 +118,30 @@ class Path:
         self._tap = tap
         self._tap_position = position
 
+    def install_impairment(
+        self, impairment: Callable[[float, random.Random], bool]
+    ) -> None:
+        """Install a fault-injection drop predicate on this direction.
+
+        ``impairment(now_ms, rng)`` returns True to drop the datagram
+        (after the profile's own loss process).  Predicates come from
+        :mod:`repro.faults.spec` (loss bursts, blackholes); they must
+        draw from ``rng`` only when active so that inactive faults leave
+        the path's random stream untouched.
+        """
+        self._impairment = impairment
+
     def send(self, datagram: bytes) -> None:
         """Inject a datagram; it arrives (or is lost) per the profile."""
         self.stats.sent += 1
         if self.profile.loss_probability and self._rng.random() < self.profile.loss_probability:
             self.stats.lost += 1
+            return
+        if self._impairment is not None and self._impairment(
+            self._simulator.now_ms, self._rng
+        ):
+            self.stats.lost += 1
+            self.stats.impaired += 1
             return
         queueing = 0.0
         serialization = self.profile.serialization_delay_ms(len(datagram))

@@ -5,17 +5,26 @@ consume either the in-memory :class:`TraceRecorder` (fast path) or a
 qlog JSON document round-tripped through writer/reader (artifact path).
 """
 
-from repro.qlog.reader import QlogParseError, qlog_to_recorder, read_qlog
+from repro.qlog.reader import (
+    JsonlReadResult,
+    QlogParseError,
+    qlog_to_recorder,
+    read_qlog,
+    read_qlog_jsonl,
+)
 from repro.qlog.recorder import PacketEvent, RttEvent, TraceRecorder
-from repro.qlog.writer import recorder_to_qlog, write_qlog
+from repro.qlog.writer import recorder_to_qlog, write_qlog, write_qlog_jsonl
 
 __all__ = [
+    "JsonlReadResult",
     "PacketEvent",
     "QlogParseError",
     "RttEvent",
     "TraceRecorder",
     "qlog_to_recorder",
     "read_qlog",
+    "read_qlog_jsonl",
     "recorder_to_qlog",
     "write_qlog",
+    "write_qlog_jsonl",
 ]

@@ -9,12 +9,19 @@ released quic-go) can be fed straight into the analysis pipeline.
 from __future__ import annotations
 
 import json
+from dataclasses import dataclass, field
 from typing import IO
 
 from repro.qlog import events as ev
 from repro.qlog.recorder import TraceRecorder
 
-__all__ = ["QlogParseError", "qlog_to_recorder", "read_qlog"]
+__all__ = [
+    "JsonlReadResult",
+    "QlogParseError",
+    "qlog_to_recorder",
+    "read_qlog",
+    "read_qlog_jsonl",
+]
 
 
 class QlogParseError(ValueError):
@@ -81,3 +88,38 @@ def read_qlog(stream: IO[str]) -> TraceRecorder:
     if not isinstance(document, dict):
         raise QlogParseError("qlog document must be a JSON object")
     return qlog_to_recorder(document)
+
+
+@dataclass
+class JsonlReadResult:
+    """Outcome of a tolerant JSON Lines qlog read.
+
+    ``corrupt_records`` counts lines that were skipped because they did
+    not parse (truncated final record of a crashed exporter, disk
+    corruption) or did not contain a usable trace.
+    """
+
+    recorders: list[TraceRecorder] = field(default_factory=list)
+    corrupt_records: int = 0
+
+
+def read_qlog_jsonl(stream: IO[str]) -> JsonlReadResult:
+    """Read qlog documents from a JSON Lines stream, tolerantly.
+
+    A campaign killed mid-write leaves a truncated final line; rather
+    than losing the whole capture file, malformed lines are skipped and
+    counted so callers can surface the damage without failing.
+    """
+    result = JsonlReadResult()
+    for line in stream:
+        line = line.strip()
+        if not line:
+            continue
+        try:
+            document = json.loads(line)
+            if not isinstance(document, dict):
+                raise QlogParseError("qlog document must be a JSON object")
+            result.recorders.append(qlog_to_recorder(document))
+        except (json.JSONDecodeError, QlogParseError):
+            result.corrupt_records += 1
+    return result

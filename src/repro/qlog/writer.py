@@ -12,12 +12,12 @@ pipeline accepts either representation.
 from __future__ import annotations
 
 import json
-from typing import IO
+from typing import IO, Iterable
 
 from repro.qlog import events as ev
 from repro.qlog.recorder import PacketEvent, TraceRecorder
 
-__all__ = ["recorder_to_qlog", "write_qlog"]
+__all__ = ["recorder_to_qlog", "write_qlog", "write_qlog_jsonl"]
 
 
 def _packet_event(event: PacketEvent, name: str) -> list:
@@ -77,3 +77,17 @@ def recorder_to_qlog(recorder: TraceRecorder, title: str = "") -> dict:
 def write_qlog(recorder: TraceRecorder, stream: IO[str], title: str = "") -> None:
     """Write a recorder's qlog document to a text stream."""
     json.dump(recorder_to_qlog(recorder, title=title), stream, separators=(",", ":"))
+
+
+def write_qlog_jsonl(documents: Iterable[dict], stream: IO[str]) -> int:
+    """Write qlog documents as JSON Lines, one document per line.
+
+    The scan exporter's bulk format: a sampled campaign produces one
+    line per captured connection.  Returns the number of lines written.
+    """
+    count = 0
+    for document in documents:
+        stream.write(json.dumps(document, separators=(",", ":")))
+        stream.write("\n")
+        count += 1
+    return count

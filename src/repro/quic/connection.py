@@ -133,6 +133,14 @@ class ConnectionConfig:
     #: are unaffected, but CID-keyed passive observers see the flow
     #: split — a real limitation of on-path spin monitoring.
     rotate_cid_after_packets: int | None = None
+    #: Fault injection (repro.faults): a server holds the ClientHello
+    #: for this long before answering — an overloaded or tarpitting
+    #: origin.  0 disables (the default, and the fault-free fast path).
+    handshake_stall_ms: float = 0.0
+    #: Fault injection (repro.faults): close the connection with a
+    #: nonzero transport error after sending N 1-RTT packets — the
+    #: mid-exchange reset failure mode.  ``None`` disables.
+    reset_after_packets: int | None = None
 
 
 @dataclass
@@ -234,6 +242,12 @@ class QuicEndpoint:
         self.handshake_confirmed = False  # HANDSHAKE_DONE seen / FIN processed
         self.closed = False
         self.failed: str | None = None
+        #: Error code of a CONNECTION_CLOSE received from the peer
+        #: (``None`` until one arrives); a nonzero transport code is the
+        #: wire signature of a reset, which the scanner's failure
+        #: taxonomy classifies separately from silent losses.
+        self.peer_close_error_code: int | None = None
+        self._reset_fired = False
 
         self.transport: Callable[[bytes], None] | None = None
         self.on_handshake_keys: Callable[[], None] | None = None
@@ -436,6 +450,7 @@ class QuicEndpoint:
             self.handshake_confirmed = True
         elif isinstance(frame, ConnectionCloseFrame):
             self.closed = True
+            self.peer_close_error_code = frame.error_code
             if self.on_connection_close is not None:
                 self.on_connection_close()
 
@@ -652,7 +667,11 @@ class QuicEndpoint:
 
     def _on_crypto_message(self, space: PacketSpace) -> None:
         if self.role is EndpointRole.SERVER and space is PacketSpace.INITIAL:
-            self._server_send_handshake_flight()
+            stall = self.config.handshake_stall_ms
+            if stall > 0.0:
+                self.simulator.schedule(stall, self._server_send_handshake_flight)
+            else:
+                self._server_send_handshake_flight()
         elif self.role is EndpointRole.CLIENT and space is PacketSpace.HANDSHAKE:
             self._client_finish_handshake()
         elif self.role is EndpointRole.SERVER and space is PacketSpace.HANDSHAKE:
@@ -665,6 +684,8 @@ class QuicEndpoint:
         server's EncryptedExtensions (inside the handshake flight)
         carries its own.
         """
+        if self.closed:
+            return  # a stalled flight may fire after the client gave up
         self._learn_peer_params(self.spaces[PacketSpace.INITIAL].crypto_message)
         server_hello = _length_prefixed(b"\x02" * SERVER_HELLO_SIZE)
         flight = _length_prefixed(
@@ -887,6 +908,19 @@ class QuicEndpoint:
                     packet.header.packet_number,
                 )
         self.transport(data)
+        reset_after = self.config.reset_after_packets
+        if (
+            reset_after is not None
+            and not self._reset_fired
+            and not self.closed
+            and self._app_packets_sent >= reset_after
+        ):
+            # The fault-injected reset: schedule the close instead of
+            # issuing it inline, because close() itself transmits.
+            self._reset_fired = True
+            self.simulator.schedule(
+                0.0, lambda: self.close(error_code=0x01, is_application=False)
+            )
 
     # ------------------------------------------------------------------
     # Loss recovery (probe timeout)

@@ -101,6 +101,9 @@ class ExchangeResult:
     body_bytes: int = 0
     client: QuicEndpoint | None = None
     server: QuicEndpoint | None = None
+    #: The exchange was cut off by a caller-imposed timeout budget
+    #: (see ``run_exchange``'s ``timeout_ms``), not by its own events.
+    timed_out: bool = False
 
 
 class _ServerApp:
@@ -403,6 +406,8 @@ def run_exchange(
     wire_observer=None,
     final_probe: bool = True,
     metrics=None,
+    timeout_ms: float | None = None,
+    impairment=None,
 ) -> ExchangeResult:
     """Simulate one complete HTTP/3 fetch and return its trace.
 
@@ -413,6 +418,13 @@ def run_exchange(
     ``wire_observer`` optionally installs an on-path
     :class:`repro.core.wire_observer.WireObserver` tap that sees every
     raw datagram of the connection (the network operator's view).
+
+    ``timeout_ms`` imposes a simulated-time budget: if the client is
+    still working at the deadline the exchange is abandoned and the
+    result carries ``timed_out=True``.  ``impairment`` installs a
+    fault-injection drop predicate (:mod:`repro.faults.spec`) on both
+    path directions.  Both default to off, leaving the event cascade —
+    and therefore every artifact byte — exactly as without them.
     """
     simulator = Simulator(metrics=metrics)
     recorder = TraceRecorder(vantage_point="client")
@@ -433,7 +445,28 @@ def run_exchange(
         wire_observer=wire_observer,
         metrics=metrics,
     )
-    simulator.run(max_events=max_events)
+    if impairment is not None:
+        handle.uplink.install_impairment(impairment)
+        handle.downlink.install_impairment(impairment)
+
+    timed_out = False
+    if timeout_ms is None:
+        simulator.run(max_events=max_events)
+    else:
+        simulator.run_until(timeout_ms, max_events=max_events, settle=False)
+        finished = (
+            handle.client_app.done
+            or handle.client.closed
+            or handle.client.failed is not None
+        )
+        if finished or not simulator.pending_events:
+            # The connection resolved within budget; stale events past
+            # the deadline (queued PTO timers of a closed endpoint) are
+            # harmless to drain and keep the cascade byte-identical to
+            # an unbudgeted run.
+            simulator.run(max_events=max_events)
+        else:
+            timed_out = True
 
     client, server, client_app = handle.client, handle.server, handle.client_app
     recorder.odcid_hex = client.local_cid.hex
@@ -441,7 +474,14 @@ def run_exchange(
     success = client_app.done and client.failed is None
     failure = None
     if not success:
-        failure = client.failed or server.failed or "incomplete response"
+        if client.failed is not None:
+            failure = client.failed
+        elif timed_out:
+            failure = "timeout budget exceeded"
+        elif client.peer_close_error_code:
+            failure = f"closed by peer (error 0x{client.peer_close_error_code:x})"
+        else:
+            failure = server.failed or "incomplete response"
     return ExchangeResult(
         success=success,
         failure_reason=failure,
@@ -452,6 +492,7 @@ def run_exchange(
         body_bytes=body_bytes,
         client=client,
         server=server,
+        timed_out=timed_out,
     )
 
 

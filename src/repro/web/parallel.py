@@ -128,14 +128,27 @@ def scan_sharded(
     ip_version: int,
     probe: int,
     parallel: ParallelScanConfig,
+    checkpoint=None,
 ) -> list["DomainScanResult"]:
     """Scan ``targets`` over a worker pool; results in original order.
 
     The deterministic merge is trivial: shards are indexed at submit
     time and reassembled by index, so the concatenation equals the
     sequential iteration order regardless of completion order.
+
+    With a ``checkpoint`` (:class:`repro.faults.CheckpointStore`),
+    shards already on disk are loaded instead of scanned and fresh
+    shards are saved as they complete; the shard size then comes from
+    the store (fixed at campaign start) so a resume may use a different
+    worker count and still merge bit-identically.  Loaded shards
+    contribute no telemetry — their events belong to the run that
+    produced them.
     """
-    chunk = parallel.resolve_chunk_size(len(targets))
+    chunk = (
+        checkpoint.chunk
+        if checkpoint is not None
+        else parallel.resolve_chunk_size(len(targets))
+    )
     tasks = [
         (shard_index, targets[start : start + chunk], week_label, ip_version, probe)
         for shard_index, start in enumerate(range(0, len(targets), chunk))
@@ -143,17 +156,30 @@ def scan_sharded(
     telemetry = scanner.telemetry
     merged: list[list["DomainScanResult"] | None] = [None] * len(tasks)
     shard_telemetry: list[tuple | None] = [None] * len(tasks)
-    with ProcessPoolExecutor(
-        max_workers=min(parallel.workers, len(tasks)) or 1,
-        initializer=_init_worker,
-        initargs=(scanner.population, scanner.config, telemetry is not None),
-    ) as pool:
-        for shard_index, results, registry, events, diag_events in pool.map(
-            _scan_shard, tasks
-        ):
-            merged[shard_index] = results
-            if registry is not None:
-                shard_telemetry[shard_index] = (registry, events, diag_events)
+    pending = []
+    if checkpoint is not None:
+        for task in tasks:
+            loaded = checkpoint.load_shard(task[0], task[1])
+            if loaded is None:
+                pending.append(task)
+            else:
+                merged[task[0]] = loaded
+    else:
+        pending = tasks
+    if pending:
+        with ProcessPoolExecutor(
+            max_workers=min(parallel.workers, len(pending)) or 1,
+            initializer=_init_worker,
+            initargs=(scanner.population, scanner.config, telemetry is not None),
+        ) as pool:
+            for shard_index, results, registry, events, diag_events in pool.map(
+                _scan_shard, pending
+            ):
+                merged[shard_index] = results
+                if checkpoint is not None:
+                    checkpoint.save_shard(shard_index, results)
+                if registry is not None:
+                    shard_telemetry[shard_index] = (registry, events, diag_events)
     if telemetry is not None:
         # Absorb in shard order — completion order must not leak into
         # the trace — and note the shard layout as diagnostics only.

@@ -16,12 +16,20 @@ from __future__ import annotations
 import random
 import sys
 import time
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 
 from repro._util.rng import SeedPrefix, fork_rng
 from repro.core.classify import SpinBehaviour, classify_connection
 from repro.core.observer import SpinObservation, observe_recorder
 from repro.core.spin import SpinPolicy, resolve_connection_policy
+from repro.faults.resilience import ResilienceConfig
+from repro.faults.spec import (
+    VN_FAULT_VERSION,
+    BlackholeImpairment,
+    DrawnFaults,
+    FaultPlan,
+)
+from repro.faults.taxonomy import RETRYABLE_KINDS, FailureKind, classify_exchange
 from repro.internet.asdb import IpAddr
 from repro.internet.population import DomainRecord, Population
 from repro.netsim.delays import LogNormalDelay, UniformDelay
@@ -80,10 +88,24 @@ class ScanConfig:
     #: DESIGN.md Sec. 7); disabling it models a teardown-happy client
     #: that misses spinners on single-flight responses.
     final_probe: bool = True
+    #: Fault-injection plan (:mod:`repro.faults.spec`); ``None`` or an
+    #: empty plan leaves every connection — and every artifact byte —
+    #: exactly as an un-faulted scan.
+    faults: FaultPlan | None = None
+    #: Resilience machinery (timeouts, retries, circuit breaker); with
+    #: ``None`` the scanner behaves exactly as before this layer existed.
+    resilience: ResilienceConfig | None = None
 
     def __post_init__(self) -> None:
         if not 0.0 <= self.qlog_sample_rate <= 1.0:
             raise ValueError("qlog_sample_rate must be in [0, 1]")
+
+    @property
+    def faults_active(self) -> bool:
+        """Whether any fault injection or resilience handling is on."""
+        return (
+            self.faults is not None and not self.faults.is_empty
+        ) or self.resilience is not None
 
 
 @dataclass
@@ -105,6 +127,11 @@ class ConnectionRecord:
     #: Wire version the connection ended up using (after any Version
     #: Negotiation); ``None`` when the exchange failed early.
     negotiated_version: int | None = None
+    #: Failure taxonomy entry (:class:`repro.faults.FailureKind`) for a
+    #: failed exchange; ``None`` on success or when neither faults nor
+    #: resilience are configured (classification off keeps legacy scans
+    #: byte-identical).
+    failure: FailureKind | None = None
 
     @property
     def shows_spin_activity(self) -> bool:
@@ -132,6 +159,10 @@ class DomainScanResult:
     #: Tables 1 and 4.
     resolved_ip: IpAddr | None = None
     connections: list[ConnectionRecord] = field(default_factory=list)
+    #: Domain-level failure kind when no connection of the chain
+    #: succeeded (the last connection's classification); ``None`` on
+    #: success or with classification off.
+    failure: FailureKind | None = None
 
     @property
     def shows_spin_activity(self) -> bool:
@@ -185,6 +216,7 @@ class Scanner:
         domains: list[DomainRecord] | None = None,
         probe: int = 0,
         verbose: bool = False,
+        checkpoint_dir=None,
     ) -> ScanDataset:
         """Run one measurement week over ``domains`` (default: all).
 
@@ -195,9 +227,33 @@ class Scanner:
         randomness (spin disabling, paths) while keeping the week's
         deployment state fixed.  ``verbose`` prints a one-line summary
         (domains, elapsed, throughput, workers) to stderr.
+
+        ``checkpoint_dir`` enables crash-safe resume: completed shards
+        are written there as they finish, and a re-run of the *same*
+        scan (seed, week, IP version, probe, targets, config) loads them
+        back instead of re-scanning.  The shard size is fixed by the
+        chunk configuration, not the worker count, so a campaign can be
+        resumed with a different ``--workers`` and still merge
+        bit-identically.
         """
         targets = domains if domains is not None else self.population.domains
         workers = self.parallel.workers if len(targets) > 1 else 1
+        store = None
+        if checkpoint_dir is not None:
+            from repro.faults.checkpoint import CheckpointStore, scan_fingerprint
+
+            store = CheckpointStore(
+                checkpoint_dir,
+                fingerprint=scan_fingerprint(
+                    self.population.config.seed,
+                    week_label,
+                    ip_version,
+                    probe,
+                    targets,
+                    repr(self.config),
+                ),
+                chunk=self.parallel.chunk_size or 256,
+            )
         started = time.perf_counter()  # wallclock-ok: stderr diagnostics only
         if self.telemetry is not None:
             # Deliberately no worker count here: scan.begin is part of
@@ -210,10 +266,27 @@ class Scanner:
             )
         if workers > 1:
             results = scan_sharded(
-                self, targets, week_label, ip_version, probe, self.parallel
+                self, targets, week_label, ip_version, probe, self.parallel,
+                checkpoint=store,
             )
         else:
-            results = self.scan_sequential(targets, week_label, ip_version, probe)
+            results = self.scan_sequential(
+                targets, week_label, ip_version, probe, checkpoint=store
+            )
+        resilience = self.config.resilience
+        if resilience is not None and resilience.breaker is not None:
+            # A deterministic post-merge pass (never inside the scan
+            # loop): breaker decisions depend only on the merged result
+            # order, so they are identical for any worker count, and
+            # checkpoint shards always hold pre-breaker results.
+            from repro.faults.breaker import apply_circuit_breaker
+
+            apply_circuit_breaker(
+                results,
+                resilience.breaker,
+                lambda r: self.population.provider_of(r.domain).name,
+                telemetry=self.telemetry,
+            )
         if verbose:
             elapsed = time.perf_counter() - started  # wallclock-ok: diagnostics
             rate = len(targets) / elapsed if elapsed > 0 else float("inf")
@@ -232,6 +305,7 @@ class Scanner:
         week_label: str,
         ip_version: int,
         probe: int = 0,
+        checkpoint=None,
     ) -> list[DomainScanResult]:
         """Scan ``targets`` in-process; one result per domain, in order.
 
@@ -239,15 +313,35 @@ class Scanner:
         ``(seed, "scan", week, ip_version)`` seed prefix — are computed
         once here instead of once per domain; both are pure functions of
         the arguments, so sharded workers recompute identical values.
+
+        With a :class:`repro.faults.CheckpointStore`, targets are walked
+        in fixed-size shards; each shard is loaded from disk when a
+        valid checkpoint exists and scanned-then-saved otherwise.
+        Loaded shards contribute no telemetry (their events were emitted
+        by the run that produced them).
         """
         epoch = _epoch_of(week_label)
         seed_prefix = SeedPrefix(
             self.population.config.seed, "scan", week_label, ip_version
         )
-        return [
-            self._scan_domain(domain, ip_version, probe, epoch, seed_prefix)
-            for domain in targets
-        ]
+        if checkpoint is None:
+            return [
+                self._scan_domain(domain, ip_version, probe, epoch, seed_prefix)
+                for domain in targets
+            ]
+        results: list[DomainScanResult] = []
+        chunk = checkpoint.chunk
+        for shard_index, start in enumerate(range(0, len(targets), chunk)):
+            shard_targets = targets[start : start + chunk]
+            shard = checkpoint.load_shard(shard_index, shard_targets)
+            if shard is None:
+                shard = [
+                    self._scan_domain(domain, ip_version, probe, epoch, seed_prefix)
+                    for domain in shard_targets
+                ]
+                checkpoint.save_shard(shard_index, shard)
+            results.extend(shard)
+        return results
 
     # ------------------------------------------------------------------
 
@@ -293,12 +387,22 @@ class Scanner:
         stack = stack_by_name(stack_name)
         provider = self.population.provider_of(domain)
 
+        # Fault draws come from a *separate* stream derived alongside —
+        # never from — the measurement stream ``rng``, so an all-zero
+        # (or absent) plan leaves every measurement byte untouched, and
+        # any worker split sees the same faults for the same domain.
+        drawn = None
+        faults = self.config.faults
+        if faults is not None and not faults.is_empty:
+            drawn = faults.draw(seed_prefix.derive(domain.name, probe, "faults"))
+
         host = f"www.{domain.name}"
         redirects_left = _MAX_REDIRECTS
         while True:
             record = self._connect_once(
                 domain, host, ip, ip_version, provider.name, stack,
                 provider.propagation_delay, rng, allow_redirect=redirects_left > 0,
+                drawn_faults=drawn,
             )
             result.connections.append(record)
             if record.success:
@@ -311,6 +415,8 @@ class Scanner:
                 # host (http→https, apex→www); the scanner reconnects.
                 continue
             break
+        if not result.quic_support and result.connections:
+            result.failure = result.connections[-1].failure
         if registry is not None:
             if result.quic_support:
                 registry.counter("scan.domains_quic").inc()
@@ -339,8 +445,11 @@ class Scanner:
         propagation_delay,
         rng: random.Random,
         allow_redirect: bool,
+        drawn_faults: DrawnFaults | None = None,
     ) -> ConnectionRecord:
         config = self.config
+        resilience = config.resilience
+        classify_enabled = config.faults_active
         server_policy = resolve_connection_policy(stack.spin_config, rng)
         retry_required = (
             stack.retry_probability > 0.0 and rng.random() < stack.retry_probability
@@ -348,6 +457,28 @@ class Scanner:
         plan = stack.sample_plan(
             rng, redirect_target=f"https://{host}/start" if allow_redirect else None
         )
+
+        impairment = None
+        server_versions = stack.supported_versions
+        handshake_stall_ms = 0.0
+        reset_after = None
+        if drawn_faults is not None and drawn_faults.any_active:
+            if drawn_faults.slow_server_stall_ms > 0.0:
+                plan = replace(
+                    plan,
+                    think_time_ms=plan.think_time_ms
+                    + drawn_faults.slow_server_stall_ms,
+                )
+            if drawn_faults.vn_failure:
+                # The server only accepts a version the client will
+                # never offer, forcing Version Negotiation to dead-end.
+                server_versions = (VN_FAULT_VERSION,)
+            handshake_stall_ms = drawn_faults.handshake_stall_ms
+            reset_after = drawn_faults.reset_after_packets
+            if drawn_faults.blackhole:
+                impairment = BlackholeImpairment()
+            elif drawn_faults.loss_burst is not None:
+                impairment = drawn_faults.loss_burst
 
         one_way = propagation_delay.sample(rng)
         jitter = UniformDelay(0.0, config.jitter_ms)
@@ -363,40 +494,75 @@ class Scanner:
 
         telemetry = self.telemetry
         registry = telemetry.registry if telemetry is not None else None
-        exchange = run_exchange(
-            host,
-            plan,
-            config.client_spin_policy,
-            server_policy,
-            uplink_profile=profile,
-            downlink_profile=profile,
-            rng=fork_rng(rng, "exchange"),
-            final_probe=config.final_probe,
-            server_config=ConnectionConfig(
-                flush_dispatch_ms=config.server_flush_dispatch_ms,
-                version=stack.supported_versions[0],
-                supported_versions=stack.supported_versions,
-                retry_required=retry_required,
-                ack_delay_exponent=stack.ack_delay_exponent,
-                max_ack_delay_ms=stack.max_ack_delay_ms,
-            ),
-            metrics=registry,
+        retry = resilience.retry if resilience is not None else None
+        max_attempts = retry.max_attempts if retry is not None else 1
+        connect_timeout = (
+            resilience.connect_timeout_ms if resilience is not None else None
         )
-        sim_end_ms = exchange.client.simulator.now_ms
-        self._domain_sim_ms += sim_end_ms
-        if registry is not None:
-            registry.counter("scan.connections").inc()
-            outcome = "success" if exchange.success else "failure"
-            registry.counter("scan.handshakes", outcome=outcome).inc()
-            registry.histogram("scan.exchange_sim_ms").observe(sim_end_ms)
-        if telemetry is not None:
-            telemetry.tracer.event(
-                "scan.connection",
-                time_ms=sim_end_ms,
-                host=host,
-                status=exchange.status,
-                success=exchange.success,
+        domain_budget = (
+            resilience.domain_budget_ms if resilience is not None else None
+        )
+
+        attempt = 0
+        kind: FailureKind | None = None
+        while True:
+            exchange = run_exchange(
+                host,
+                plan,
+                config.client_spin_policy,
+                server_policy,
+                uplink_profile=profile,
+                downlink_profile=profile,
+                rng=fork_rng(rng, "exchange"),
+                final_probe=config.final_probe,
+                server_config=ConnectionConfig(
+                    flush_dispatch_ms=config.server_flush_dispatch_ms,
+                    version=server_versions[0],
+                    supported_versions=server_versions,
+                    retry_required=retry_required,
+                    ack_delay_exponent=stack.ack_delay_exponent,
+                    max_ack_delay_ms=stack.max_ack_delay_ms,
+                    handshake_stall_ms=handshake_stall_ms,
+                    reset_after_packets=reset_after,
+                ),
+                metrics=registry,
+                timeout_ms=connect_timeout,
+                impairment=impairment,
             )
+            sim_end_ms = exchange.client.simulator.now_ms
+            self._domain_sim_ms += sim_end_ms
+            if registry is not None:
+                registry.counter("scan.connections").inc()
+                outcome = "success" if exchange.success else "failure"
+                registry.counter("scan.handshakes", outcome=outcome).inc()
+                registry.histogram("scan.exchange_sim_ms").observe(sim_end_ms)
+            if telemetry is not None:
+                telemetry.tracer.event(
+                    "scan.connection",
+                    time_ms=sim_end_ms,
+                    host=host,
+                    status=exchange.status,
+                    success=exchange.success,
+                )
+            kind = (
+                classify_exchange(exchange)
+                if classify_enabled and not exchange.success
+                else None
+            )
+            if kind is None or kind not in RETRYABLE_KINDS:
+                break
+            if attempt + 1 >= max_attempts:
+                break
+            if domain_budget is not None and self._domain_sim_ms >= domain_budget:
+                break
+            # Deterministic exponential backoff charged to *simulated*
+            # time — the scanner never sleeps on the wall clock.
+            self._domain_sim_ms += retry.delay_ms(attempt, rng)
+            attempt += 1
+            if registry is not None:
+                registry.counter("scan.retries").inc()
+        if kind is not None and registry is not None:
+            registry.counter("scan.failures", kind=kind.value).inc()
 
         observation = observe_recorder(exchange.recorder)
         stack_rtts = exchange.recorder.stack_rtts_ms()
@@ -425,4 +591,5 @@ class Scanner:
             negotiated_version=(
                 exchange.client.version if exchange.success else None
             ),
+            failure=kind,
         )

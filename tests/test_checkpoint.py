@@ -1,0 +1,234 @@
+"""Crash-safe campaign resume (repro.faults.checkpoint).
+
+A checkpointed scan must (a) produce exactly the dataset of a
+non-checkpointed run, (b) resume after a crash — including with a
+different worker count — to the bit-identical merged result, (c) treat
+damaged shards as "not scanned yet", and (d) refuse to mix two different
+campaigns in one directory.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.analysis.artifacts import record_to_dict
+from repro.faults import (
+    BreakerPolicy,
+    CheckpointError,
+    CheckpointStore,
+    ResilienceConfig,
+    RetryPolicy,
+    parse_fault_plan,
+    scan_fingerprint,
+)
+from repro.web.parallel import ParallelScanConfig
+from repro.web.scanner import ScanConfig, Scanner
+
+# Faults + resilience on, so checkpoint shards round-trip the failure
+# taxonomy (not just the happy-path record fields), and a breaker is
+# configured to prove the post-merge pass composes with resume.
+CONFIG = ScanConfig(
+    faults=parse_fault_plan("blackhole:0.05,reset:0.06,vn-failure:0.04"),
+    resilience=ResilienceConfig(
+        connect_timeout_ms=20_000.0,
+        retry=RetryPolicy(max_attempts=2),
+        breaker=BreakerPolicy(failure_threshold=4, cooldown_attempts=6),
+    ),
+)
+CHUNK = 64
+N_DOMAINS = 300
+
+
+def _scanner(population, workers: int = 1) -> Scanner:
+    return Scanner(
+        population,
+        CONFIG,
+        parallel=ParallelScanConfig(workers=workers, chunk_size=CHUNK),
+    )
+
+
+def _dataset_dicts(dataset) -> list[dict]:
+    rows = []
+    for result in dataset.results:
+        rows.append(
+            {
+                "domain": result.domain.name,
+                "resolved": result.resolved,
+                "quic_support": result.quic_support,
+                "resolved_ip": str(result.resolved_ip) if result.resolved_ip else None,
+                "failure": result.failure.value if result.failure else None,
+                "connections": [record_to_dict(c) for c in result.connections],
+            }
+        )
+    return rows
+
+
+@pytest.fixture(scope="module")
+def targets(tiny_population):
+    return tiny_population.domains[:N_DOMAINS]
+
+
+@pytest.fixture(scope="module")
+def plain_dataset(tiny_population, targets):
+    """The ground truth: the same scan without any checkpointing."""
+    return _scanner(tiny_population).scan(domains=targets)
+
+
+class TestCheckpointedScan:
+    def test_equals_non_checkpointed_run(
+        self, tiny_population, targets, plain_dataset, tmp_path
+    ):
+        dataset = _scanner(tiny_population).scan(
+            domains=targets, checkpoint_dir=tmp_path / "ckpt"
+        )
+        assert _dataset_dicts(dataset) == _dataset_dicts(plain_dataset)
+
+    def test_writes_manifest_and_all_shards(self, tiny_population, targets, tmp_path):
+        directory = tmp_path / "ckpt"
+        _scanner(tiny_population).scan(domains=targets, checkpoint_dir=directory)
+        manifest = json.loads((directory / "manifest.json").read_text())
+        assert manifest["chunk"] == CHUNK
+        assert manifest["fingerprint"]["targets"] == len(targets)
+        shards = sorted(p.name for p in directory.glob("shard-*.jsonl"))
+        expected = -(-len(targets) // CHUNK)  # ceil division
+        assert len(shards) == expected
+        assert shards[0] == "shard-00000.jsonl"
+
+    def test_full_resume_never_rescans(
+        self, tiny_population, targets, plain_dataset, tmp_path, monkeypatch
+    ):
+        directory = tmp_path / "ckpt"
+        _scanner(tiny_population).scan(domains=targets, checkpoint_dir=directory)
+        # With every shard on disk, a resume must not scan one domain.
+        scanner = _scanner(tiny_population)
+        monkeypatch.setattr(
+            scanner,
+            "_scan_domain",
+            lambda *a, **k: pytest.fail("resume re-scanned a completed shard"),
+        )
+        dataset = scanner.scan(domains=targets, checkpoint_dir=directory)
+        assert _dataset_dicts(dataset) == _dataset_dicts(plain_dataset)
+
+
+class TestCrashAndResume:
+    def test_interrupted_scan_resumes_bit_identically(
+        self, tiny_population, targets, plain_dataset, tmp_path, monkeypatch
+    ):
+        directory = tmp_path / "ckpt"
+        crashing = _scanner(tiny_population)
+        real = crashing._scan_domain
+        calls = {"n": 0}
+
+        def dying_scan_domain(*args, **kwargs):
+            calls["n"] += 1
+            if calls["n"] > 150:
+                raise RuntimeError("simulated crash")
+            return real(*args, **kwargs)
+
+        monkeypatch.setattr(crashing, "_scan_domain", dying_scan_domain)
+        with pytest.raises(RuntimeError, match="simulated crash"):
+            crashing.scan(domains=targets, checkpoint_dir=directory)
+        # The first two full shards (2 x 64 domains) finished and were
+        # persisted before the crash; the interrupted shard was not.
+        saved = sorted(p.name for p in directory.glob("shard-*.jsonl"))
+        assert saved == ["shard-00000.jsonl", "shard-00001.jsonl"]
+
+        resumed = _scanner(tiny_population).scan(
+            domains=targets, checkpoint_dir=directory
+        )
+        assert _dataset_dicts(resumed) == _dataset_dicts(plain_dataset)
+
+    def test_resume_with_different_worker_count(
+        self, tiny_population, targets, plain_dataset, tmp_path
+    ):
+        directory = tmp_path / "ckpt"
+        _scanner(tiny_population, workers=1).scan(
+            domains=targets, checkpoint_dir=directory
+        )
+        (directory / "shard-00002.jsonl").unlink()  # crash loses one shard
+        resumed = _scanner(tiny_population, workers=4).scan(
+            domains=targets, checkpoint_dir=directory
+        )
+        assert _dataset_dicts(resumed) == _dataset_dicts(plain_dataset)
+
+    def test_corrupt_shard_is_rescanned(
+        self, tiny_population, targets, plain_dataset, tmp_path
+    ):
+        directory = tmp_path / "ckpt"
+        _scanner(tiny_population).scan(domains=targets, checkpoint_dir=directory)
+        shard = directory / "shard-00001.jsonl"
+        text = shard.read_text()
+        shard.write_text(text[: len(text) // 2])  # torn write
+        resumed = _scanner(tiny_population).scan(
+            domains=targets, checkpoint_dir=directory
+        )
+        assert _dataset_dicts(resumed) == _dataset_dicts(plain_dataset)
+        # The re-scan also re-persisted the shard, intact again.
+        assert shard.read_text() == text
+
+
+class TestCampaignIdentity:
+    def test_different_config_is_rejected(self, tiny_population, targets, tmp_path):
+        directory = tmp_path / "ckpt"
+        _scanner(tiny_population).scan(domains=targets, checkpoint_dir=directory)
+        other = Scanner(
+            tiny_population,
+            ScanConfig(),  # different fault/resilience regime
+            parallel=ParallelScanConfig(chunk_size=CHUNK),
+        )
+        with pytest.raises(CheckpointError, match="different scan"):
+            other.scan(domains=targets, checkpoint_dir=directory)
+
+    def test_different_week_is_rejected(self, tiny_population, targets, tmp_path):
+        directory = tmp_path / "ckpt"
+        _scanner(tiny_population).scan(
+            week_label="cw20-2023", domains=targets, checkpoint_dir=directory
+        )
+        with pytest.raises(CheckpointError, match="different scan"):
+            _scanner(tiny_population).scan(
+                week_label="cw21-2023", domains=targets, checkpoint_dir=directory
+            )
+
+    def test_different_targets_are_rejected(self, tiny_population, targets, tmp_path):
+        directory = tmp_path / "ckpt"
+        _scanner(tiny_population).scan(domains=targets, checkpoint_dir=directory)
+        with pytest.raises(CheckpointError, match="different scan"):
+            _scanner(tiny_population).scan(
+                domains=targets[:-1], checkpoint_dir=directory
+            )
+
+    def test_unreadable_manifest_is_rejected(self, tiny_population, targets, tmp_path):
+        directory = tmp_path / "ckpt"
+        _scanner(tiny_population).scan(domains=targets, checkpoint_dir=directory)
+        (directory / "manifest.json").write_text("{not json")
+        with pytest.raises(CheckpointError, match="unreadable checkpoint manifest"):
+            _scanner(tiny_population).scan(domains=targets, checkpoint_dir=directory)
+
+
+class TestStoreInternals:
+    FINGERPRINT = {"seed": 1, "targets": 2}
+
+    def test_chunk_validation(self, tmp_path):
+        with pytest.raises(CheckpointError, match="chunk must be >= 1"):
+            CheckpointStore(tmp_path, self.FINGERPRINT, chunk=0)
+
+    def test_load_missing_shard_is_none(self, tmp_path):
+        store = CheckpointStore(tmp_path, self.FINGERPRINT, chunk=4)
+        assert store.load_shard(0, []) is None
+        assert store.shards_loaded == 0
+
+    def test_shard_domain_mismatch_is_none(self, tiny_population, tmp_path):
+        store = CheckpointStore(tmp_path, self.FINGERPRINT, chunk=4)
+        store.shard_path(0).write_text('{"domain":"not-the-one"}\n')
+        assert store.load_shard(0, tiny_population.domains[:1]) is None
+
+    def test_fingerprint_sensitivity(self, tiny_population):
+        domains = tiny_population.domains[:10]
+        base = scan_fingerprint(1, "cw20-2023", 4, 0, domains, "cfg")
+        assert base == scan_fingerprint(1, "cw20-2023", 4, 0, domains, "cfg")
+        assert base != scan_fingerprint(2, "cw20-2023", 4, 0, domains, "cfg")
+        assert base != scan_fingerprint(1, "cw20-2023", 4, 0, domains, "other-cfg")
+        assert base != scan_fingerprint(1, "cw20-2023", 4, 0, domains[:-1], "cfg")
+        assert base != scan_fingerprint(1, "cw20-2023", 4, 1, domains, "cfg")
