@@ -60,7 +60,7 @@ def test_scan_throughput(population):
     sequential, seq_elapsed = _best_of(2, lambda: scan_with(1))
     results = {"sequential": {"elapsed_s": seq_elapsed}}
     for workers in (1, 2, 4):
-        dataset, elapsed = _best_of(2 if workers == 1 else 1, lambda: scan_with(workers))
+        dataset, elapsed = _best_of(2, lambda: scan_with(workers))
         assert dataset == sequential, f"{workers}-worker merge diverged"
         results[f"workers_{workers}"] = {"elapsed_s": elapsed}
 
@@ -90,6 +90,14 @@ def test_scan_throughput(population):
     # workers=1 falls back in-process, so the engine adds ~zero cost.
     assert w1_rate >= seq_rate * (1.0 - OVERHEAD_LIMIT), (
         f"single-worker overhead too high: {w1_rate} vs {seq_rate} domains/s"
+    )
+    # On machines where a pool cannot help (too few cores) the engine
+    # now falls back in-process, so workers=2 must never regress below
+    # the sequential path; on multi-core machines a real pool runs and
+    # the same bound holds because start-up costs are amortized.
+    w2_rate = results["workers_2"]["domains_per_sec"]
+    assert w2_rate >= seq_rate * (1.0 - OVERHEAD_LIMIT), (
+        f"two-worker regression: {w2_rate} vs {seq_rate} domains/s"
     )
     if cpu_count >= 4:
         w4_rate = results["workers_4"]["domains_per_sec"]

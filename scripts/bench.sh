@@ -1,8 +1,10 @@
 #!/usr/bin/env bash
 # Per-PR perf gate: run the tier-1 tests, then the perf benchmarks
-# (scan throughput, monitor throughput), and append each benchmark's
-# result (stamped with commit and timestamp) to BENCH_history.jsonl so
-# every PR records its perf delta.
+# (scan, monitor, and analyze throughput; telemetry and fault overhead),
+# and append each benchmark's result (stamped with commit and timestamp)
+# to BENCH_history.jsonl so every PR records its perf delta.  The cbr
+# round-trip identity gate runs first: no perf run is recorded from a
+# codec that does not reproduce its records bit-identically.
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
@@ -14,11 +16,45 @@ python scripts/check_determinism_lint.py
 echo "== tier-1 tests =="
 python -m pytest -x -q tests
 
+echo "== cbr round-trip identity gate =="
+# A perf number from a codec that does not round trip is meaningless;
+# refuse to record anything unless encode -> decode is bit-identical.
+python - <<'PY'
+import io
+import sys
+
+from repro.artifacts.cbr import CbrReader, write_records_cbr
+from repro.internet.population import PopulationConfig, build_population
+from repro.web.scanner import ScanConfig, Scanner
+
+population = build_population(
+    PopulationConfig(toplist_domains=400, czds_domains=3_000, seed=20230520)
+)
+dataset = Scanner(population, ScanConfig()).scan(
+    week_label="cw20-2023", ip_version=4
+)
+records = list(dataset.connection_records())
+first = io.BytesIO()
+write_records_cbr(records, first)
+first.seek(0)
+decoded = list(CbrReader(first).iter_records())
+if decoded != records:
+    sys.exit("cbr round-trip identity FAILED: decoded records differ")
+second = io.BytesIO()
+write_records_cbr(decoded, second)
+if second.getvalue() != first.getvalue():
+    sys.exit("cbr round-trip identity FAILED: re-encoded bytes differ")
+print(f"cbr round-trip identity OK ({len(records)} records)")
+PY
+
 echo "== scan-throughput benchmark =="
 python -m pytest -q -s benchmarks/test_perf_scan_throughput.py
 
 echo "== monitor-throughput benchmark =="
 python -m pytest -q -s benchmarks/test_perf_monitor_throughput.py
+
+echo "== analyze-throughput benchmark =="
+python -m pytest -q -s benchmarks/test_perf_analyze_throughput.py
 
 echo "== telemetry-overhead benchmark =="
 python -m pytest -q -s benchmarks/test_perf_telemetry_overhead.py
@@ -44,6 +80,7 @@ timestamp = datetime.datetime.now(datetime.timezone.utc).isoformat(
 for result_file in (
     "BENCH_scan_throughput.json",
     "BENCH_monitor_throughput.json",
+    "BENCH_analyze_throughput.json",
     "BENCH_telemetry_overhead.json",
     "BENCH_fault_overhead.json",
 ):

@@ -46,11 +46,17 @@ cat "$WORK/tax1.txt"
 echo "== chaos smoke: checkpoint / crash / resume =="
 python -m repro.cli scan "${COMMON[@]}" --chunk-size 128 \
     --checkpoint-dir "$WORK/ckpt" --out "$WORK/ckpt-full.jsonl" 2>/dev/null
-rm "$WORK/ckpt/shard-00002.jsonl"   # simulate a crash losing one shard
+rm "$WORK/ckpt/shard-00002.cbr"   # simulate a crash losing one shard
 python -m repro.cli scan "${COMMON[@]}" --chunk-size 128 --workers 4 \
     --checkpoint-dir "$WORK/ckpt" --out "$WORK/ckpt-resumed.jsonl" 2>/dev/null
 cmp "$WORK/ckpt-full.jsonl" "$WORK/ckpt-resumed.jsonl"
 cmp "$WORK/ckpt-full.jsonl" "$WORK/w1.jsonl"
+
+echo "== chaos smoke: checkpoint merge via frame copy =="
+python -m repro.cli convert "$WORK/ckpt" "$WORK/merged.cbr" 2>/dev/null
+python -m repro.cli analyze "$WORK/merged.cbr" --section failures \
+    2>/dev/null >"$WORK/tax-merged.txt"
+cmp "$WORK/tax-merged.txt" "$WORK/tax1.txt"
 
 echo "== chaos smoke: monitor under corrupt datagrams =="
 python -m repro.cli monitor --flows 60 --seed 7 \

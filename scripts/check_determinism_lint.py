@@ -15,11 +15,18 @@ arbitrary exceptions (``except:`` hides the very failures the taxonomy
 is supposed to classify) and must never sleep on the wall clock
 (``time.sleep`` — retry backoff is charged to *simulated* time).
 
+Performance rules ride along too (PR 5): under ``src/repro/analysis/``
+a ``json.loads``/``json.dumps`` call inside a ``for`` loop is per-record
+JSON — exactly the cost profile the columnar artifact format exists to
+remove — and is flagged.  The JSONL codec itself is the one legitimate
+per-line JSON loop and opts out with ``# jsonl-ok``.
+
 Benchmarks (``benchmarks/``) legitimately measure wall-clock and are
 not scanned.  A source line may opt out with the pattern's pragma when
 the value is *diagnostics only* and never enters an artifact (e.g. the
 scanner's stderr throughput line): ``# wallclock-ok`` for clock reads,
-``# robustness-ok`` for the robustness rules; DESIGN.md documents both.
+``# robustness-ok`` for the robustness rules, ``# jsonl-ok`` for the
+JSON-in-loop rule; DESIGN.md documents all three.
 
 Exit status: 0 when clean, 1 with one ``path:line: text`` per offender.
 """
@@ -32,6 +39,12 @@ from pathlib import Path
 
 WALLCLOCK_PRAGMA = "wallclock-ok"
 ROBUSTNESS_PRAGMA = "robustness-ok"
+JSONLOOP_PRAGMA = "jsonl-ok"
+
+#: ``json.load``/``json.loads``/``json.dump``/``json.dumps`` — any
+#: per-record JSON codec call.
+_JSON_CALL = re.compile(r"\bjson\.(?:loads?|dumps?)\(")
+_FOR_STMT = re.compile(r"^(\s*)(?:async\s+)?for\b")
 
 #: (pattern, opt-out pragma) pairs; a line matching a pattern passes
 #: only when it carries that pattern's pragma.
@@ -58,6 +71,39 @@ def find_violations(root: Path) -> list[tuple[Path, int, str]]:
                 if pattern.search(line) and pragma not in line:
                     violations.append((path, number, line.strip()))
                     break
+    analysis = root / "repro" / "analysis"
+    if analysis.is_dir():
+        violations.extend(find_json_loop_violations(analysis))
+    return violations
+
+
+def find_json_loop_violations(root: Path) -> list[tuple[Path, int, str]]:
+    """JSON codec calls inside ``for`` loops (per-record JSON cost).
+
+    Indentation-scoped: a ``for`` header opens a loop body at any deeper
+    indent; a JSON call in such a body without ``# jsonl-ok`` is flagged.
+    """
+    violations: list[tuple[Path, int, str]] = []
+    for path in sorted(root.rglob("*.py")):
+        loop_stack: list[int] = []  # indents of enclosing `for` headers
+        for number, line in enumerate(
+            path.read_text(encoding="utf-8").splitlines(), start=1
+        ):
+            stripped = line.strip()
+            if not stripped or stripped.startswith("#"):
+                continue
+            indent = len(line) - len(line.lstrip())
+            while loop_stack and indent <= loop_stack[-1]:
+                loop_stack.pop()
+            if (
+                loop_stack
+                and _JSON_CALL.search(line)
+                and JSONLOOP_PRAGMA not in line
+            ):
+                violations.append((path, number, stripped))
+            header = _FOR_STMT.match(line)
+            if header is not None:
+                loop_stack.append(len(header.group(1)))
     return violations
 
 
@@ -79,7 +125,9 @@ def main(argv: list[str] | None = None) -> int:
         print(
             "  (benchmark-only timing belongs in benchmarks/; diagnostics "
             f"may annotate the line with '# {WALLCLOCK_PRAGMA}', robustness "
-            f"opt-outs with '# {ROBUSTNESS_PRAGMA}')",
+            f"opt-outs with '# {ROBUSTNESS_PRAGMA}'; per-record JSON in the "
+            f"analysis layer belongs in the cbr codec — the JSONL codec "
+            f"itself opts out with '# {JSONLOOP_PRAGMA}')",
             file=sys.stderr,
         )
         return 1

@@ -3,7 +3,13 @@ Section 6 extension studies (artifacts, filters, long connections,
 version distribution)."""
 
 from repro.analysis.artifacts import export_records, load_records, read_records
-from repro.analysis.filter_study import FilterOutcome, FilterStudy, run_filter_study
+from repro.analysis.engine import AnalysisEngine, RecordFold, build_record_folds
+from repro.analysis.filter_study import (
+    FilterFold,
+    FilterOutcome,
+    FilterStudy,
+    run_filter_study,
+)
 from repro.analysis.longform import (
     SamplePositionProfile,
     per_sample_deviation_profile,
@@ -11,23 +17,26 @@ from repro.analysis.longform import (
 )
 from repro.analysis.paper_report import PaperReport, generate_paper_report
 from repro.analysis.timeline import render_spin_timeline
-from repro.analysis.versions import VersionShare, version_distribution
+from repro.analysis.versions import VersionFold, VersionShare, version_distribution
 
 from repro.analysis.accuracy import (
     ABS_DIFF_EDGES_MS,
+    AccuracyFold,
     RATIO_EDGES,
     AccuracyStudy,
     ReorderingImpact,
     SeriesSummary,
     accuracy_study,
 )
-from repro.analysis.asorg import OrgRow, OrgTable, organization_table
+from repro.analysis.asorg import OrgFold, OrgRow, OrgTable, organization_table
 from repro.analysis.compliance import (
+    ComplianceFold,
     ComplianceHistogram,
     compliance_histogram,
     rfc_reference_shares,
 )
 from repro.analysis.config import (
+    ConfigurationFold,
     ConfigurationRow,
     ConfigurationTable,
     configuration_table,
@@ -41,11 +50,27 @@ from repro.analysis.report import (
     render_support_overview,
     render_table,
 )
-from repro.analysis.support import SupportOverview, SupportRow, support_overview
-from repro.analysis.webserver import WebserverShare, webserver_shares
+from repro.analysis.support import (
+    SupportFold,
+    SupportOverview,
+    SupportRow,
+    support_overview,
+)
+from repro.analysis.webserver import WebserverFold, WebserverShare, webserver_shares
 
 __all__ = [
     "ABS_DIFF_EDGES_MS",
+    "AccuracyFold",
+    "AnalysisEngine",
+    "ComplianceFold",
+    "ConfigurationFold",
+    "FilterFold",
+    "OrgFold",
+    "RecordFold",
+    "SupportFold",
+    "VersionFold",
+    "WebserverFold",
+    "build_record_folds",
     "FilterOutcome",
     "FilterStudy",
     "SamplePositionProfile",

@@ -14,13 +14,14 @@ packet number), plus the Section 5.2 reordering-impact summary.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Iterable
+from typing import Iterable, Sequence
 
 from repro._util.stats import Histogram
 from repro.core.metrics import AccuracyResult, compare_means
 from repro.web.scanner import ConnectionRecord
 
 __all__ = [
+    "AccuracyFold",
     "AccuracyStudy",
     "ReorderingImpact",
     "SeriesSummary",
@@ -157,52 +158,74 @@ class AccuracyStudy:
     reordering: ReorderingImpact
 
 
-def accuracy_study(connections: Iterable[ConnectionRecord]) -> AccuracyStudy:
-    """Run the Section 5 analysis over spin-active connection records.
+class AccuracyFold:
+    """Streaming accumulator behind :func:`accuracy_study`.
 
     Connections without spin-bit RTT samples or without stack samples
     cannot be compared and are skipped (candidates with a single edge
-    yield no interval).
+    yield no interval).  Only the RTT series are read — edge objects
+    are never touched, so projected artifact decodes suffice.
     """
-    study = AccuracyStudy(
-        spin_received=SeriesSummary("Spin (R)"),
-        spin_sorted=SeriesSummary("Spin (S)"),
-        grease_received=SeriesSummary("Grease (R)"),
-        grease_sorted=SeriesSummary("Grease (S)"),
-        reordering=ReorderingImpact(),
+
+    name = "accuracy"
+    needs_edges_received = False
+    needs_edges_sorted = False
+
+    def __init__(self) -> None:
+        self._study = AccuracyStudy(
+            spin_received=SeriesSummary("Spin (R)"),
+            spin_sorted=SeriesSummary("Spin (S)"),
+            grease_received=SeriesSummary("Grease (R)"),
+            grease_sorted=SeriesSummary("Grease (S)"),
+            reordering=ReorderingImpact(),
+        )
+
+    def update_many(self, records: Sequence[ConnectionRecord]) -> None:
+        study = self._study
+        for connection in records:
+            observation = connection.observation
+            if len(observation.values_seen) != 2:
+                continue
+            stack_rtts = connection.stack_rtts_ms
+            received = observation.rtts_received_ms
+            sorted_series = observation.rtts_sorted_ms
+            if not stack_rtts or not received or not sorted_series:
+                continue
+            # Degenerate series (all-zero intervals from identically
+            # timestamped packets, or a non-positive stack baseline) have
+            # no meaningful ratio and are excluded, like empty ones.
+            if (
+                sum(received) <= 0.0
+                or sum(sorted_series) <= 0.0
+                or sum(stack_rtts) <= 0.0
+            ):
+                continue
+            result_r = compare_means(received, stack_rtts)
+            result_s = compare_means(sorted_series, stack_rtts)
+            if connection.behaviour.value == "grease":
+                study.grease_received.add(result_r)
+                study.grease_sorted.add(result_s)
+            else:
+                study.spin_received.add(result_r)
+                study.spin_sorted.add(result_s)
+                impact = study.reordering
+                impact.connections_compared += 1
+                delta = abs(result_r.absolute_ms - result_s.absolute_ms)
+                if received != sorted_series:
+                    impact.connections_changed += 1
+                    if delta < 1.0:
+                        impact.changed_below_1ms += 1
+                    if abs(result_s.absolute_ms) <= abs(result_r.absolute_ms):
+                        impact.changed_improved += 1
+
+    def finish(self) -> AccuracyStudy:
+        return self._study
+
+
+def accuracy_study(connections: Iterable[ConnectionRecord]) -> AccuracyStudy:
+    """Run the Section 5 analysis over spin-active connection records."""
+    fold = AccuracyFold()
+    fold.update_many(
+        connections if isinstance(connections, Sequence) else list(connections)
     )
-    for connection in connections:
-        if not connection.shows_spin_activity:
-            continue
-        stack_rtts = connection.stack_rtts_ms
-        received = connection.spin_rtts_received_ms
-        sorted_series = connection.spin_rtts_sorted_ms
-        if not stack_rtts or not received or not sorted_series:
-            continue
-        # Degenerate series (all-zero intervals from identically
-        # timestamped packets, or a non-positive stack baseline) have no
-        # meaningful ratio and are excluded, like empty ones.
-        if (
-            sum(received) <= 0.0
-            or sum(sorted_series) <= 0.0
-            or sum(stack_rtts) <= 0.0
-        ):
-            continue
-        result_r = compare_means(received, stack_rtts)
-        result_s = compare_means(sorted_series, stack_rtts)
-        if connection.behaviour.value == "grease":
-            study.grease_received.add(result_r)
-            study.grease_sorted.add(result_s)
-        else:
-            study.spin_received.add(result_r)
-            study.spin_sorted.add(result_s)
-            impact = study.reordering
-            impact.connections_compared += 1
-            delta = abs(result_r.absolute_ms - result_s.absolute_ms)
-            if received != sorted_series:
-                impact.connections_changed += 1
-                if delta < 1.0:
-                    impact.changed_below_1ms += 1
-                if abs(result_s.absolute_ms) <= abs(result_r.absolute_ms):
-                    impact.changed_improved += 1
-    return study
+    return fold.finish()

@@ -12,12 +12,13 @@ paper's Table 2.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Iterable
+from typing import Iterable, Sequence
 
+from repro.core.classify import SpinBehaviour
 from repro.internet.asdb import AsDatabase
 from repro.web.scanner import ConnectionRecord
 
-__all__ = ["OrgRow", "OrgTable", "organization_table"]
+__all__ = ["OrgFold", "OrgRow", "OrgTable", "organization_table"]
 
 
 @dataclass
@@ -62,47 +63,80 @@ class OrgTable:
         return sum(row.spin_connections for row in self.all_rows)
 
 
+class OrgFold:
+    """Streaming accumulator behind :func:`organization_table`.
+
+    Only successful QUIC connections are attributed; spin activity uses
+    the unfiltered candidate criterion plus grease filtering, i.e. the
+    ``SPIN`` behaviour class, consistent with the paper's "Spin #".
+    Prefix lookups are cached per IP — campaigns revisit the same
+    addresses constantly (redirect chains, follow-up probes).
+    """
+
+    name = "orgs"
+    needs_edges_received = False
+    needs_edges_sorted = False
+
+    def __init__(self, asdb: AsDatabase, top_n: int = 8) -> None:
+        self._asdb = asdb
+        self._top_n = top_n
+        self._totals: dict[str, int] = {}
+        self._spins: dict[str, int] = {}
+        self._org_of: dict = {}
+
+    def update_many(self, records: Sequence[ConnectionRecord]) -> None:
+        totals = self._totals
+        spins = self._spins
+        org_of = self._org_of
+        lookup = self._asdb.lookup
+        spin = SpinBehaviour.SPIN
+        for connection in records:
+            if not connection.success:
+                continue
+            ip = connection.ip
+            org = org_of.get(ip)
+            if org is None:
+                entry = lookup(ip)
+                org = entry.org_name if entry is not None else "<unrouted>"
+                org_of[ip] = org
+            totals[org] = totals.get(org, 0) + 1
+            if connection.behaviour is spin:
+                spins[org] = spins.get(org, 0) + 1
+
+    def finish(self) -> OrgTable:
+        spins = self._spins
+        rows = [
+            OrgRow(org_name=org, total_connections=count, spin_connections=spins.get(org, 0))
+            for org, count in self._totals.items()
+        ]
+        rows.sort(key=lambda row: (-row.total_connections, row.org_name))
+        for rank, row in enumerate(rows, start=1):
+            row.total_rank = rank
+        by_spin = sorted(
+            (row for row in rows if row.spin_connections),
+            key=lambda row: (-row.spin_connections, row.org_name),
+        )
+        for rank, row in enumerate(by_spin, start=1):
+            row.spin_rank = rank
+
+        top_rows = rows[: self._top_n]
+        rest = rows[self._top_n :]
+        other = OrgRow(
+            org_name="<other>",
+            total_connections=sum(row.total_connections for row in rest),
+            spin_connections=sum(row.spin_connections for row in rest),
+        )
+        return OrgTable(top_rows=top_rows, other=other, all_rows=rows)
+
+
 def organization_table(
     connections: Iterable[ConnectionRecord],
     asdb: AsDatabase,
     top_n: int = 8,
 ) -> OrgTable:
-    """Build the Table 2 aggregation from connection records.
-
-    Only successful QUIC connections are attributed; spin activity uses
-    the unfiltered candidate criterion plus grease filtering, i.e. the
-    ``SPIN`` behaviour class, consistent with the paper's "Spin #".
-    """
-    totals: dict[str, int] = {}
-    spins: dict[str, int] = {}
-    for connection in connections:
-        if not connection.success:
-            continue
-        entry = asdb.lookup(connection.ip)
-        org = entry.org_name if entry is not None else "<unrouted>"
-        totals[org] = totals.get(org, 0) + 1
-        if connection.behaviour.value == "spin":
-            spins[org] = spins.get(org, 0) + 1
-
-    rows = [
-        OrgRow(org_name=org, total_connections=count, spin_connections=spins.get(org, 0))
-        for org, count in totals.items()
-    ]
-    rows.sort(key=lambda row: (-row.total_connections, row.org_name))
-    for rank, row in enumerate(rows, start=1):
-        row.total_rank = rank
-    by_spin = sorted(
-        (row for row in rows if row.spin_connections),
-        key=lambda row: (-row.spin_connections, row.org_name),
+    """Build the Table 2 aggregation from connection records."""
+    fold = OrgFold(asdb, top_n=top_n)
+    fold.update_many(
+        connections if isinstance(connections, Sequence) else list(connections)
     )
-    for rank, row in enumerate(by_spin, start=1):
-        row.spin_rank = rank
-
-    top_rows = rows[:top_n]
-    rest = rows[top_n:]
-    other = OrgRow(
-        org_name="<other>",
-        total_connections=sum(row.total_connections for row in rest),
-        spin_connections=sum(row.spin_connections for row in rest),
-    )
-    return OrgTable(top_rows=top_rows, other=other, all_rows=rows)
+    return fold.finish()

@@ -14,11 +14,17 @@ RFC 9000 and Binomial(n, 7/8) for RFC 9312.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Iterable, Sequence
 
 from repro._util.stats import binomial_pmf
 from repro.campaign.runner import LongitudinalResult
 
-__all__ = ["ComplianceHistogram", "compliance_histogram", "rfc_reference_shares"]
+__all__ = [
+    "ComplianceFold",
+    "ComplianceHistogram",
+    "compliance_histogram",
+    "rfc_reference_shares",
+]
 
 
 @dataclass(frozen=True)
@@ -64,25 +70,50 @@ def rfc_reference_shares(n_weeks: int, disable_one_in_n: int) -> list[float]:
     return [value / total for value in raw]
 
 
+class ComplianceFold:
+    """Streaming accumulator behind :func:`compliance_histogram`.
+
+    Consumes per-domain weekly spin-activity flag sequences (each of
+    length ``n_weeks``); domains that never spun are skipped, matching
+    the paper's Figure 2 selection.
+    """
+
+    name = "compliance"
+    needs_edges_received = False
+    needs_edges_sorted = False
+
+    def __init__(self, n_weeks: int) -> None:
+        self.n_weeks = n_weeks
+        self._counts = [0] * n_weeks  # index k-1: spun in exactly k weeks
+        self._considered = 0
+
+    def update_many(self, flag_rows: Iterable[Sequence[bool]]) -> None:
+        counts = self._counts
+        considered = 0
+        for flags in flag_rows:
+            k = sum(flags)
+            if k == 0:
+                continue  # never spun in the selected weeks: not in Fig. 2
+            considered += 1
+            counts[k - 1] += 1
+        self._considered += considered
+
+    def finish(self) -> ComplianceHistogram:
+        considered = self._considered
+        observed = [
+            count / considered if considered else 0.0 for count in self._counts
+        ]
+        return ComplianceHistogram(
+            n_weeks=self.n_weeks,
+            considered_domains=considered,
+            observed_shares=observed,
+            rfc9000_shares=rfc_reference_shares(self.n_weeks, 16),
+            rfc9312_shares=rfc_reference_shares(self.n_weeks, 8),
+        )
+
+
 def compliance_histogram(result: LongitudinalResult) -> ComplianceHistogram:
     """Compute Figure 2 from a longitudinal measurement result."""
-    n_weeks = len(result.datasets)
-    activity = result.weekly_spin_activity()
-    counts = [0] * n_weeks  # index k-1: domains spinning in exactly k weeks
-    considered = 0
-    for flags in activity.values():
-        k = sum(flags)
-        if k == 0:
-            continue  # never spun in the selected weeks: not in Fig. 2
-        considered += 1
-        counts[k - 1] += 1
-    observed = [
-        count / considered if considered else 0.0 for count in counts
-    ]
-    return ComplianceHistogram(
-        n_weeks=n_weeks,
-        considered_domains=considered,
-        observed_shares=observed,
-        rfc9000_shares=rfc_reference_shares(n_weeks, 16),
-        rfc9312_shares=rfc_reference_shares(n_weeks, 8),
-    )
+    fold = ComplianceFold(n_weeks=len(result.datasets))
+    fold.update_many(result.weekly_spin_activity().values())
+    return fold.finish()

@@ -9,12 +9,18 @@ filter remove?
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Iterable
 
 from repro.core.classify import SpinBehaviour, classify_domain
 from repro.internet.population import ListGroup, Population
-from repro.web.scanner import ScanDataset
+from repro.web.scanner import DomainScanResult, ScanDataset
 
-__all__ = ["ConfigurationRow", "ConfigurationTable", "configuration_table"]
+__all__ = [
+    "ConfigurationFold",
+    "ConfigurationRow",
+    "ConfigurationTable",
+    "configuration_table",
+]
 
 
 @dataclass(frozen=True)
@@ -57,31 +63,68 @@ class ConfigurationTable:
         return self.rows[group]
 
 
-def configuration_table(dataset: ScanDataset, population: Population) -> ConfigurationTable:
-    """Aggregate domain-level spin behaviour per population view."""
-    rows: dict[ListGroup, ConfigurationRow] = {}
-    results_by_name = {result.domain.name: result for result in dataset.results}
+class ConfigurationFold:
+    """Streaming accumulator behind :func:`configuration_table`.
 
-    for group in ListGroup:
-        counters = {behaviour: 0 for behaviour in SpinBehaviour}
-        quic_domains = 0
-        for domain in population.group_members(group):
-            result = results_by_name.get(domain.name)
-            if result is None or not result.quic_support:
+    Classifies each deduplicated QUIC domain exactly once and charges
+    the verdict to every population view the domain belongs to (the
+    original per-view pass re-classified shared domains per view).
+    """
+
+    name = "config"
+    needs_edges_received = False
+    needs_edges_sorted = False
+
+    def __init__(self) -> None:
+        self._quic_domains = {group: 0 for group in ListGroup}
+        self._counters = {
+            group: {behaviour: 0 for behaviour in SpinBehaviour}
+            for group in ListGroup
+        }
+
+    def update_many(self, results: Iterable[DomainScanResult]) -> None:
+        for result in results:
+            if not result.quic_support:
                 continue
-            quic_domains += 1
+            domain = result.domain
+            views = []
+            if domain.in_toplist:
+                views.append(ListGroup.TOPLISTS)
+            if domain.in_czds:
+                views.append(ListGroup.CZDS)
+                if domain.in_com_net_org:
+                    views.append(ListGroup.COM_NET_ORG)
+            if not views:
+                continue
             behaviour = classify_domain(
                 [c.behaviour for c in result.connections if c.success]
             )
-            counters[behaviour] += 1
-        rows[group] = ConfigurationRow(
-            group=group,
-            quic_domains=quic_domains,
-            all_zero=counters[SpinBehaviour.ALL_ZERO],
-            all_one=counters[SpinBehaviour.ALL_ONE],
-            spin=counters[SpinBehaviour.SPIN],
-            grease=counters[SpinBehaviour.GREASE],
+            for view in views:
+                self._quic_domains[view] += 1
+                self._counters[view][behaviour] += 1
+
+    def finish(
+        self, week_label: str = "", ip_version: int = 4
+    ) -> ConfigurationTable:
+        rows: dict[ListGroup, ConfigurationRow] = {}
+        for group in ListGroup:
+            counters = self._counters[group]
+            rows[group] = ConfigurationRow(
+                group=group,
+                quic_domains=self._quic_domains[group],
+                all_zero=counters[SpinBehaviour.ALL_ZERO],
+                all_one=counters[SpinBehaviour.ALL_ONE],
+                spin=counters[SpinBehaviour.SPIN],
+                grease=counters[SpinBehaviour.GREASE],
+            )
+        return ConfigurationTable(
+            week_label=week_label, ip_version=ip_version, rows=rows
         )
-    return ConfigurationTable(
-        week_label=dataset.week_label, ip_version=dataset.ip_version, rows=rows
-    )
+
+
+def configuration_table(dataset: ScanDataset, population: Population) -> ConfigurationTable:
+    """Aggregate domain-level spin behaviour per population view."""
+    fold = ConfigurationFold()
+    results_by_name = {result.domain.name: result for result in dataset.results}
+    fold.update_many(results_by_name.values())
+    return fold.finish(week_label=dataset.week_label, ip_version=dataset.ip_version)

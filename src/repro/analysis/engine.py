@@ -1,0 +1,131 @@
+"""Single-pass streaming analysis engine.
+
+Every analysis section of the repro pipeline is a **fold**: an
+accumulator object with
+
+* ``name`` — the section identifier (``"orgs"``, ``"accuracy"``, ...);
+* ``update_many(records)`` — absorb one batch of decoded
+  :class:`~repro.web.scanner.ConnectionRecord` objects (the batch loop
+  lives *inside* the fold, so per-record dispatch costs one method call
+  per batch and section, not per record and section);
+* ``finish()`` — produce the section's result object (the same type the
+  section's classic function returns).
+
+:class:`AnalysisEngine` drives any number of folds over one shared
+stream of record batches, so ``repro analyze`` with every section
+enabled decodes the artifact exactly once and holds one batch in memory
+at a time.  The classic per-section functions
+(:func:`~repro.analysis.asorg.organization_table`,
+:func:`~repro.analysis.accuracy.accuracy_study`, ...) are thin wrappers
+that run their fold over an in-memory list — same code path, same
+results.
+
+Folds declare which decoded columns they touch via the class attributes
+``needs_edges_received`` / ``needs_edges_sorted``; the engine aggregates
+them so the cbr reader can skip materializing edge objects nobody will
+read (projection pushdown).  Absent attributes count as *needed* —
+unknown folds never see partial records.
+
+The domain-scoped sections (support, config, compliance) fold over
+domain results / weekly activity flags instead of connection records;
+their folds live next to their classic functions
+(:class:`~repro.analysis.support.SupportFold`,
+:class:`~repro.analysis.config.ConfigurationFold`,
+:class:`~repro.analysis.compliance.ComplianceFold`).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterable, Protocol, Sequence
+
+from repro.web.scanner import ConnectionRecord
+
+__all__ = ["AnalysisEngine", "RecordFold", "build_record_folds"]
+
+
+class RecordFold(Protocol):
+    """What the engine requires of a connection-record fold."""
+
+    name: str
+
+    def update_many(self, records: Sequence[ConnectionRecord]) -> None: ...
+
+    def finish(self) -> Any: ...
+
+
+class AnalysisEngine:
+    """Runs a set of folds over one stream of record batches."""
+
+    def __init__(self, folds: Sequence[RecordFold]) -> None:
+        names = [fold.name for fold in folds]
+        if len(set(names)) != len(names):
+            raise ValueError(f"duplicate fold names: {names}")
+        self.folds = list(folds)
+
+    @property
+    def needs_edges_received(self) -> bool:
+        return any(
+            getattr(fold, "needs_edges_received", True) for fold in self.folds
+        )
+
+    @property
+    def needs_edges_sorted(self) -> bool:
+        return any(getattr(fold, "needs_edges_sorted", True) for fold in self.folds)
+
+    def run(
+        self, batches: Iterable[Sequence[ConnectionRecord]]
+    ) -> dict[str, Any]:
+        """One pass over ``batches``; returns ``{section: result}``.
+
+        Results preserve the fold order given at construction.
+        """
+        folds = self.folds
+        for batch in batches:
+            for fold in folds:
+                fold.update_many(batch)
+        return {fold.name: fold.finish() for fold in folds}
+
+
+def build_record_folds(sections: Iterable[str], asdb=None) -> list[RecordFold]:
+    """The record-stream folds behind ``repro analyze``'s sections.
+
+    ``sections`` is any iterable of section names (``"all"`` selects
+    every record-based section); ``asdb`` is required for ``orgs`` and
+    built on demand when omitted.  Fold order follows the CLI's section
+    order regardless of the input order.
+    """
+    from repro.analysis.accuracy import AccuracyFold
+    from repro.analysis.asorg import OrgFold
+    from repro.analysis.filter_study import FilterFold
+    from repro.analysis.versions import VersionFold
+    from repro.analysis.webserver import WebserverFold
+    from repro.faults.taxonomy import FailureFold
+
+    if isinstance(sections, str):
+        sections = (sections,)
+    wanted = set(sections)
+    if "all" in wanted:
+        wanted |= {"orgs", "webservers", "accuracy", "versions", "filters", "failures"}
+    folds: list[RecordFold] = []
+    if "orgs" in wanted:
+        if asdb is None:
+            from repro.internet.asdb import build_default_asdb
+
+            asdb = build_default_asdb()
+        folds.append(OrgFold(asdb))
+    if "webservers" in wanted:
+        folds.append(WebserverFold())
+    if "accuracy" in wanted:
+        folds.append(AccuracyFold())
+    if "versions" in wanted:
+        folds.append(VersionFold())
+    if "filters" in wanted:
+        folds.append(FilterFold())
+    if "failures" in wanted:
+        folds.append(FailureFold())
+    unknown = wanted - {
+        "all", "orgs", "webservers", "accuracy", "versions", "filters", "failures",
+    }
+    if unknown:
+        raise ValueError(f"unknown analysis sections: {sorted(unknown)}")
+    return folds

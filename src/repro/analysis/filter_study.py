@@ -11,14 +11,14 @@ accuracy picture.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Iterable
+from typing import Iterable, Sequence
 
 from repro.core.heuristics import DynamicThresholdFilter, StaticThresholdFilter
 from repro.core.metrics import AccuracyResult, compare_means
 from repro.core.observer import spin_rtts_from_edges
 from repro.web.scanner import ConnectionRecord
 
-__all__ = ["FilterOutcome", "FilterStudy", "run_filter_study"]
+__all__ = ["FilterFold", "FilterOutcome", "FilterStudy", "run_filter_study"]
 
 
 @dataclass
@@ -66,6 +66,62 @@ class FilterStudy:
         return [self.raw, self.static, self.hold_time, self.combined]
 
 
+class FilterFold:
+    """Streaming accumulator behind :func:`run_filter_study`.
+
+    The only analysis fold that reads the received-order *edge* objects
+    (the hold-time filter works on edges, not samples), so it declares
+    ``needs_edges_received``.
+    """
+
+    name = "filters"
+    needs_edges_received = True
+    needs_edges_sorted = False
+
+    def __init__(
+        self, static_floor_ms: float = 1.0, hold_fraction: float = 0.125
+    ) -> None:
+        self._static_filter = StaticThresholdFilter(min_rtt_ms=static_floor_ms)
+        self._hold_filter = DynamicThresholdFilter(fraction=hold_fraction)
+        self._raw = FilterOutcome("raw", [])
+        self._static = FilterOutcome(f"static >= {static_floor_ms:g} ms", [])
+        self._hold = FilterOutcome(f"hold-time {hold_fraction:g}", [])
+        self._combined = FilterOutcome("static + hold-time", [])
+
+    def update_many(self, records: Sequence[ConnectionRecord]) -> None:
+        static_filter = self._static_filter
+        hold_filter = self._hold_filter
+        raw_results = self._raw.results
+        for record in records:
+            observation = record.observation
+            if len(observation.values_seen) != 2:
+                continue
+            stack = record.stack_rtts_ms
+            base = observation.rtts_received_ms
+            if not stack or not base:
+                continue
+            raw_results.append(compare_means(base, stack))
+
+            static_series = static_filter.filter_rtts(base)
+            _append(self._static, static_series, stack)
+
+            hold_series = spin_rtts_from_edges(
+                hold_filter.filter_edges(observation.edges_received)
+            )
+            _append(self._hold, hold_series, stack)
+
+            combined_series = static_filter.filter_rtts(hold_series)
+            _append(self._combined, combined_series, stack)
+
+    def finish(self) -> FilterStudy:
+        return FilterStudy(
+            raw=self._raw,
+            static=self._static,
+            hold_time=self._hold,
+            combined=self._combined,
+        )
+
+
 def run_filter_study(
     records: Iterable[ConnectionRecord],
     static_floor_ms: float = 1.0,
@@ -78,36 +134,9 @@ def run_filter_study(
     filter are counted in ``connections_lost`` instead of skewing the
     averages.
     """
-    static_filter = StaticThresholdFilter(min_rtt_ms=static_floor_ms)
-    hold_filter = DynamicThresholdFilter(fraction=hold_fraction)
-
-    raw = FilterOutcome("raw", [])
-    static = FilterOutcome(f"static >= {static_floor_ms:g} ms", [])
-    hold = FilterOutcome(f"hold-time {hold_fraction:g}", [])
-    combined = FilterOutcome("static + hold-time", [])
-
-    for record in records:
-        observation = record.observation
-        if not observation.spins:
-            continue
-        stack = record.stack_rtts_ms
-        base = observation.rtts_received_ms
-        if not stack or not base:
-            continue
-        raw.results.append(compare_means(base, stack))
-
-        static_series = static_filter.filter_rtts(base)
-        _append(static, static_series, stack)
-
-        hold_series = spin_rtts_from_edges(
-            hold_filter.filter_edges(observation.edges_received)
-        )
-        _append(hold, hold_series, stack)
-
-        combined_series = static_filter.filter_rtts(hold_series)
-        _append(combined, combined_series, stack)
-
-    return FilterStudy(raw=raw, static=static, hold_time=hold, combined=combined)
+    fold = FilterFold(static_floor_ms=static_floor_ms, hold_fraction=hold_fraction)
+    fold.update_many(records if isinstance(records, Sequence) else list(records))
+    return fold.finish()
 
 
 def _append(outcome: FilterOutcome, series: list[float], stack: list[float]) -> None:

@@ -13,11 +13,12 @@ computed:
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Iterable
 
 from repro.internet.population import ListGroup, Population
-from repro.web.scanner import ScanDataset
+from repro.web.scanner import DomainScanResult, ScanDataset
 
-__all__ = ["SupportOverview", "SupportRow", "support_overview"]
+__all__ = ["SupportFold", "SupportOverview", "SupportRow", "support_overview"]
 
 
 @dataclass(frozen=True)
@@ -61,6 +62,107 @@ class SupportOverview:
         return self.rows[group]
 
 
+class _GroupCounters:
+    """Mutable per-view accumulator feeding one :class:`SupportRow`."""
+
+    __slots__ = (
+        "domains_resolved",
+        "domains_quic",
+        "domains_spin",
+        "ips_resolved",
+        "ips_quic",
+        "ips_spin",
+    )
+
+    def __init__(self) -> None:
+        self.domains_resolved = 0
+        self.domains_quic = 0
+        self.domains_spin = 0
+        self.ips_resolved: set = set()
+        self.ips_quic: set = set()
+        self.ips_spin: set = set()
+
+
+class SupportFold:
+    """Streaming accumulator behind :func:`support_overview`.
+
+    Consumes deduplicated :class:`DomainScanResult` objects (one per
+    domain name, last wins — the caller dedups).  Population-view
+    membership comes from the result's own :class:`DomainRecord` flags,
+    which is exactly how :meth:`Population.group_members` is defined, so
+    one pass updates every view a domain belongs to.
+    """
+
+    name = "support"
+    needs_edges_received = False
+    needs_edges_sorted = False
+
+    def __init__(self, population: Population) -> None:
+        self._population = population
+        self._counters = {group: _GroupCounters() for group in ListGroup}
+
+    def update_many(self, results: Iterable[DomainScanResult]) -> None:
+        counters = self._counters
+        toplists = counters[ListGroup.TOPLISTS]
+        czds = counters[ListGroup.CZDS]
+        com_net_org = counters[ListGroup.COM_NET_ORG]
+        for result in results:
+            if not result.resolved:
+                continue
+            domain = result.domain
+            views = []
+            if domain.in_toplist:
+                views.append(toplists)
+            if domain.in_czds:
+                views.append(czds)
+                if domain.in_com_net_org:
+                    views.append(com_net_org)
+            if not views:
+                continue
+
+            resolved_ip = result.resolved_ip
+            quic = result.quic_support
+            quic_ips: list = []
+            spin_ips: list = []
+            if quic:
+                for connection in result.connections:
+                    if not connection.success:
+                        continue
+                    quic_ips.append(connection.ip)
+                    if connection.behaviour.value == "spin":
+                        spin_ips.append(connection.ip)
+
+            for view in views:
+                view.domains_resolved += 1
+                if resolved_ip is not None:
+                    view.ips_resolved.add(resolved_ip)
+                if not quic:
+                    continue
+                view.domains_quic += 1
+                view.ips_quic.update(quic_ips)
+                if spin_ips:
+                    view.domains_spin += 1
+                    view.ips_spin.update(spin_ips)
+
+    def finish(
+        self, week_label: str = "", ip_version: int = 4
+    ) -> SupportOverview:
+        rows: dict[ListGroup, SupportRow] = {}
+        for group in ListGroup:
+            counter = self._counters[group]
+            rows[group] = SupportRow(
+                group=group,
+                domains_total=len(self._population.group_members(group)),
+                domains_resolved=counter.domains_resolved,
+                domains_quic=counter.domains_quic,
+                domains_spin=counter.domains_spin,
+                ips_resolved=len(counter.ips_resolved),
+                ips_quic=len(counter.ips_quic),
+                ips_spin=len(counter.ips_spin),
+            )
+        return SupportOverview(week_label=week_label, ip_version=ip_version, rows=rows)
+
+
 def support_overview(dataset: ScanDataset, population: Population) -> SupportOverview:
     """Aggregate one weekly scan into the Table 1/Table 4 layout.
 
@@ -68,50 +170,7 @@ def support_overview(dataset: ScanDataset, population: Population) -> SupportOve
     (both spin values seen on at least one connection) *after* grease
     filtering, matching the Spin column that Tables 1 and 3 share.
     """
-    rows: dict[ListGroup, SupportRow] = {}
+    fold = SupportFold(population)
     results_by_name = {result.domain.name: result for result in dataset.results}
-
-    for group in ListGroup:
-        members = population.group_members(group)
-        domains_total = len(members)
-        domains_resolved = 0
-        domains_quic = 0
-        domains_spin = 0
-        ips_resolved: set = set()
-        ips_quic: set = set()
-        ips_spin: set = set()
-
-        for domain in members:
-            result = results_by_name.get(domain.name)
-            if result is None or not result.resolved:
-                continue
-            domains_resolved += 1
-            if result.resolved_ip is not None:
-                ips_resolved.add(result.resolved_ip)
-            if not result.quic_support:
-                continue
-            domains_quic += 1
-            domain_spins = False
-            for connection in result.connections:
-                if not connection.success:
-                    continue
-                ips_quic.add(connection.ip)
-                if connection.behaviour.value == "spin":
-                    domain_spins = True
-                    ips_spin.add(connection.ip)
-            if domain_spins:
-                domains_spin += 1
-
-        rows[group] = SupportRow(
-            group=group,
-            domains_total=domains_total,
-            domains_resolved=domains_resolved,
-            domains_quic=domains_quic,
-            domains_spin=domains_spin,
-            ips_resolved=len(ips_resolved),
-            ips_quic=len(ips_quic),
-            ips_spin=len(ips_spin),
-        )
-    return SupportOverview(
-        week_label=dataset.week_label, ip_version=dataset.ip_version, rows=rows
-    )
+    fold.update_many(results_by_name.values())
+    return fold.finish(week_label=dataset.week_label, ip_version=dataset.ip_version)

@@ -11,12 +11,12 @@ negotiation machinery sees use.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Iterable
+from typing import Iterable, Sequence
 
 from repro.quic.version import QuicVersion
 from repro.web.scanner import ConnectionRecord
 
-__all__ = ["VersionShare", "version_distribution"]
+__all__ = ["VersionFold", "VersionShare", "version_distribution"]
 
 
 @dataclass(frozen=True)
@@ -39,23 +39,41 @@ def _label(version: int) -> str:
     return parsed.name.replace("_", "-").lower()
 
 
+class VersionFold:
+    """Streaming accumulator behind :func:`version_distribution`."""
+
+    name = "versions"
+    needs_edges_received = False
+    needs_edges_sorted = False
+
+    def __init__(self) -> None:
+        self._counts: dict[int, int] = {}
+
+    def update_many(self, records: Sequence[ConnectionRecord]) -> None:
+        counts = self._counts
+        for record in records:
+            version = record.negotiated_version
+            if version is None or not record.success:
+                continue
+            counts[version] = counts.get(version, 0) + 1
+
+    def finish(self) -> list[VersionShare]:
+        total = sum(self._counts.values())
+        shares = [
+            VersionShare(
+                version=version,
+                label=_label(version),
+                connections=count,
+                share=count / total,
+            )
+            for version, count in self._counts.items()
+        ]
+        shares.sort(key=lambda entry: (-entry.connections, entry.version))
+        return shares
+
+
 def version_distribution(records: Iterable[ConnectionRecord]) -> list[VersionShare]:
     """Per-version connection counts, descending by share."""
-    counts: dict[int, int] = {}
-    total = 0
-    for record in records:
-        if not record.success or record.negotiated_version is None:
-            continue
-        counts[record.negotiated_version] = counts.get(record.negotiated_version, 0) + 1
-        total += 1
-    shares = [
-        VersionShare(
-            version=version,
-            label=_label(version),
-            connections=count,
-            share=count / total,
-        )
-        for version, count in counts.items()
-    ]
-    shares.sort(key=lambda entry: (-entry.connections, entry.version))
-    return shares
+    fold = VersionFold()
+    fold.update_many(records if isinstance(records, Sequence) else list(records))
+    return fold.finish()

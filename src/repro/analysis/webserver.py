@@ -11,11 +11,12 @@ actual response bytes.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Iterable
+from typing import Iterable, Sequence
 
+from repro.core.classify import SpinBehaviour
 from repro.web.scanner import ConnectionRecord
 
-__all__ = ["WebserverShare", "webserver_shares"]
+__all__ = ["WebserverFold", "WebserverShare", "webserver_shares"]
 
 
 @dataclass(frozen=True)
@@ -27,29 +28,51 @@ class WebserverShare:
     share: float
 
 
-def webserver_shares(
-    connections: Iterable[ConnectionRecord],
-    spinning_only: bool = True,
-) -> list[WebserverShare]:
-    """Connection share per ``server`` header, descending.
+class WebserverFold:
+    """Streaming accumulator behind :func:`webserver_shares`.
 
     ``spinning_only`` restricts the denominator to connections with
     (unfiltered) spin activity — the population whose stack provenance
     the paper traces back to LiteSpeed.
     """
-    counts: dict[str, int] = {}
-    total = 0
-    for connection in connections:
-        if not connection.success:
-            continue
-        if spinning_only and connection.behaviour.value != "spin":
-            continue
-        header = connection.server_header or "<none>"
-        counts[header] = counts.get(header, 0) + 1
-        total += 1
-    shares = [
-        WebserverShare(server_header=header, connections=count, share=count / total)
-        for header, count in counts.items()
-    ]
-    shares.sort(key=lambda entry: (-entry.connections, entry.server_header))
-    return shares
+
+    name = "webservers"
+    needs_edges_received = False
+    needs_edges_sorted = False
+
+    def __init__(self, spinning_only: bool = True) -> None:
+        self._spinning_only = spinning_only
+        self._counts: dict[str, int] = {}
+
+    def update_many(self, records: Sequence[ConnectionRecord]) -> None:
+        counts = self._counts
+        spinning_only = self._spinning_only
+        spin = SpinBehaviour.SPIN
+        for connection in records:
+            if not connection.success:
+                continue
+            if spinning_only and connection.behaviour is not spin:
+                continue
+            header = connection.server_header or "<none>"
+            counts[header] = counts.get(header, 0) + 1
+
+    def finish(self) -> list[WebserverShare]:
+        total = sum(self._counts.values())
+        shares = [
+            WebserverShare(server_header=header, connections=count, share=count / total)
+            for header, count in self._counts.items()
+        ]
+        shares.sort(key=lambda entry: (-entry.connections, entry.server_header))
+        return shares
+
+
+def webserver_shares(
+    connections: Iterable[ConnectionRecord],
+    spinning_only: bool = True,
+) -> list[WebserverShare]:
+    """Connection share per ``server`` header, descending."""
+    fold = WebserverFold(spinning_only=spinning_only)
+    fold.update_many(
+        connections if isinstance(connections, Sequence) else list(connections)
+    )
+    return fold.finish()

@@ -1,18 +1,24 @@
 """Command-line interface for the spin-bit reproduction.
 
-Seven subcommands mirror the study's workflow::
+Eight subcommands mirror the study's workflow::
 
     repro scan        # build a population, scan it, export the dataset
     repro analyze     # run the connection-level analyses on a dataset
+    repro convert     # re-encode an artifact (jsonl <-> cbr), merge shards
     repro compliance  # the Figure 2 longitudinal study
     repro report      # regenerate every table and figure in one run
     repro monitor     # streaming on-path monitoring of many-flow traffic
     repro demo        # one observed connection, spin vs stack RTT
     repro telemetry   # summarize a --telemetry-out directory
 
-``scan`` writes the Appendix-B-style JSONL artifact that ``analyze``
-consumes, so the two halves can run on different machines — exactly how
-the paper separates measurement from analysis.  ``monitor`` is the
+``scan`` writes the artifact that ``analyze`` consumes — the
+Appendix-B-style JSONL schema or the columnar binary ``cbr`` store
+(``--artifact-format``, auto-detected on read) — so the two halves can
+run on different machines, exactly how the paper separates measurement
+from analysis.  ``analyze`` streams the artifact through the single-pass
+:class:`~repro.analysis.engine.AnalysisEngine`: every requested section
+folds over one shared stream of record batches, decoding the artifact
+exactly once in bounded memory.  ``monitor`` is the
 operator-side counterpart: it multiplexes many concurrent simulated
 connections into one tap stream and publishes windowed RTT metric
 snapshots as JSONL while the stream runs.
@@ -62,7 +68,14 @@ def _build_parser() -> argparse.ArgumentParser:
         help="domains per worker shard (default: auto)",
     )
     scan.add_argument(
-        "--out", required=True, help="output JSONL path ('-' for stdout)"
+        "--out", required=True, help="output artifact path ('-' for stdout)"
+    )
+    scan.add_argument(
+        "--artifact-format",
+        choices=("auto", "jsonl", "cbr"),
+        default="auto",
+        help="artifact encoding: columnar binary (cbr) or JSON lines; "
+        "'auto' keys off the --out extension (.cbr => cbr)",
     )
     scan.add_argument(
         "--telemetry-out",
@@ -130,8 +143,10 @@ def _build_parser() -> argparse.ArgumentParser:
         help="write sampled qlog documents as JSONL ('-' for stdout)",
     )
 
-    analyze = sub.add_parser("analyze", help="analyze an exported JSONL dataset")
-    analyze.add_argument("dataset", help="JSONL path ('-' for stdin)")
+    analyze = sub.add_parser(
+        "analyze", help="analyze an exported dataset (jsonl or cbr)"
+    )
+    analyze.add_argument("dataset", help="artifact path ('-' for stdin)")
     analyze.add_argument(
         "--section",
         choices=(
@@ -139,6 +154,22 @@ def _build_parser() -> argparse.ArgumentParser:
             "failures", "all",
         ),
         default="all",
+    )
+
+    convert = sub.add_parser(
+        "convert",
+        help="re-encode an artifact between jsonl and cbr (or merge a "
+        "checkpoint directory of cbr shards)",
+    )
+    convert.add_argument(
+        "input", help="artifact path, or a --checkpoint-dir directory of shards"
+    )
+    convert.add_argument("output", help="output artifact path")
+    convert.add_argument(
+        "--to",
+        choices=("auto", "jsonl", "cbr"),
+        default="auto",
+        help="target encoding ('auto' keys off the output extension)",
     )
 
     compliance = sub.add_parser(
@@ -243,15 +274,6 @@ def _open_out(path: str):
         raise SystemExit(f"repro: error: cannot write {path}: {error}")
 
 
-def _open_in(path: str):
-    if path == "-":
-        return sys.stdin, False
-    try:
-        return open(path, "r", encoding="utf-8"), True
-    except OSError as error:
-        raise SystemExit(f"repro: error: cannot read {path}: {error}")
-
-
 def _fault_plan_from_args(fault_args):
     """Parse repeated ``--fault`` values into one plan (or ``None``)."""
     if not fault_args:
@@ -323,7 +345,7 @@ def _parallel_config(workers: int, chunk_size: int | None = None):
 def _cmd_scan(args: argparse.Namespace) -> int:
     import json
 
-    from repro.analysis.artifacts import export_records
+    from repro.artifacts import write_records
     from repro.faults import CheckpointError
     from repro.internet.population import PopulationConfig, build_population
     from repro.web.scanner import ScanConfig, Scanner
@@ -365,12 +387,12 @@ def _cmd_scan(args: argparse.Namespace) -> int:
         )
     except CheckpointError as error:
         raise SystemExit(f"repro: error: {error}")
-    stream, close = _open_out(args.out)
     try:
-        count = export_records(dataset.connection_records(), stream)
-    finally:
-        if close:
-            stream.close()
+        count = write_records(
+            dataset.connection_records(), args.out, format=args.artifact_format
+        )
+    except (OSError, ValueError) as error:
+        raise SystemExit(f"repro: error: cannot write {args.out}: {error}")
     if args.qlog_out:
         documents = [
             record.qlog
@@ -411,33 +433,37 @@ def _cmd_scan(args: argparse.Namespace) -> int:
 
 
 def _cmd_analyze(args: argparse.Namespace) -> int:
-    from repro.analysis.accuracy import accuracy_study
-    from repro.analysis.artifacts import load_records
-    from repro.analysis.asorg import organization_table
-    from repro.analysis.filter_study import run_filter_study
+    from repro.analysis.engine import AnalysisEngine, build_record_folds
     from repro.analysis.report import render_org_table, render_series_summary
-    from repro.analysis.versions import version_distribution
-    from repro.analysis.webserver import webserver_shares
-    from repro.internet.asdb import build_default_asdb
-
-    stream, close = _open_in(args.dataset)
-    try:
-        records = load_records(stream)
-    finally:
-        if close:
-            stream.close()
-    # Diagnostic, not analysis output: keep stdout machine-parseable.
-    print(f"{len(records)} connection records loaded", file=sys.stderr)
+    from repro.artifacts import open_record_batches
+    from repro.faults import render_failure_table
 
     wanted = args.section
+    engine = AnalysisEngine(build_record_folds(wanted))
+    try:
+        with open_record_batches(
+            args.dataset,
+            want_edges_received=engine.needs_edges_received,
+            want_edges_sorted=engine.needs_edges_sorted,
+            errors="count",
+        ) as source:
+            results = engine.run(source.batches())
+            loaded = source.records_read
+            corrupt = source.corrupt_chunks
+    except OSError as error:
+        raise SystemExit(f"repro: error: cannot read {args.dataset}: {error}")
+    # Diagnostic, not analysis output: keep stdout machine-parseable.
+    print(f"{loaded} connection records loaded", file=sys.stderr)
+    if corrupt:
+        print(f"{corrupt} corrupt chunks skipped", file=sys.stderr)
 
     if wanted in ("orgs", "all"):
         print("== AS organizations (Table 2 style) ==")
-        print(render_org_table(organization_table(records, build_default_asdb())))
+        print(render_org_table(results["orgs"]))
         print()
     if wanted in ("webservers", "all"):
         print("== webserver attribution (spinning connections) ==")
-        for share in webserver_shares(records)[:6]:
+        for share in results["webservers"][:6]:
             print(
                 f"  {share.server_header:30s} {share.connections:6d}"
                 f" {share.share * 100:5.1f} %"
@@ -445,12 +471,11 @@ def _cmd_analyze(args: argparse.Namespace) -> int:
         print()
     if wanted in ("accuracy", "all"):
         print("== RTT accuracy (Figures 3/4 style) ==")
-        study = accuracy_study(records)
-        print(render_series_summary(study.spin_received))
+        print(render_series_summary(results["accuracy"].spin_received))
         print()
     if wanted in ("versions", "all"):
         print("== negotiated QUIC versions ==")
-        for share in version_distribution(records):
+        for share in results["versions"]:
             print(
                 f"  {share.label:14s} {share.connections:6d}"
                 f" {share.share * 100:5.1f} %"
@@ -458,8 +483,7 @@ def _cmd_analyze(args: argparse.Namespace) -> int:
         print()
     if wanted in ("filters", "all"):
         print("== RFC 9312 filter study ==")
-        study = run_filter_study(records)
-        for outcome in study.outcomes():
+        for outcome in results["filters"].outcomes():
             print(
                 f"  {outcome.label:22s} n={outcome.connections:5d}"
                 f"  within25%={outcome.within_25pct_share * 100:5.1f} %"
@@ -467,12 +491,75 @@ def _cmd_analyze(args: argparse.Namespace) -> int:
                 f"  lost={outcome.connections_lost}"
             )
     if wanted in ("failures", "all"):
-        from repro.faults import failure_summary, render_failure_table
-
         if wanted == "all":
             print()
         print("== failure taxonomy ==")
-        print(render_failure_table(failure_summary(records)))
+        print(render_failure_table(results["failures"]))
+    return 0
+
+
+def _cmd_convert(args: argparse.Namespace) -> int:
+    import os
+
+    from repro.artifacts import (
+        FORMAT_CBR,
+        open_record_batches,
+        resolve_write_format,
+        write_records,
+    )
+
+    try:
+        target = resolve_write_format(args.output, args.to)
+    except ValueError as error:
+        raise SystemExit(f"repro: error: {error}")
+
+    if os.path.isdir(args.input):
+        # A checkpoint directory of cbr shards: when the target is cbr
+        # too, merge by frame concatenation — no decode, no re-encode.
+        from repro.artifacts.cbr import CbrFormatError, concat_frames
+
+        shards = sorted(
+            os.path.join(args.input, name)
+            for name in os.listdir(args.input)
+            if name.startswith("shard-") and name.endswith(".cbr")
+        )
+        if not shards:
+            raise SystemExit(
+                f"repro: error: no cbr shards (shard-*.cbr) in {args.input}"
+            )
+        if target == FORMAT_CBR:
+            try:
+                with open(args.output, "wb") as out:
+                    _, count = concat_frames(shards, out)
+            except (OSError, CbrFormatError) as error:
+                raise SystemExit(f"repro: error: {error}")
+            print(
+                f"merged {len(shards)} shards, {count} connection records",
+                file=sys.stderr,
+            )
+            return 0
+
+        def shard_records():
+            for shard in shards:
+                with open_record_batches(shard) as source:
+                    yield from source.records()
+
+        try:
+            count = write_records(shard_records(), args.output, format=target)
+        except (OSError, ValueError) as error:
+            raise SystemExit(f"repro: error: {error}")
+        print(
+            f"converted {len(shards)} shards, {count} connection records",
+            file=sys.stderr,
+        )
+        return 0
+
+    try:
+        with open_record_batches(args.input) as source:
+            count = write_records(source.records(), args.output, format=target)
+    except (OSError, ValueError) as error:
+        raise SystemExit(f"repro: error: {error}")
+    print(f"converted {count} connection records", file=sys.stderr)
     return 0
 
 
@@ -634,6 +721,7 @@ _COMMANDS = {
     "scan": _cmd_scan,
     "report": _cmd_report,
     "analyze": _cmd_analyze,
+    "convert": _cmd_convert,
     "compliance": _cmd_compliance,
     "monitor": _cmd_monitor,
     "demo": _cmd_demo,

@@ -41,7 +41,7 @@ __all__ = ["FlowRecord", "FlowTableStats", "SpinFlowTable"]
 OVERFLOW_POLICIES = ("evict-lru", "drop-new")
 
 
-@dataclass
+@dataclass(slots=True)
 class FlowRecord:
     """Per-flow observer state."""
 
@@ -57,7 +57,7 @@ class FlowRecord:
         return self._observer.observation()
 
 
-@dataclass
+@dataclass(slots=True)
 class FlowTableStats:
     """Table health counters (the monitor's gauge/counter export).
 
@@ -117,6 +117,32 @@ class SpinFlowTable:
     ``observer_factory(flow_key)`` swaps the per-flow observer
     implementation.
     """
+
+    __slots__ = (
+        "short_dcid_length",
+        "max_flows",
+        "idle_timeout_ms",
+        "overflow_policy",
+        "retain_retired",
+        "observer_factory",
+        "on_retire",
+        "on_packet",
+        "flows",
+        "evicted",
+        "stats",
+        "_next_sweep_ms",
+        "_m_datagrams",
+        "_m_parse_errors",
+        "_m_packets",
+        "_m_short_packets",
+        "_m_created",
+        "_m_evicted",
+        "_m_expired",
+        "_m_drops",
+        "_m_sweeps",
+        "_m_active",
+        "_m_peak",
+    )
 
     def __init__(
         self,

@@ -19,7 +19,7 @@ Two orderings are analyzed:
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable, Iterable, Sequence
+from typing import Callable, Iterable, NamedTuple, Sequence
 
 from repro.qlog.recorder import PacketEvent, TraceRecorder
 
@@ -33,13 +33,16 @@ __all__ = [
 ]
 
 
-@dataclass(frozen=True)
-class SpinEdge:
+class SpinEdge(NamedTuple):
     """One detected spin-bit transition.
 
     ``time_ms`` is the arrival time of the packet that revealed the new
     value; ``packet_number`` identifies that packet; ``new_value`` is
     the spin value after the flip.
+
+    A named tuple rather than a dataclass: edges are the highest-volume
+    decoded object in the artifact path, and tuple construction (also in
+    bulk via ``map``) is several times cheaper than dataclass ``__init__``.
     """
 
     time_ms: float
@@ -47,7 +50,7 @@ class SpinEdge:
     new_value: bool
 
 
-@dataclass
+@dataclass(slots=True)
 class SpinObservation:
     """Everything the observer extracted from one connection.
 
@@ -94,6 +97,8 @@ class SpinObserver:
     maintains both the arrival-order edge stream and the packet-number-
     sorted reconstruction, then exposes a :class:`SpinObservation`.
     """
+
+    __slots__ = ("_packets",)
 
     def __init__(self) -> None:
         self._packets: list[tuple[float, int, bool]] = []

@@ -67,6 +67,15 @@ class SpinBitState:
     paper), not the endpoints' signal generation.
     """
 
+    __slots__ = (
+        "role",
+        "policy",
+        "_rng",
+        "_current_value",
+        "_largest_received_pn",
+        "_connection_value",
+    )
+
     def __init__(self, role: EndpointRole, policy: SpinPolicy, rng: random.Random | None = None):
         self.role = role
         self.policy = policy
@@ -111,7 +120,7 @@ class SpinBitState:
         return self._largest_received_pn
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class SpinDeploymentConfig:
     """How a deployment (server stack or client build) treats the spin bit.
 

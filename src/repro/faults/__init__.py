@@ -38,6 +38,7 @@ from repro.faults.spec import (
 )
 from repro.faults.taxonomy import (
     RETRYABLE_KINDS,
+    FailureFold,
     FailureKind,
     classify_exchange,
     failure_summary,
@@ -52,6 +53,7 @@ __all__ = [
     "CheckpointStore",
     "CircuitBreaker",
     "DrawnFaults",
+    "FailureFold",
     "FailureKind",
     "FaultKind",
     "FaultPlan",

@@ -1,13 +1,18 @@
 """Crash-safe campaign resume from per-shard checkpoints.
 
 ``repro scan --checkpoint-dir DIR`` persists every finished shard of
-domain results as one atomically-written JSONL file plus a manifest
-binding the directory to the scan's identity (seed, week, IP version,
-probe, target list, shard size).  A killed scan resumes by loading the
-finished shards and scanning only the rest; because each domain's
-randomness is independently derived and the circuit-breaker pass runs
-post-merge (never from checkpointed state), the resumed dataset is
-bit-identical to an uninterrupted run.
+domain results as one atomically-written columnar binary file
+(``shard-NNNNN.cbr``, :data:`~repro.artifacts.cbr.KIND_DOMAINS` chunks)
+plus a manifest binding the directory to the scan's identity (seed,
+week, IP version, probe, target list, shard size).  A killed scan
+resumes by loading the finished shards and scanning only the rest;
+because each domain's randomness is independently derived and the
+circuit-breaker pass runs post-merge (never from checkpointed state),
+the resumed dataset is bit-identical to an uninterrupted run.  Shards
+written by earlier versions (``shard-NNNNN.jsonl``) still load.
+``repro convert DIR out.cbr`` merges a checkpoint directory into one
+artifact by copying CRC-verified chunk frames — no decode, no
+re-encode.
 
 Robustness rules: a missing, truncated, or otherwise unreadable shard
 file is treated as "not scanned yet" and simply re-scanned; a manifest
@@ -103,17 +108,31 @@ class CheckpointStore:
             _atomic_write(path, json.dumps(manifest, sort_keys=True) + "\n")
 
     def shard_path(self, shard_index: int) -> Path:
+        return self.directory / f"shard-{shard_index:05d}.cbr"
+
+    def legacy_shard_path(self, shard_index: int) -> Path:
+        """Pre-cbr shard location (JSONL), still loadable for resume."""
         return self.directory / f"shard-{shard_index:05d}.jsonl"
 
     def save_shard(
         self, shard_index: int, results: Sequence["DomainScanResult"]
     ) -> None:
-        """Persist one finished shard atomically (write + rename)."""
-        lines = [
-            json.dumps(_domain_result_to_dict(result), separators=(",", ":"))
-            for result in results
-        ]
-        _atomic_write(self.shard_path(shard_index), "\n".join(lines) + "\n")
+        """Persist one finished shard atomically (write + rename).
+
+        Shards are columnar binary (``cbr``, :data:`KIND_DOMAINS`
+        chunks), so ``repro convert`` can merge a checkpoint directory
+        into one artifact by frame concatenation — no re-decode.
+        """
+        import io
+
+        from repro.artifacts.cbr import KIND_DOMAINS, CbrWriter
+
+        buffer = io.BytesIO()
+        writer = CbrWriter(buffer, kind=KIND_DOMAINS)
+        for result in results:
+            writer.write_domain_result(result)
+        writer.close()
+        _atomic_write_bytes(self.shard_path(shard_index), buffer.getvalue())
         self.shards_saved += 1
 
     def load_shard(
@@ -121,8 +140,57 @@ class CheckpointStore:
     ) -> "list[DomainScanResult] | None":
         """Load one shard; ``None`` when absent or damaged (re-scan it)."""
         path = self.shard_path(shard_index)
-        if not path.is_file():
+        if path.is_file():
+            results = self._load_shard_cbr(path, targets)
+        else:
+            legacy = self.legacy_shard_path(shard_index)
+            if not legacy.is_file():
+                return None
+            results = self._load_shard_jsonl(legacy, targets)
+        if results is None:
             return None
+        self.shards_loaded += 1
+        return results
+
+    @staticmethod
+    def _load_shard_cbr(
+        path: Path, targets: Sequence["DomainRecord"]
+    ) -> "list[DomainScanResult] | None":
+        from repro.artifacts.cbr import CbrFormatError, CbrReader
+        from repro.web.scanner import DomainScanResult
+
+        try:
+            with open(path, "rb") as stream:
+                reader = CbrReader(stream)
+                domains = [
+                    data
+                    for batch in reader.domain_batches()
+                    for data in batch
+                ]
+        except (OSError, ValueError, CbrFormatError):
+            return None
+        if len(domains) != len(targets):
+            return None  # interrupted mid-write before the rename
+        results = []
+        for domain, data in zip(targets, domains):
+            if data.name != domain.name:
+                return None
+            results.append(
+                DomainScanResult(
+                    domain=domain,
+                    resolved=data.resolved,
+                    quic_support=data.quic_support,
+                    resolved_ip=data.resolved_ip,
+                    connections=data.connections,
+                    failure=data.failure,
+                )
+            )
+        return results
+
+    @staticmethod
+    def _load_shard_jsonl(
+        path: Path, targets: Sequence["DomainRecord"]
+    ) -> "list[DomainScanResult] | None":
         try:
             lines = path.read_text(encoding="utf-8").splitlines()
             if len(lines) != len(targets):
@@ -135,13 +203,18 @@ class CheckpointStore:
                 results.append(_domain_result_from_dict(data, domain))
         except (OSError, ValueError, KeyError):
             return None
-        self.shards_loaded += 1
         return results
 
 
 def _atomic_write(path: Path, text: str) -> None:
     tmp = path.with_suffix(path.suffix + ".tmp")
     tmp.write_text(text, encoding="utf-8")
+    os.replace(tmp, path)
+
+
+def _atomic_write_bytes(path: Path, payload: bytes) -> None:
+    tmp = path.with_suffix(path.suffix + ".tmp")
+    tmp.write_bytes(payload)
     os.replace(tmp, path)
 
 

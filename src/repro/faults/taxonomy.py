@@ -19,6 +19,7 @@ from typing import Iterable
 
 __all__ = [
     "RETRYABLE_KINDS",
+    "FailureFold",
     "FailureKind",
     "classify_exchange",
     "failure_summary",
@@ -91,33 +92,61 @@ def classify_exchange(exchange) -> FailureKind | None:
     return FailureKind.INCOMPLETE
 
 
+class FailureFold:
+    """Streaming accumulator behind :func:`failure_summary`.
+
+    Failed records without a recorded kind (pre-taxonomy datasets)
+    count as ``unclassified``.
+    """
+
+    name = "failures"
+    needs_edges_received = False
+    needs_edges_sorted = False
+
+    def __init__(self) -> None:
+        self._counts: dict[str, int] = {}
+        self._total = 0
+        self._succeeded = 0
+
+    def update_many(self, records: Iterable) -> None:
+        counts = self._counts
+        total = 0
+        succeeded = 0
+        for record in records:
+            total += 1
+            if record.success:
+                succeeded += 1
+                continue
+            kind = getattr(record, "failure", None)
+            key = kind.value if kind is not None else "unclassified"
+            counts[key] = counts.get(key, 0) + 1
+        self._total += total
+        self._succeeded += succeeded
+
+    def finish(self) -> dict:
+        ordered = dict(
+            sorted(
+                self._counts.items(),
+                key=lambda item: _KIND_ORDER.get(item[0], len(_KIND_ORDER)),
+            )
+        )
+        return {
+            "total": self._total,
+            "succeeded": self._succeeded,
+            "failed": self._total - self._succeeded,
+            "kinds": ordered,
+        }
+
+
 def failure_summary(records: Iterable) -> dict:
     """Count connection outcomes by kind, in stable enum order.
 
     ``records`` are :class:`~repro.web.scanner.ConnectionRecord` objects
-    (live or loaded from an artifact).  Failed records without a
-    recorded kind (pre-taxonomy datasets) count as ``unclassified``.
+    (live or loaded from an artifact).
     """
-    counts: dict[str, int] = {}
-    total = 0
-    succeeded = 0
-    for record in records:
-        total += 1
-        if record.success:
-            succeeded += 1
-            continue
-        kind = getattr(record, "failure", None)
-        key = kind.value if kind is not None else "unclassified"
-        counts[key] = counts.get(key, 0) + 1
-    ordered = dict(
-        sorted(counts.items(), key=lambda item: _KIND_ORDER.get(item[0], len(_KIND_ORDER)))
-    )
-    return {
-        "total": total,
-        "succeeded": succeeded,
-        "failed": total - succeeded,
-        "kinds": ordered,
-    }
+    fold = FailureFold()
+    fold.update_many(records)
+    return fold.finish()
 
 
 def render_failure_table(summary: dict) -> str:

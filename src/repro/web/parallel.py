@@ -22,6 +22,7 @@ artifact size, exactly like the sequential path's memory profile.
 from __future__ import annotations
 
 import os
+import weakref
 from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass
 from typing import TYPE_CHECKING, Sequence
@@ -41,10 +42,17 @@ class ParallelScanConfig:
     pickling, zero overhead — so tests and small scans behave exactly
     like the pre-parallel scanner.  ``chunk_size=None`` picks a shard
     size that gives each worker several shards for tail balancing.
+
+    Even with ``workers > 1`` the engine falls back to the in-process
+    path when a pool cannot help: a single pending shard, or fewer
+    usable cores than two (a pool on one core only adds pickling on top
+    of the same serial execution).  ``force_pool=True`` disables the
+    fallback — tests use it to exercise the real pool on any machine.
     """
 
     workers: int = 1
     chunk_size: int | None = None
+    force_pool: bool = False
 
     def __post_init__(self) -> None:
         if self.workers < 1:
@@ -121,6 +129,40 @@ def _scan_shard(task: tuple[int, Sequence["DomainRecord"], str, int, int]):
     return shard_index, results, None, (), ()
 
 
+def _pool_for(
+    scanner: "Scanner", workers: int, telemetry_enabled: bool
+) -> ProcessPoolExecutor:
+    """The scanner's persistent worker pool, (re)built on shape change.
+
+    Pool start-up (process forks + population pickling through the
+    initializer) dominated short scans when every ``scan()`` call built
+    a fresh executor; campaigns run many weekly scans over one scanner,
+    so the pool is cached on the scanner and reused.  A finalizer tears
+    it down when the scanner is collected.
+    """
+    key = (workers, telemetry_enabled)
+    cached = getattr(scanner, "_shard_pool", None)
+    if cached is not None:
+        if cached[0] == key:
+            return cached[1]
+        cached[1].shutdown(wait=False)
+    pool = ProcessPoolExecutor(
+        max_workers=workers,
+        initializer=_init_worker,
+        initargs=(scanner.population, scanner.config, telemetry_enabled),
+    )
+    scanner._shard_pool = (key, pool)
+    weakref.finalize(scanner, pool.shutdown, wait=False)
+    return pool
+
+
+def _drop_pool(scanner: "Scanner") -> None:
+    cached = getattr(scanner, "_shard_pool", None)
+    if cached is not None:
+        scanner._shard_pool = None
+        cached[1].shutdown(wait=False)
+
+
 def scan_sharded(
     scanner: "Scanner",
     targets: Sequence["DomainRecord"],
@@ -143,6 +185,12 @@ def scan_sharded(
     worker count and still merge bit-identically.  Loaded shards
     contribute no telemetry — their events belong to the run that
     produced them.
+
+    When a pool cannot win — one pending shard, or at most one usable
+    core — the shards run in-process instead (identical results *and*
+    identical telemetry bytes, since the same per-shard bundles are
+    produced in the same order).  ``parallel.force_pool`` overrides the
+    fallback.
     """
     chunk = (
         checkpoint.chunk
@@ -166,20 +214,29 @@ def scan_sharded(
                 merged[task[0]] = loaded
     else:
         pending = tasks
-    if pending:
-        with ProcessPoolExecutor(
-            max_workers=min(parallel.workers, len(pending)) or 1,
-            initializer=_init_worker,
-            initargs=(scanner.population, scanner.config, telemetry is not None),
-        ) as pool:
+    usable = min(parallel.workers, os.cpu_count() or 1)
+    use_pool = parallel.force_pool or (usable > 1 and len(pending) > 1)
+    if pending and not use_pool:
+        _run_shards_inline(scanner, pending, merged, shard_telemetry, checkpoint)
+    elif pending:
+        workers = parallel.workers if parallel.force_pool else usable
+        pool = _pool_for(scanner, workers, telemetry is not None)
+        # chunksize batches several shard tasks per IPC message, cutting
+        # the per-task pickling round trips that dominated small shards.
+        chunksize = max(1, len(pending) // (workers * 4))
+        try:
             for shard_index, results, registry, events, diag_events in pool.map(
-                _scan_shard, pending
+                _scan_shard, pending, chunksize=chunksize
             ):
                 merged[shard_index] = results
                 if checkpoint is not None:
                     checkpoint.save_shard(shard_index, results)
                 if registry is not None:
                     shard_telemetry[shard_index] = (registry, events, diag_events)
+        except Exception:
+            # A broken pool must not poison later scans on this scanner.
+            _drop_pool(scanner)
+            raise
     if telemetry is not None:
         # Absorb in shard order — completion order must not leak into
         # the trace — and note the shard layout as diagnostics only.
@@ -195,3 +252,40 @@ def scan_sharded(
                 domains=len(tasks[shard_index][1]),
             )
     return [result for shard in merged for result in shard]  # type: ignore[union-attr]
+
+
+def _run_shards_inline(
+    scanner: "Scanner",
+    pending: list,
+    merged: list,
+    shard_telemetry: list,
+    checkpoint,
+) -> None:
+    """Run pending shards in-process, mimicking the pool's semantics.
+
+    Results are trivially identical (per-domain randomness is derived,
+    not threaded); telemetry matches byte-for-byte because each shard
+    still records into a fresh bundle, absorbed in shard order by the
+    caller — exactly what the pool workers do.
+    """
+    telemetry = scanner.telemetry
+    try:
+        for task in pending:
+            shard_index, domains, week_label, ip_version, probe = task
+            if telemetry is not None:
+                from repro.telemetry import Telemetry
+
+                scanner.telemetry = Telemetry()
+            results = scanner.scan_sequential(domains, week_label, ip_version, probe)
+            merged[shard_index] = results
+            if checkpoint is not None:
+                checkpoint.save_shard(shard_index, results)
+            if telemetry is not None:
+                bundle = scanner.telemetry
+                shard_telemetry[shard_index] = (
+                    bundle.registry,
+                    bundle.tracer.events,
+                    bundle.tracer.diag_events,
+                )
+    finally:
+        scanner.telemetry = telemetry

@@ -108,7 +108,7 @@ class ScanConfig:
         ) or self.resilience is not None
 
 
-@dataclass
+@dataclass(slots=True)
 class ConnectionRecord:
     """The per-connection artifact record (cf. paper Appendix B)."""
 
@@ -147,7 +147,7 @@ class ConnectionRecord:
         return self.observation.rtts_sorted_ms
 
 
-@dataclass
+@dataclass(slots=True)
 class DomainScanResult:
     """Everything the scanner learned about one domain in one week."""
 

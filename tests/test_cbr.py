@@ -1,0 +1,347 @@
+"""The columnar binary artifact format (cbr).
+
+The format's contract is *bit-identical* round trips: every
+:class:`~repro.web.scanner.ConnectionRecord` a scan produces must come
+back equal after encode + decode, the encoding itself must be
+deterministic (same records -> same bytes), and damage must degrade the
+way the tolerant qlog reader does — one counted error per bad chunk,
+never a crash, never silently wrong records.
+"""
+
+from __future__ import annotations
+
+import io
+from dataclasses import replace
+
+import pytest
+
+from conftest import make_connection_record, make_observation
+from repro.artifacts import (
+    FORMAT_CBR,
+    FORMAT_JSONL,
+    detect_format,
+    open_record_batches,
+    resolve_write_format,
+    write_records,
+)
+from repro.artifacts.cbr import (
+    CBR_MAGIC,
+    CbrFormatError,
+    CbrReader,
+    CbrWriter,
+    KIND_DOMAINS,
+    concat_frames,
+    read_footer,
+    write_records_cbr,
+)
+from repro.cli import main
+from repro.faults.taxonomy import FailureKind
+from repro.web.scanner import ScanConfig, Scanner
+
+
+def encode(records, chunk_records: int = 128) -> bytes:
+    buffer = io.BytesIO()
+    write_records_cbr(records, buffer, chunk_records=chunk_records)
+    return buffer.getvalue()
+
+
+def decode(payload: bytes, **kwargs) -> list:
+    reader = CbrReader(io.BytesIO(payload), **kwargs)
+    return list(reader.iter_records())
+
+
+def artifact_view(records) -> list:
+    """Records as the plain artifact schema persists them.
+
+    Sampled qlog documents are a checkpoint-shard extra: neither the
+    JSONL schema (paper Appendix B) nor a ``KIND_RECORDS`` cbr file
+    carries them, so round trips compare against qlog-stripped records.
+    """
+    return [replace(r, qlog=None) for r in records]
+
+
+@pytest.fixture(scope="module")
+def scan_records(tiny_population):
+    dataset = Scanner(tiny_population, ScanConfig(qlog_sample_rate=0.2)).scan(
+        week_label="cw20-2023", ip_version=4, domains=tiny_population.domains[:600]
+    )
+    return list(dataset.connection_records())
+
+
+class TestRoundTrip:
+    def test_scan_records_bit_identical(self, scan_records):
+        assert len(scan_records) > 50
+        assert any(r.qlog is not None for r in scan_records)
+        decoded = decode(encode(scan_records))
+        assert decoded == artifact_view(scan_records)
+
+    def test_encoding_is_deterministic(self, scan_records):
+        first = encode(scan_records)
+        second = encode(decode(first))
+        assert first == second
+
+    def test_empty_artifact(self):
+        payload = encode([])
+        assert decode(payload) == []
+        footer = read_footer(io.BytesIO(payload))
+        assert footer["records"] == 0
+        assert footer["chunks"] == []
+
+    def test_record_without_edges(self):
+        """A one-packet connection has no edges and no RTT samples."""
+        record = make_connection_record(packets=[(0.0, 0, False)])
+        assert record.observation.edges_received == []
+        assert decode(encode([record])) == [record]
+
+    def test_unicode_domains(self):
+        records = [
+            make_connection_record(domain="bücher.example"),
+            make_connection_record(domain="例え.テスト"),
+        ]
+        decoded = decode(encode(records))
+        assert decoded == records
+        assert decoded[0].host == "www.bücher.example"
+
+    def test_failure_kind_present_and_absent(self):
+        failed = make_connection_record()
+        failed.success = False
+        failed.status = None
+        failed.failure = FailureKind.HANDSHAKE_TIMEOUT
+        clean = make_connection_record()
+        decoded = decode(encode([failed, clean]))
+        assert decoded == [failed, clean]
+        assert decoded[0].failure is FailureKind.HANDSHAKE_TIMEOUT
+        assert decoded[1].failure is None
+
+    def test_chunk_boundaries_do_not_matter(self, scan_records):
+        small = decode(encode(scan_records, chunk_records=7))
+        assert small == artifact_view(scan_records)
+
+
+class TestProjection:
+    def test_skipping_edges_keeps_rtts_exact(self, scan_records):
+        reader = CbrReader(io.BytesIO(encode(scan_records)))
+        projected = [
+            record
+            for batch in reader.record_batches(
+                want_edges_received=False, want_edges_sorted=False
+            )
+            for record in batch
+        ]
+        assert len(projected) == len(scan_records)
+        for got, want in zip(projected, scan_records):
+            assert got.observation.edges_received == []
+            assert got.observation.edges_sorted == []
+            assert got.observation.rtts_received_ms == want.observation.rtts_received_ms
+            assert got.observation.rtts_sorted_ms == want.observation.rtts_sorted_ms
+            assert got.observation.values_seen == want.observation.values_seen
+
+
+class TestCorruption:
+    def test_truncated_stream_counts_one_error(self, scan_records):
+        payload = encode(scan_records, chunk_records=32)
+        reader = CbrReader(io.BytesIO(payload[: len(payload) // 2]), errors="count")
+        decoded = list(reader.iter_records())
+        assert reader.corrupt_chunks == 1
+        assert 0 < len(decoded) < len(scan_records)
+        assert decoded == artifact_view(scan_records[: len(decoded)])
+
+    def test_crc_mismatch_skips_only_that_chunk(self, scan_records):
+        payload = bytearray(encode(scan_records, chunk_records=32))
+        # Flip one byte inside the first chunk's compressed payload; the
+        # chunk header starts right after magic+version and frame byte.
+        payload[len(CBR_MAGIC) + 1 + 1 + 13 + 20] ^= 0xFF
+        reader = CbrReader(io.BytesIO(bytes(payload)), errors="count")
+        decoded = list(reader.iter_records())
+        assert reader.corrupt_chunks == 1
+        assert decoded == artifact_view(scan_records[32:])
+
+    def test_raise_mode_raises(self, scan_records):
+        payload = encode(scan_records)
+        with pytest.raises(CbrFormatError):
+            decode(payload[: len(payload) // 2])
+
+    def test_bad_magic_rejected(self):
+        with pytest.raises(CbrFormatError):
+            CbrReader(io.BytesIO(b"not a cbr file at all"))
+
+    def test_domain_batches_rejects_record_artifact(self, scan_records):
+        reader = CbrReader(io.BytesIO(encode(scan_records[:5])))
+        with pytest.raises(CbrFormatError):
+            list(reader.domain_batches())
+
+    def test_footer_of_truncated_artifact(self, scan_records):
+        payload = encode(scan_records)
+        with pytest.raises(CbrFormatError):
+            read_footer(io.BytesIO(payload[:-4]))
+
+
+class TestConcatFrames:
+    def test_concat_equals_concatenated_records(self, scan_records):
+        half = len(scan_records) // 2
+        first = encode(scan_records[:half], chunk_records=16)
+        second = encode(scan_records[half:], chunk_records=16)
+        out = io.BytesIO()
+        chunks, records = concat_frames([io.BytesIO(first), io.BytesIO(second)], out)
+        assert records == len(scan_records)
+        assert chunks > 2
+        assert decode(out.getvalue()) == artifact_view(scan_records)
+        footer = read_footer(io.BytesIO(out.getvalue()))
+        assert footer["records"] == len(scan_records)
+
+    def test_concat_accepts_paths(self, scan_records, tmp_path):
+        # The CLI merge path hands shard *paths*, not open streams.
+        half = len(scan_records) // 2
+        shard_a = tmp_path / "shard-00000.cbr"
+        shard_b = tmp_path / "shard-00001.cbr"
+        shard_a.write_bytes(encode(scan_records[:half], chunk_records=16))
+        shard_b.write_bytes(encode(scan_records[half:], chunk_records=16))
+        out = io.BytesIO()
+        _, records = concat_frames([str(shard_a), shard_b], out)
+        assert records == len(scan_records)
+        assert decode(out.getvalue()) == artifact_view(scan_records)
+
+    def test_concat_rejects_damaged_source(self, scan_records):
+        payload = bytearray(encode(scan_records[:10]))
+        # Flip a byte inside the first chunk's compressed payload.
+        payload[len(CBR_MAGIC) + 1 + 1 + 13 + 20] ^= 0xFF
+        with pytest.raises(CbrFormatError):
+            concat_frames([io.BytesIO(bytes(payload))], io.BytesIO())
+
+
+class TestFrontDoor:
+    def test_detect_format(self, scan_records):
+        assert detect_format(encode(scan_records[:1])[:8]) == FORMAT_CBR
+        assert detect_format(b'{"schema": 1}') == FORMAT_JSONL
+        assert detect_format(b"") == FORMAT_JSONL
+
+    def test_resolve_write_format(self):
+        assert resolve_write_format("out.cbr") == FORMAT_CBR
+        assert resolve_write_format("out.jsonl") == FORMAT_JSONL
+        assert resolve_write_format("-") == FORMAT_JSONL
+        assert resolve_write_format("out.jsonl", "cbr") == FORMAT_CBR
+        with pytest.raises(ValueError):
+            resolve_write_format("out.cbr", "parquet")
+
+    def test_both_formats_decode_identically(self, scan_records, tmp_path):
+        jsonl_path = tmp_path / "art.jsonl"
+        cbr_path = tmp_path / "art.cbr"
+        assert write_records(scan_records, str(jsonl_path)) == len(scan_records)
+        assert write_records(scan_records, str(cbr_path)) == len(scan_records)
+        with open_record_batches(str(jsonl_path)) as source:
+            from_jsonl = list(source.records())
+            assert source.format == FORMAT_JSONL
+        with open_record_batches(str(cbr_path)) as source:
+            from_cbr = list(source.records())
+            assert source.format == FORMAT_CBR
+        # JSONL drops nothing the analysis reads, but floats go through
+        # repr; cbr must match the in-memory records exactly.
+        assert from_cbr == artifact_view(scan_records)
+        assert [r.domain for r in from_jsonl] == [r.domain for r in scan_records]
+
+    def test_cbr_to_stdout_refused(self, scan_records):
+        with pytest.raises(ValueError):
+            write_records(scan_records, "-", format="cbr")
+
+    def test_artifact_is_much_smaller(self, scan_records, tmp_path):
+        jsonl_path = tmp_path / "art.jsonl"
+        cbr_path = tmp_path / "art.cbr"
+        write_records(scan_records, str(jsonl_path))
+        write_records(scan_records, str(cbr_path))
+        ratio = jsonl_path.stat().st_size / cbr_path.stat().st_size
+        assert ratio >= 4.0, f"cbr only {ratio:.1f}x smaller than jsonl"
+
+
+class TestDomainChunks:
+    @pytest.fixture(scope="class")
+    def domain_dataset(self, tiny_population):
+        return Scanner(tiny_population, ScanConfig(qlog_sample_rate=0.25)).scan(
+            week_label="cw20-2023", ip_version=4, domains=tiny_population.domains[:300]
+        )
+
+    @staticmethod
+    def encode_domains(dataset, chunk_records: int = 64) -> bytes:
+        buffer = io.BytesIO()
+        writer = CbrWriter(buffer, kind=KIND_DOMAINS, chunk_records=chunk_records)
+        for result in dataset.results:
+            writer.write_domain_result(result)
+        writer.close()
+        return buffer.getvalue()
+
+    def test_domain_round_trip_preserves_qlog(self, domain_dataset):
+        """Checkpoint shards must round trip *everything* — including
+        sampled qlog documents, which plain artifacts drop."""
+        assert any(r.qlog is not None for r in domain_dataset.connection_records())
+        reader = CbrReader(io.BytesIO(self.encode_domains(domain_dataset)))
+        decoded = [d for batch in reader.domain_batches() for d in batch]
+        assert [d.name for d in decoded] == [
+            r.domain.name for r in domain_dataset.results
+        ]
+        for got, want in zip(decoded, domain_dataset.results):
+            assert got.resolved == want.resolved
+            assert got.quic_support == want.quic_support
+            assert got.resolved_ip == want.resolved_ip
+            assert got.failure == want.failure
+            assert got.connections == want.connections
+
+    def test_domain_chunks_also_read_as_records(self, domain_dataset):
+        """record_batches on a KIND_DOMAINS file yields the flat records,
+        so ``repro analyze`` accepts merged checkpoint artifacts."""
+        decoded = decode(self.encode_domains(domain_dataset))
+        assert decoded == artifact_view(domain_dataset.connection_records())
+
+
+class TestCliIdentity:
+    @pytest.fixture(scope="class")
+    def artifact_pair(self, tmp_path_factory):
+        directory = tmp_path_factory.mktemp("cli-cbr")
+        jsonl_path = directory / "dataset.jsonl"
+        cbr_path = directory / "dataset.cbr"
+        base = ["scan", "--czds", "400", "--toplist", "80", "--seed", "33"]
+        assert main(base + ["--out", str(jsonl_path)]) == 0
+        assert main(base + ["--out", str(cbr_path)]) == 0
+        return jsonl_path, cbr_path
+
+    def test_analyze_output_identical_across_formats(self, artifact_pair, capsys):
+        jsonl_path, cbr_path = artifact_pair
+        assert main(["analyze", str(jsonl_path)]) == 0
+        from_jsonl = capsys.readouterr().out
+        assert main(["analyze", str(cbr_path)]) == 0
+        from_cbr = capsys.readouterr().out
+        assert "AS organizations" in from_jsonl
+        assert from_cbr == from_jsonl
+
+    def test_convert_round_trip_bytes(self, artifact_pair, tmp_path, capsys):
+        jsonl_path, cbr_path = artifact_pair
+        back = tmp_path / "back.jsonl"
+        again = tmp_path / "again.cbr"
+        assert main(["convert", str(cbr_path), str(back)]) == 0
+        assert back.read_bytes() == jsonl_path.read_bytes()
+        assert main(["convert", str(jsonl_path), str(again)]) == 0
+        assert again.read_bytes() == cbr_path.read_bytes()
+        capsys.readouterr()
+
+    def test_scan_artifact_format_flag_overrides_extension(self, tmp_path, capsys):
+        out = tmp_path / "dataset.dat"
+        code = main(
+            [
+                "scan", "--czds", "300", "--toplist", "50", "--seed", "7",
+                "--out", str(out), "--artifact-format", "cbr",
+            ]
+        )
+        assert code == 0
+        assert out.read_bytes()[: len(CBR_MAGIC)] == CBR_MAGIC
+        capsys.readouterr()
+
+
+class TestTolerantAnalyze:
+    def test_truncated_cbr_reported_not_fatal(self, scan_records, tmp_path, capsys):
+        # Small chunks guarantee the tear lands mid-chunk with intact
+        # chunks before it.
+        payload = encode(scan_records, chunk_records=32)
+        torn = tmp_path / "torn.cbr"
+        torn.write_bytes(payload[: int(len(payload) * 0.6)])
+        assert main(["analyze", str(torn), "--section", "versions"]) == 0
+        captured = capsys.readouterr()
+        assert "1 corrupt chunks skipped" in captured.err
+        assert "QUIC v1" in captured.out

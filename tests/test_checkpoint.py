@@ -91,10 +91,10 @@ class TestCheckpointedScan:
         manifest = json.loads((directory / "manifest.json").read_text())
         assert manifest["chunk"] == CHUNK
         assert manifest["fingerprint"]["targets"] == len(targets)
-        shards = sorted(p.name for p in directory.glob("shard-*.jsonl"))
+        shards = sorted(p.name for p in directory.glob("shard-*.cbr"))
         expected = -(-len(targets) // CHUNK)  # ceil division
         assert len(shards) == expected
-        assert shards[0] == "shard-00000.jsonl"
+        assert shards[0] == "shard-00000.cbr"
 
     def test_full_resume_never_rescans(
         self, tiny_population, targets, plain_dataset, tmp_path, monkeypatch
@@ -132,8 +132,8 @@ class TestCrashAndResume:
             crashing.scan(domains=targets, checkpoint_dir=directory)
         # The first two full shards (2 x 64 domains) finished and were
         # persisted before the crash; the interrupted shard was not.
-        saved = sorted(p.name for p in directory.glob("shard-*.jsonl"))
-        assert saved == ["shard-00000.jsonl", "shard-00001.jsonl"]
+        saved = sorted(p.name for p in directory.glob("shard-*.cbr"))
+        assert saved == ["shard-00000.cbr", "shard-00001.cbr"]
 
         resumed = _scanner(tiny_population).scan(
             domains=targets, checkpoint_dir=directory
@@ -147,7 +147,7 @@ class TestCrashAndResume:
         _scanner(tiny_population, workers=1).scan(
             domains=targets, checkpoint_dir=directory
         )
-        (directory / "shard-00002.jsonl").unlink()  # crash loses one shard
+        (directory / "shard-00002.cbr").unlink()  # crash loses one shard
         resumed = _scanner(tiny_population, workers=4).scan(
             domains=targets, checkpoint_dir=directory
         )
@@ -158,15 +158,16 @@ class TestCrashAndResume:
     ):
         directory = tmp_path / "ckpt"
         _scanner(tiny_population).scan(domains=targets, checkpoint_dir=directory)
-        shard = directory / "shard-00001.jsonl"
-        text = shard.read_text()
-        shard.write_text(text[: len(text) // 2])  # torn write
+        shard = directory / "shard-00001.cbr"
+        payload = shard.read_bytes()
+        shard.write_bytes(payload[: len(payload) // 2])  # torn write
         resumed = _scanner(tiny_population).scan(
             domains=targets, checkpoint_dir=directory
         )
         assert _dataset_dicts(resumed) == _dataset_dicts(plain_dataset)
-        # The re-scan also re-persisted the shard, intact again.
-        assert shard.read_text() == text
+        # The re-scan also re-persisted the shard, intact again
+        # (cbr encoding is deterministic, so bytes match exactly).
+        assert shard.read_bytes() == payload
 
 
 class TestCampaignIdentity:
@@ -221,7 +222,12 @@ class TestStoreInternals:
 
     def test_shard_domain_mismatch_is_none(self, tiny_population, tmp_path):
         store = CheckpointStore(tmp_path, self.FINGERPRINT, chunk=4)
-        store.shard_path(0).write_text('{"domain":"not-the-one"}\n')
+        store.legacy_shard_path(0).write_text('{"domain":"not-the-one"}\n')
+        assert store.load_shard(0, tiny_population.domains[:1]) is None
+
+    def test_non_cbr_bytes_at_shard_path_is_none(self, tiny_population, tmp_path):
+        store = CheckpointStore(tmp_path, self.FINGERPRINT, chunk=4)
+        store.shard_path(0).write_bytes(b"not a cbr file at all\n")
         assert store.load_shard(0, tiny_population.domains[:1]) is None
 
     def test_fingerprint_sensitivity(self, tiny_population):
@@ -232,3 +238,35 @@ class TestStoreInternals:
         assert base != scan_fingerprint(1, "cw20-2023", 4, 0, domains, "other-cfg")
         assert base != scan_fingerprint(1, "cw20-2023", 4, 0, domains[:-1], "cfg")
         assert base != scan_fingerprint(1, "cw20-2023", 4, 1, domains, "cfg")
+
+class TestLegacyShards:
+    def test_legacy_jsonl_shard_still_loads(
+        self, tiny_population, targets, plain_dataset, tmp_path, monkeypatch
+    ):
+        """Directories written before the cbr store must still resume."""
+        import json as jsonlib
+
+        from repro.faults.checkpoint import _domain_result_to_dict
+
+        directory = tmp_path / "ckpt"
+        _scanner(tiny_population).scan(domains=targets, checkpoint_dir=directory)
+        # Rewrite shard 0 in the pre-cbr JSONL layout and drop the cbr
+        # file, as if the directory came from an older version.
+        scanner = _scanner(tiny_population)
+        store_results = plain_dataset.results[:CHUNK]
+        legacy = directory / "shard-00000.jsonl"
+        legacy.write_text(
+            "\n".join(
+                jsonlib.dumps(_domain_result_to_dict(r), separators=(",", ":"))
+                for r in store_results
+            )
+            + "\n"
+        )
+        (directory / "shard-00000.cbr").unlink()
+        monkeypatch.setattr(
+            scanner,
+            "_scan_domain",
+            lambda *a, **k: pytest.fail("resume re-scanned a legacy shard"),
+        )
+        resumed = scanner.scan(domains=targets, checkpoint_dir=directory)
+        assert _dataset_dicts(resumed) == _dataset_dicts(plain_dataset)

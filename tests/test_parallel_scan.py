@@ -100,6 +100,51 @@ class TestParallelMerge:
         assert scanner_par.scan(ip_version=6) == scanner_seq.scan(ip_version=6)
 
 
+class TestPoolFallback:
+    def test_one_core_falls_back_inline(self, population, monkeypatch):
+        """With one usable core a pool cannot win; stay in-process."""
+        import repro.web.parallel as parallel_mod
+
+        def explode(*args, **kwargs):  # pragma: no cover - defensive
+            raise AssertionError("pool built despite single-core fallback")
+
+        monkeypatch.setattr(parallel_mod.os, "cpu_count", lambda: 1)
+        monkeypatch.setattr(parallel_mod, "ProcessPoolExecutor", explode)
+        dataset = Scanner(
+            population, parallel=ParallelScanConfig(workers=4, chunk_size=7)
+        ).scan(week_label="cw20-2023", domains=population.domains[:20])
+        assert len(dataset.results) == 20
+
+    def test_single_shard_falls_back_inline(self, population, monkeypatch):
+        import repro.web.parallel as parallel_mod
+
+        def explode(*args, **kwargs):  # pragma: no cover - defensive
+            raise AssertionError("pool built for a single shard")
+
+        monkeypatch.setattr(parallel_mod, "ProcessPoolExecutor", explode)
+        dataset = Scanner(
+            population, parallel=ParallelScanConfig(workers=4, chunk_size=64)
+        ).scan(week_label="cw20-2023", domains=population.domains[:20])
+        assert len(dataset.results) == 20
+
+    def test_force_pool_uses_real_pool(self, population, sequential_dataset):
+        """force_pool exercises the process pool even on one core, and
+        the merged dataset is still bit-identical."""
+        scanner = Scanner(
+            population,
+            ScanConfig(qlog_sample_rate=0.2),
+            parallel=ParallelScanConfig(workers=2, chunk_size=50, force_pool=True),
+        )
+        first = scanner.scan(week_label="cw20-2023", ip_version=4)
+        assert first == sequential_dataset
+        # The pool persists on the scanner and serves the next scan too.
+        assert scanner._shard_pool is not None
+        pool = scanner._shard_pool[1]
+        second = scanner.scan(week_label="cw20-2023", ip_version=4)
+        assert second == sequential_dataset
+        assert scanner._shard_pool[1] is pool
+
+
 class TestSingleWorkerFallback:
     def test_no_pool_for_one_worker(self, population, monkeypatch):
         """workers=1 must stay in-process: no executor, no pickling."""

@@ -302,3 +302,43 @@ class TestDeterminismLint:
             text=True,
         )
         assert result.returncode == 0
+
+    def test_json_in_record_loop_is_caught(self, tmp_path):
+        analysis = tmp_path / "repro" / "analysis"
+        analysis.mkdir(parents=True)
+        bad = analysis / "hot.py"
+        bad.write_text(
+            "import json\n"
+            "def f(lines):\n"
+            "    out = json.dumps({})\n"  # outside a loop: fine
+            "    for line in lines:\n"
+            "        data = json.loads(line)\n"
+            "    return out\n",
+            encoding="utf-8",
+        )
+        result = subprocess.run(
+            [sys.executable, str(self.LINT), str(tmp_path)],
+            capture_output=True,
+            text=True,
+        )
+        assert result.returncode == 1
+        assert "hot.py:5" in result.stderr
+        assert "hot.py:3" not in result.stderr
+
+    def test_jsonl_pragma_escapes_the_loop_rule(self, tmp_path):
+        analysis = tmp_path / "repro" / "analysis"
+        analysis.mkdir(parents=True)
+        ok = analysis / "codec.py"
+        ok.write_text(
+            "import json\n"
+            "def read(lines):\n"
+            "    for line in lines:\n"
+            "        yield json.loads(line)  # jsonl-ok: the JSONL codec\n",
+            encoding="utf-8",
+        )
+        result = subprocess.run(
+            [sys.executable, str(self.LINT), str(tmp_path)],
+            capture_output=True,
+            text=True,
+        )
+        assert result.returncode == 0
