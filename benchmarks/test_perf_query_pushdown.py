@@ -1,0 +1,250 @@
+"""Predicate-pushdown query latency: zone-pruned vs. full-decode analyze.
+
+The zone maps in the cbr footer exist so an interactive question ("what
+failed in week X?", "show me this domain") stops paying for the whole
+archive.  This benchmark builds a ≥100k-record multi-week synthetic
+artifact, then measures three paths over the identical file:
+
+* the unfiltered single-pass analyze (decodes every chunk — baseline);
+* a selective ``--where week == ...`` analyze through the planner;
+* the ``repro query domain`` point lookup through the domain index.
+
+Hard gates: both pushdown paths must inflate **< 5 % of chunks** and run
+**≥ 10x faster** than the unfiltered baseline while producing results
+identical to brute-force filtering.  Writes
+``BENCH_query_pushdown.json`` at the repo root (``scripts/bench.sh``
+appends each run to ``BENCH_history.jsonl``).
+"""
+
+from __future__ import annotations
+
+import gc
+import io
+import json
+import random
+import time
+from pathlib import Path
+
+from repro.analysis import AnalysisEngine, build_record_folds
+from repro.analysis.query import Eq, QueryStats, filter_batch
+from repro.artifacts import open_query_source, open_record_batches
+from repro.artifacts.cbr import write_records_cbr
+from repro.core.classify import SpinBehaviour
+from repro.core.observer import SpinEdge, SpinObservation
+from repro.internet.asdb import IpAddr
+from repro.web.scanner import ConnectionRecord
+
+#: ≥100k records: 26 measurement weeks, written week-sorted (the shard
+#: merge order), so week envelopes are tight per chunk.
+BENCH_WEEKS = 26
+RECORDS_PER_WEEK = 4_000
+CHUNK_RECORDS = 256
+
+#: Hard gates from the design target (DESIGN.md Sec. 10).
+MAX_CHUNK_FRACTION = 0.05
+MIN_SPEEDUP = 10.0
+
+_PROVIDERS = ("cloudflare", "google", "fastly", "hostinger", "other-hosting")
+
+_RESULT_PATH = Path(__file__).resolve().parent.parent / "BENCH_query_pushdown.json"
+
+
+def _build_records() -> list[ConnectionRecord]:
+    rng = random.Random(20230520)
+    records = []
+    index = 0
+    for week_offset in range(BENCH_WEEKS):
+        week = f"cw{10 + week_offset}-2023"
+        for _ in range(RECORDS_PER_WEEK):
+            edge_times = [
+                1_000.0 * week_offset + 30.0 * j
+                for j in range(rng.randrange(2, 6))
+            ]
+            edges = [
+                SpinEdge(time_ms=t, packet_number=j * 3 + 1, new_value=bool(j % 2))
+                for j, t in enumerate(edge_times)
+            ]
+            rtts = [30.0 for _ in edges[1:]]
+            observation = SpinObservation(
+                packets_seen=len(edges) * 4,
+                values_seen={False, True},
+                edges_received=edges,
+                edges_sorted=list(edges),
+                rtts_received_ms=rtts,
+                rtts_sorted_ms=list(rtts),
+            )
+            records.append(
+                ConnectionRecord(
+                    domain=f"dom{index:07d}.example",
+                    host=f"www.dom{index:07d}.example",
+                    ip=IpAddr(value=0x0A000001 + index, version=4),
+                    ip_version=4,
+                    provider_name=_PROVIDERS[index % len(_PROVIDERS)],
+                    server_header="LiteSpeed",
+                    status=200,
+                    success=True,
+                    behaviour=SpinBehaviour.SPIN,
+                    observation=observation,
+                    stack_rtts_ms=list(rtts),
+                    negotiated_version=1,
+                    week=week,
+                )
+            )
+            index += 1
+    return records
+
+
+def _timed(fn):
+    gc.collect()
+    gc.disable()
+    try:
+        start = time.perf_counter()
+        value = fn()
+        elapsed = time.perf_counter() - start
+    finally:
+        gc.enable()
+    return elapsed, value
+
+
+def _full_analyze(path: str):
+    engine = AnalysisEngine(build_record_folds("failures"))
+    with open_record_batches(
+        path,
+        want_edges_received=engine.needs_edges_received,
+        want_edges_sorted=engine.needs_edges_sorted,
+    ) as source:
+        return engine.run(source.batches()), source.records_read
+
+
+def _where_analyze(path: str, predicate):
+    engine = AnalysisEngine(build_record_folds("failures"))
+    stats = QueryStats()
+    with open_query_source(
+        path,
+        predicate,
+        stats=stats,
+        want_edges_received=engine.needs_edges_received
+        or predicate.needs_edges_received,
+        want_edges_sorted=engine.needs_edges_sorted,
+    ) as source:
+        return engine.run(source.batches(), predicate=predicate, stats=stats), stats
+
+
+def _point_lookup(path: str, name: str):
+    predicate = Eq("domain", name)
+    stats = QueryStats()
+    with open_query_source(path, predicate, stats=stats) as source:
+        matched = [
+            record
+            for batch in source.batches()
+            for record in filter_batch(batch, predicate, stats)
+        ]
+    return matched, stats
+
+
+def _encoded(records) -> bytes:
+    buffer = io.BytesIO()
+    write_records_cbr(records, buffer)
+    return buffer.getvalue()
+
+
+def test_query_pushdown(tmp_path):
+    records = _build_records()
+    n = len(records)
+    assert n >= 100_000
+    path = tmp_path / "bench.cbr"
+    with open(path, "wb") as stream:
+        write_records_cbr(records, stream, chunk_records=CHUNK_RECORDS)
+
+    target_week = "cw33-2023"
+    week_predicate = Eq("week", target_week)
+    target_domain = records[n // 2].domain
+
+    full_elapsed = where_elapsed = point_elapsed = None
+    full_results = where_run = point_run = None
+    for _ in range(3):
+        elapsed, value = _timed(lambda: _full_analyze(str(path)))
+        if full_elapsed is None or elapsed < full_elapsed:
+            full_elapsed, full_results = elapsed, value
+        elapsed, value = _timed(lambda: _where_analyze(str(path), week_predicate))
+        if where_elapsed is None or elapsed < where_elapsed:
+            where_elapsed, where_run = elapsed, value
+        elapsed, value = _timed(lambda: _point_lookup(str(path), target_domain))
+        if point_elapsed is None or elapsed < point_elapsed:
+            point_elapsed, point_run = elapsed, value
+
+    results, read = full_results
+    assert read == n
+    where_results, where_stats = where_run
+    matched, point_stats = point_run
+
+    # Correctness before speed: the pruned paths must equal brute force
+    # over the full decode — identical section results, identical bytes.
+    week_records = [r for r in records if week_predicate.matches(r)]
+    brute_engine = AnalysisEngine(build_record_folds("failures"))
+    brute_results = brute_engine.run([week_records])
+    assert where_results == brute_results
+    assert where_stats.records_matched == len(week_records) == RECORDS_PER_WEEK
+    assert _encoded(matched) == _encoded(
+        [r for r in records if r.domain == target_domain]
+    )
+
+    where_fraction = where_stats.chunks_selected / where_stats.chunks_total
+    point_fraction = point_stats.chunks_selected / point_stats.chunks_total
+    where_speedup = full_elapsed / where_elapsed
+    point_speedup = full_elapsed / point_elapsed
+    full_rate = n / full_elapsed
+    where_rate = where_stats.records_scanned / where_elapsed
+
+    payload = {
+        "benchmark": "query_pushdown",
+        "records": n,
+        "chunks_total": where_stats.chunks_total,
+        "full": {
+            "elapsed_s": round(full_elapsed, 3),
+            "records_per_sec": round(full_rate, 1),
+        },
+        "where": {
+            "elapsed_s": round(where_elapsed, 4),
+            "chunks_selected": where_stats.chunks_selected,
+            "chunk_fraction": round(where_fraction, 4),
+            "records_per_sec": round(where_rate, 1),
+            "speedup": round(where_speedup, 2),
+        },
+        "point": {
+            "elapsed_s": round(point_elapsed, 4),
+            "chunks_selected": point_stats.chunks_selected,
+            "chunk_fraction": round(point_fraction, 4),
+            "speedup": round(point_speedup, 2),
+        },
+    }
+    _RESULT_PATH.write_text(json.dumps(payload, indent=2) + "\n", encoding="utf-8")
+
+    print()
+    print(f"query pushdown over {n} records, {where_stats.chunks_total} chunks:")
+    print(f"  full analyze   {full_elapsed:7.3f} s  ({full_rate:.0f} records/s)")
+    print(
+        f"  --where week   {where_elapsed:7.3f} s  "
+        f"({where_stats.chunks_selected} chunks, {where_fraction * 100:.2f} %, "
+        f"{where_speedup:.1f}x)"
+    )
+    print(
+        f"  query domain   {point_elapsed:7.3f} s  "
+        f"({point_stats.chunks_selected} chunks, {point_fraction * 100:.2f} %, "
+        f"{point_speedup:.1f}x)"
+    )
+
+    assert where_fraction < MAX_CHUNK_FRACTION, (
+        f"selective --where inflated {where_fraction * 100:.2f}% of chunks "
+        f"(gate {MAX_CHUNK_FRACTION * 100:.0f}%)"
+    )
+    assert point_fraction < MAX_CHUNK_FRACTION, (
+        f"point lookup inflated {point_fraction * 100:.2f}% of chunks "
+        f"(gate {MAX_CHUNK_FRACTION * 100:.0f}%)"
+    )
+    assert where_speedup >= MIN_SPEEDUP, (
+        f"--where only {where_speedup:.1f}x faster than full analyze"
+    )
+    assert point_speedup >= MIN_SPEEDUP, (
+        f"point lookup only {point_speedup:.1f}x faster than full analyze"
+    )

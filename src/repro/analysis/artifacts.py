@@ -87,6 +87,10 @@ def record_to_dict(record: ConnectionRecord) -> dict:
         # Only present on classified failures: legacy datasets (and
         # scans without faults/resilience) keep byte-identical lines.
         data["failure"] = record.failure.value
+    if record.week is not None:
+        # Same optionality contract as ``failure``: week-less records
+        # (hand-built, pre-week datasets) emit the legacy line.
+        data["week"] = record.week
     return data
 
 
@@ -122,6 +126,7 @@ def record_from_dict(data: dict) -> ConnectionRecord:
             failure=(
                 FailureKind(data["failure"]) if data.get("failure") else None
             ),
+            week=data.get("week"),
         )
     except (KeyError, TypeError, ValueError) as exc:
         raise ArtifactFormatError(f"malformed artifact record: {exc}") from exc

@@ -73,16 +73,34 @@ class AnalysisEngine:
         return any(getattr(fold, "needs_edges_sorted", True) for fold in self.folds)
 
     def run(
-        self, batches: Iterable[Sequence[ConnectionRecord]]
+        self,
+        batches: Iterable[Sequence[ConnectionRecord]],
+        predicate=None,
+        stats=None,
     ) -> dict[str, Any]:
         """One pass over ``batches``; returns ``{section: result}``.
 
         Results preserve the fold order given at construction.
+        ``predicate`` (a :class:`repro.analysis.query.Predicate`) is the
+        residual filter of a pushed-down query: every batch is filtered
+        before the folds see it, so the same folds over a zone-pruned
+        chunk stream produce byte-identical sections to a full scan.
+        ``stats`` (a :class:`~repro.analysis.query.QueryStats`) counts
+        scanned and matched records when given.
         """
         folds = self.folds
-        for batch in batches:
-            for fold in folds:
-                fold.update_many(batch)
+        if predicate is not None or stats is not None:
+            from repro.analysis.query import filter_batch
+
+            for batch in batches:
+                matched = filter_batch(batch, predicate, stats)
+                if matched:
+                    for fold in folds:
+                        fold.update_many(matched)
+        else:
+            for batch in batches:
+                for fold in folds:
+                    fold.update_many(batch)
         return {fold.name: fold.finish() for fold in folds}
 
 

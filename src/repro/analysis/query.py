@@ -1,0 +1,539 @@
+"""Predicate-pushdown query planning over zone-mapped cbr artifacts.
+
+The paper's analyses are repeated *filtered* aggregations — per
+provider, per week, per failure kind — over artifacts that only grow
+week by week.  This module turns those filters into a small
+:class:`Predicate` AST that can answer two questions:
+
+* :meth:`Predicate.matches` — does this decoded record satisfy the
+  filter?  (the *residual* filter; always exact)
+* :meth:`Predicate.prune` — does this chunk's footer zone map *prove*
+  that no record inside can match?  (the pushdown; always conservative)
+
+:func:`plan_chunks` consults the footer written by
+:class:`repro.artifacts.cbr.CbrWriter` — per-chunk zone maps plus the
+optional domain-hash secondary index — and returns exactly the chunk
+ordinals worth inflating.  Because pruning only ever skips chunks the
+zone maps prove empty of matches, and every surviving record still
+passes through :meth:`matches`, the pruned result is byte-identical to
+brute-force "decode everything, then filter".
+
+Zone-map semantics the planner relies on (see ``_zone_entry`` in the
+cbr module): value sets are exact but capped (``null`` = unbounded,
+never prune); the domain Bloom filter has no false negatives; ``w`` /
+``t`` are min/max envelopes; a ``null`` envelope means the chunk holds
+*no* week-labeled records / spin edges, so week/time predicates prune
+it.  Week predicates never match records whose label is absent or
+unparseable — identically in the zone and residual paths.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Sequence
+
+from repro.artifacts.cbr import bloom_might_contain, week_serial
+from repro.web.scanner import ConnectionRecord
+
+__all__ = [
+    "And",
+    "Between",
+    "Eq",
+    "In",
+    "Predicate",
+    "Present",
+    "QueryError",
+    "QueryStats",
+    "filter_batch",
+    "parse_where",
+    "plan_chunks",
+]
+
+
+class QueryError(ValueError):
+    """Raised for malformed ``--where`` expressions."""
+
+
+#: field name -> (zone-map key, coercion); fields without a zone key are
+#: residual-only (never prune, always filter at decode time).
+_FIELDS = {
+    "domain": "d",
+    "provider": "p",
+    "week": "w",
+    "failure": "f",
+    "behaviour": "b",
+    "edges": "e",
+    "t": "t",
+    "status": None,
+    "version": None,
+    "success": None,
+}
+
+_ALIASES = {
+    "behavior": "behaviour",
+    "failure_kind": "failure",
+    "quic_version": "version",
+    "time": "t",
+}
+
+#: Fields whose residual filter reads the received-edge column, so the
+#: engine must not project it away.
+_EDGE_FIELDS = frozenset({"edges", "t"})
+
+#: Fields with a totally ordered domain, eligible for ``between``.
+_RANGE_FIELDS = frozenset({"week", "t", "edges", "status"})
+
+
+def _canonical_field(name: str) -> str:
+    name = _ALIASES.get(name, name)
+    if name not in _FIELDS:
+        raise QueryError(
+            f"unknown query field {name!r}; expected one of "
+            f"{', '.join(sorted(_FIELDS))}"
+        )
+    return name
+
+
+def _record_value(name: str, record: ConnectionRecord):
+    """The scalar a record exposes for ``name`` (``None``: absent)."""
+    if name == "domain":
+        return record.domain
+    if name == "provider":
+        return record.provider_name
+    if name == "week":
+        return week_serial(record.week)
+    if name == "failure":
+        return None if record.failure is None else record.failure.value
+    if name == "behaviour":
+        return record.behaviour.value
+    if name == "edges":
+        return len(record.observation.edges_received)
+    if name == "status":
+        return record.status
+    if name == "version":
+        return record.negotiated_version
+    if name == "success":
+        return record.success
+    raise AssertionError(name)  # pragma: no cover - guarded by _canonical_field
+
+
+def _zone_excludes_values(zone: dict, name: str, values: Sequence) -> bool:
+    """Whether the zone map proves none of ``values`` occur in the chunk."""
+    if name == "domain":
+        bloom = zone.get("d")
+        return bool(bloom) and not any(
+            bloom_might_contain(bloom, value) for value in values
+        )
+    if name == "week":
+        if "w" not in zone:
+            return False
+        envelope = zone["w"]
+        if envelope is None:  # chunk has no week-labeled records
+            return True
+        low, high = envelope
+        return all(
+            serial is None or serial < low or serial > high for serial in values
+        )
+    key = _FIELDS.get(name)
+    if key is None or key not in zone:
+        return False
+    members = zone[key]
+    if members is None:  # unbounded value set: cannot prune
+        return False
+    return all(value not in members for value in values)
+
+
+class Predicate:
+    """Base class: a filter that can both match records and prune chunks."""
+
+    def matches(self, record: ConnectionRecord) -> bool:
+        raise NotImplementedError
+
+    def prune(self, zone: dict) -> bool:
+        """``True`` only when ``zone`` proves no record can match."""
+        return False
+
+    def fields(self) -> frozenset[str]:
+        raise NotImplementedError
+
+    @property
+    def needs_edges_received(self) -> bool:
+        return not _EDGE_FIELDS.isdisjoint(self.fields())
+
+    def point_domains(self) -> frozenset[str] | None:
+        """The finite domain-name set this filter restricts to, if any.
+
+        ``None`` means "unrestricted"; a set lets :func:`plan_chunks`
+        consult the footer's secondary domain index.
+        """
+        return None
+
+
+@dataclass(frozen=True)
+class Eq(Predicate):
+    """``field == value``."""
+
+    name: str
+    value: object
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "name", _canonical_field(self.name))
+
+    def matches(self, record: ConnectionRecord) -> bool:
+        if self.name == "t":
+            return any(
+                edge.time_ms == self.value
+                for edge in record.observation.edges_received
+            )
+        if self.name == "week":
+            serial = week_serial(self.value)  # type: ignore[arg-type]
+            return serial is not None and _record_value("week", record) == serial
+        return _record_value(self.name, record) == self.value
+
+    def prune(self, zone: dict) -> bool:
+        if self.name == "t":
+            return _t_range_prunes(zone, self.value, self.value)
+        if self.name == "week":
+            return _zone_excludes_values(zone, "week", [week_serial(self.value)])
+        return _zone_excludes_values(zone, self.name, [self.value])
+
+    def fields(self) -> frozenset[str]:
+        return frozenset({self.name})
+
+    def point_domains(self) -> frozenset[str] | None:
+        if self.name == "domain":
+            return frozenset({self.value})
+        return None
+
+
+@dataclass(frozen=True)
+class In(Predicate):
+    """``field in {v1, v2, ...}``."""
+
+    name: str
+    values: frozenset
+
+    def __init__(self, name: str, values) -> None:
+        object.__setattr__(self, "name", _canonical_field(name))
+        object.__setattr__(self, "values", frozenset(values))
+
+    def matches(self, record: ConnectionRecord) -> bool:
+        if self.name == "week":
+            serials = {week_serial(v) for v in self.values} - {None}
+            return _record_value("week", record) in serials
+        return _record_value(self.name, record) in self.values
+
+    def prune(self, zone: dict) -> bool:
+        if self.name == "week":
+            values = [week_serial(v) for v in self.values]
+        else:
+            values = list(self.values)
+        return _zone_excludes_values(zone, self.name, values)
+
+    def fields(self) -> frozenset[str]:
+        return frozenset({self.name})
+
+    def point_domains(self) -> frozenset[str] | None:
+        if self.name == "domain":
+            return frozenset(self.values)
+        return None
+
+
+def _t_range_prunes(zone: dict, low: float, high: float) -> bool:
+    if "t" not in zone:
+        return False
+    envelope = zone["t"]
+    if envelope is None:  # chunk has no spin edges at all
+        return True
+    return high < envelope[0] or low > envelope[1]
+
+
+@dataclass(frozen=True)
+class Between(Predicate):
+    """``low <= field <= high`` (inclusive both ends)."""
+
+    name: str
+    low: object
+    high: object
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "name", _canonical_field(self.name))
+        if self.name not in _RANGE_FIELDS:
+            raise QueryError(f"field {self.name!r} does not support 'between'")
+
+    def _bounds(self) -> tuple:
+        if self.name == "week":
+            return week_serial(self.low), week_serial(self.high)
+        return self.low, self.high
+
+    def matches(self, record: ConnectionRecord) -> bool:
+        low, high = self._bounds()
+        if low is None or high is None:  # unparseable week bound
+            return False
+        if self.name == "t":
+            return any(
+                low <= edge.time_ms <= high
+                for edge in record.observation.edges_received
+            )
+        value = _record_value(self.name, record)
+        return value is not None and low <= value <= high
+
+    def prune(self, zone: dict) -> bool:
+        low, high = self._bounds()
+        if low is None or high is None:
+            return True  # matches() is constant-False; every chunk prunes
+        if self.name == "t":
+            return _t_range_prunes(zone, low, high)
+        if self.name == "week":
+            if "w" not in zone:
+                return False
+            envelope = zone["w"]
+            if envelope is None:
+                return True
+            return high < envelope[0] or low > envelope[1]
+        if self.name == "edges":
+            members = zone.get("e") if "e" in zone else None
+            if members is None:
+                return False
+            return all(not low <= value <= high for value in members)
+        return False  # status: residual-only
+
+    def fields(self) -> frozenset[str]:
+        return frozenset({self.name})
+
+
+@dataclass(frozen=True)
+class Present(Predicate):
+    """``field present`` — the optional field carries a value."""
+
+    name: str
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "name", _canonical_field(self.name))
+
+    def matches(self, record: ConnectionRecord) -> bool:
+        return _record_value(self.name, record) is not None
+
+    def prune(self, zone: dict) -> bool:
+        if self.name == "failure":
+            return "f" in zone and not zone["f"]
+        if self.name == "week":
+            return "w" in zone and zone["w"] is None
+        return False
+
+    def fields(self) -> frozenset[str]:
+        return frozenset({self.name})
+
+
+@dataclass(frozen=True)
+class And(Predicate):
+    """Conjunction: every clause must hold."""
+
+    clauses: tuple = field(default_factory=tuple)
+
+    def __init__(self, clauses) -> None:
+        object.__setattr__(self, "clauses", tuple(clauses))
+        if not self.clauses:
+            raise QueryError("empty conjunction")
+
+    def matches(self, record: ConnectionRecord) -> bool:
+        return all(clause.matches(record) for clause in self.clauses)
+
+    def prune(self, zone: dict) -> bool:
+        # One clause proving emptiness is enough for the conjunction.
+        return any(clause.prune(zone) for clause in self.clauses)
+
+    def fields(self) -> frozenset[str]:
+        return frozenset().union(*(clause.fields() for clause in self.clauses))
+
+    def point_domains(self) -> frozenset[str] | None:
+        restricted = [
+            names for names in (c.point_domains() for c in self.clauses)
+            if names is not None
+        ]
+        if not restricted:
+            return None
+        result = restricted[0]
+        for names in restricted[1:]:
+            result &= names
+        return result
+
+
+# ----------------------------------------------------------------------
+# ``--where`` expression parsing.
+# ----------------------------------------------------------------------
+
+def _coerce(name: str, token: str):
+    """Parse one literal for ``name``; raises :class:`QueryError`."""
+    try:
+        if name in ("edges", "status"):
+            return int(token)
+        if name == "t":
+            return float(token)
+    except ValueError as exc:
+        raise QueryError(f"{name!r} needs a numeric value, got {token!r}") from exc
+    if name == "success":
+        lowered = token.lower()
+        if lowered in ("true", "1", "yes"):
+            return True
+        if lowered in ("false", "0", "no"):
+            return False
+        raise QueryError(f"'success' needs true/false, got {token!r}")
+    if name == "week" and week_serial(token) is None:
+        raise QueryError(f"{token!r} is not a week label (expected 'cwWW-YYYY')")
+    return token
+
+
+def parse_where(text: str) -> Predicate:
+    """Parse a ``--where`` expression into a :class:`Predicate`.
+
+    Grammar (whitespace-separated; clauses joined by ``and``)::
+
+        clause := FIELD ('==' | '=') VALUE
+                | FIELD 'in' VALUE[,VALUE...]
+                | FIELD 'between' LOW ['and'] HIGH
+                | FIELD 'present'
+
+    Examples: ``provider == cloudflare``, ``week between cw20-2023 and
+    cw25-2023 and failure present``, ``domain in a.example,b.example``.
+    """
+    tokens = text.split()
+    if not tokens:
+        raise QueryError("empty --where expression")
+    clauses: list[Predicate] = []
+    pos = 0
+    while pos < len(tokens):
+        name = _canonical_field(tokens[pos])
+        if pos + 1 >= len(tokens):
+            raise QueryError(f"dangling field {tokens[pos]!r}")
+        op = tokens[pos + 1].lower()
+        pos += 2
+        if op in ("==", "="):
+            if pos >= len(tokens):
+                raise QueryError(f"missing value after '{name} =='")
+            clauses.append(Eq(name, _coerce(name, tokens[pos])))
+            pos += 1
+        elif op == "in":
+            raw: list[str] = []
+            while pos < len(tokens) and tokens[pos].lower() != "and":
+                raw.append(tokens[pos])
+                pos += 1
+            values = [v for v in "".join(raw).split(",") if v]
+            if not values:
+                raise QueryError(f"missing value list after '{name} in'")
+            clauses.append(In(name, [_coerce(name, v) for v in values]))
+        elif op == "between":
+            if pos >= len(tokens):
+                raise QueryError(f"missing bounds after '{name} between'")
+            low = tokens[pos]
+            pos += 1
+            if pos < len(tokens) and tokens[pos].lower() == "and":
+                pos += 1
+            if pos >= len(tokens):
+                raise QueryError(f"missing upper bound after '{name} between'")
+            high = tokens[pos]
+            pos += 1
+            clauses.append(Between(name, _coerce(name, low), _coerce(name, high)))
+        elif op == "present":
+            clauses.append(Present(name))
+        else:
+            raise QueryError(
+                f"unknown operator {op!r} (expected ==, in, between, present)"
+            )
+        if pos < len(tokens):
+            if tokens[pos].lower() != "and":
+                raise QueryError(
+                    f"expected 'and' between clauses, got {tokens[pos]!r}"
+                )
+            pos += 1
+            if pos >= len(tokens):
+                raise QueryError("dangling 'and'")
+    if len(clauses) == 1:
+        return clauses[0]
+    return And(clauses)
+
+
+# ----------------------------------------------------------------------
+# Planning and execution support.
+# ----------------------------------------------------------------------
+
+@dataclass
+class QueryStats:
+    """Planner/scan counters; the observable face of pruning."""
+
+    chunks_total: int = 0
+    chunks_selected: int = 0
+    records_scanned: int = 0
+    records_matched: int = 0
+
+    @property
+    def chunks_pruned(self) -> int:
+        return self.chunks_total - self.chunks_selected
+
+    def emit(self, telemetry) -> None:
+        """Publish the counters through a ``repro.telemetry`` bundle."""
+        if telemetry is None:
+            return
+        registry = telemetry.registry
+        registry.counter("query.chunks_total").inc(self.chunks_total)
+        registry.counter("query.chunks_pruned").inc(self.chunks_pruned)
+        registry.counter("query.records_scanned").inc(self.records_scanned)
+
+
+def plan_chunks(
+    footer: dict,
+    predicate: Predicate | None,
+    domain_lookup: Callable[[str], list[int] | None] | None = None,
+) -> tuple[list[int], int]:
+    """Select the chunk ordinals worth decoding for ``predicate``.
+
+    Returns ``(ordinals, chunks_total)``.  ``domain_lookup`` resolves a
+    domain name against the file's binary secondary index
+    (:meth:`repro.artifacts.cbr.CbrIndexedReader.domain_index_lookup`);
+    it returns candidate ordinals, ``[]`` for a definitive miss, or
+    ``None`` when the file carries no usable index — in which case the
+    planner falls back to zone maps alone.  With no predicate, no zone
+    maps (footer schema 1), or an unindexable predicate the plan is the
+    full scan — pruning degrades to correct, never to wrong.  Ordinals
+    come back sorted, so execution reads the file front to back.
+    """
+    total = len(footer.get("chunks") or ())
+    ordinals: list[int] = list(range(total))
+    if predicate is None or total == 0:
+        return ordinals, total
+    domains = predicate.point_domains()
+    if domains is not None and domain_lookup is not None:
+        candidates: set[int] | None = set()
+        for name in domains:
+            hits = domain_lookup(name)
+            if hits is None:
+                candidates = None  # no usable index: zone maps only
+                break
+            candidates.update(hits)
+        if candidates is not None:
+            ordinals = sorted(o for o in candidates if 0 <= o < total)
+    zones = footer.get("zones")
+    if zones:
+        ordinals = [
+            o
+            for o in ordinals
+            if o >= len(zones) or zones[o] is None or not predicate.prune(zones[o])
+        ]
+    return ordinals, total
+
+
+def filter_batch(
+    batch: Sequence[ConnectionRecord],
+    predicate: Predicate | None,
+    stats: QueryStats | None = None,
+) -> Sequence[ConnectionRecord]:
+    """Apply the residual filter to one decoded batch."""
+    if stats is not None:
+        stats.records_scanned += len(batch)
+    if predicate is None:
+        matched = batch
+    else:
+        matched = [record for record in batch if predicate.matches(record)]
+    if stats is not None:
+        stats.records_matched += len(matched)
+    return matched

@@ -47,6 +47,7 @@ __all__ = [
     "FORMAT_JSONL",
     "RecordBatchSource",
     "detect_format",
+    "open_query_source",
     "open_record_batches",
     "resolve_write_format",
     "write_records",
@@ -78,17 +79,25 @@ def resolve_write_format(path: str, requested: str = "auto") -> str:
 
 
 class RecordBatchSource:
-    """A decoded artifact stream: format + iterator of record batches."""
+    """A decoded artifact stream: format + iterator of record batches.
 
-    __slots__ = ("format", "_batches", "records_read", "corrupt_chunks", "_cbr")
+    ``stats`` is populated by :func:`open_query_source` with the query
+    planner's :class:`~repro.analysis.query.QueryStats`; plain
+    :func:`open_record_batches` sources leave it ``None``.
+    """
+
+    __slots__ = (
+        "format", "_batches", "records_read", "corrupt_chunks", "_cbr", "stats",
+    )
 
     def __init__(self, format: str, batches: Iterator[list[ConnectionRecord]],
-                 cbr_reader: CbrReader | None = None) -> None:
+                 cbr_reader=None, stats=None) -> None:
         self.format = format
         self._batches = batches
         self._cbr = cbr_reader
         self.records_read = 0
         self.corrupt_chunks = 0
+        self.stats = stats
 
     def batches(self) -> Iterator[list[ConnectionRecord]]:
         for batch in self._batches:
@@ -163,6 +172,79 @@ def open_record_batches(
     finally:
         if close_raw:
             raw.close()
+
+
+@contextmanager
+def open_query_source(
+    path: str,
+    predicate=None,
+    stats=None,
+    want_edges_received: bool = True,
+    want_edges_sorted: bool = True,
+    errors: str = "count",
+    batch_records: int = DEFAULT_BATCH_RECORDS,
+) -> Iterator[RecordBatchSource]:
+    """Open an artifact for a *filtered* read with predicate pushdown.
+
+    On a seekable cbr file with a readable footer, the chunk plan comes
+    from :func:`repro.analysis.query.plan_chunks` — zone-pruned chunks
+    are never inflated — and ``stats`` (a
+    :class:`~repro.analysis.query.QueryStats`, created on demand) gets
+    the ``chunks_total`` / ``chunks_selected`` counts.  Everything else
+    degrades to the sequential full scan of
+    :func:`open_record_batches` with ``chunks_pruned = 0``: stdin, JSONL
+    datasets, footer-less cbr (schema 1 has no zones but still plans a
+    full scan), and — the tolerant-reader mirror — cbr files whose
+    trailer is torn or missing, which previously raised in any
+    footer-dependent path.
+
+    Batches still contain *unfiltered* records from the selected chunks;
+    residual filtering stays with the consumer (``AnalysisEngine.run``
+    or :func:`repro.analysis.query.filter_batch`) so the pruned path is
+    byte-identical to brute force by construction.
+    """
+    from repro.analysis.query import QueryStats, plan_chunks
+    from repro.artifacts.cbr import CbrIndexedReader
+
+    if stats is None:
+        stats = QueryStats()
+    if predicate is not None and path != "-":
+        stream = open(path, "rb")
+        try:
+            indexed = None
+            if detect_format(stream.read(len(CBR_MAGIC))) == FORMAT_CBR:
+                try:
+                    indexed = CbrIndexedReader(stream, errors=errors)
+                except CbrFormatError:
+                    indexed = None  # torn trailer: sequential fallback
+            if indexed is not None:
+                ordinals, total = plan_chunks(
+                    indexed.footer, predicate, indexed.domain_index_lookup
+                )
+                stats.chunks_total = total
+                stats.chunks_selected = len(ordinals)
+                yield RecordBatchSource(
+                    FORMAT_CBR,
+                    indexed.read_chunks(
+                        ordinals,
+                        want_edges_received=want_edges_received,
+                        want_edges_sorted=want_edges_sorted,
+                    ),
+                    cbr_reader=indexed,
+                    stats=stats,
+                )
+                return
+        finally:
+            stream.close()
+    with open_record_batches(
+        path,
+        want_edges_received=want_edges_received,
+        want_edges_sorted=want_edges_sorted,
+        errors=errors,
+        batch_records=batch_records,
+    ) as source:
+        source.stats = stats
+        yield source
 
 
 def write_records(

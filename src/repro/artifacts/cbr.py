@@ -23,6 +23,16 @@ text.  ``cbr`` stores the same records column-wise in compressed chunks:
 * **Footer index**: a trailing frame lists every chunk's offset, size,
   record count, and kind, so indexed readers can seek; sequential
   readers (pipes) never need it because every frame is length-prefixed.
+* **Zone maps** (footer schema 2): next to each chunk entry the footer
+  carries a pruning digest of the chunk — min/max week serial and
+  spin-edge time, small-domain value sets (provider, failure kind,
+  behaviour, spin-edge count), and a seeded Bloom filter over the
+  chunk's domains — so the query planner
+  (:mod:`repro.analysis.query`) can prove "no record in this chunk can
+  match" **without inflating the chunk**.  An optional secondary index
+  (domain hash → chunk ordinals) makes point lookups O(matching
+  chunks).  Schema-1 footers (pre-zone-map files) still read
+  everywhere; they simply offer the planner nothing to prune with.
 
 Two chunk kinds exist: ``KIND_RECORDS`` (plain connection records — the
 Appendix-B artifact) and ``KIND_DOMAINS`` (checkpoint shards: the same
@@ -38,12 +48,23 @@ Layout::
     frame*:
       0x01 chunk : u32 payload_len, u32 crc32, u32 n_records, u8 kind,
                    payload (zlib: kind, n, string table, columns)
+      0x03 index : u32 payload_len, u32 crc32,
+                   payload (sorted 9-byte rows: 5-byte domain hash,
+                   u32be chunk ordinal) — optional, version 2
       0x02 footer: u32 payload_len, payload (zlib: JSON index),
                    u64 footer_frame_offset, b"CBRE"
+
+The secondary domain index is a *binary* frame rather than footer JSON
+on purpose: a large artifact indexes ~one row per (domain, chunk), and
+parsing that as JSON would cost more than the chunk decodes a point
+lookup saves.  The footer only records ``{"at": offset, "rows": n}``;
+the rows load lazily (point lookups only) and answer by binary search
+over the raw bytes — no per-row parsing at all.
 """
 
 from __future__ import annotations
 
+import hashlib
 import json
 import os
 import struct
@@ -61,19 +82,33 @@ from repro.web.scanner import ConnectionRecord
 __all__ = [
     "CBR_MAGIC",
     "CbrFormatError",
+    "CbrIndexedReader",
     "CbrReader",
     "CbrWriter",
     "DomainResultData",
+    "FOOTER_SCHEMA",
     "KIND_DOMAINS",
     "KIND_RECORDS",
+    "bloom_might_contain",
     "concat_frames",
+    "domain_hash",
     "read_footer",
+    "week_serial",
     "write_records_cbr",
 ]
 
 CBR_MAGIC = b"CBR1"
 _END_MAGIC = b"CBRE"
-_FORMAT_VERSION = 1
+#: Container version written by this code.  Version 2 files may carry a
+#: per-chunk week column (flagged per chunk) and a schema-2 footer with
+#: zone maps; version-1 files read unchanged (no pruning possible).
+_FORMAT_VERSION = 2
+_SUPPORTED_VERSIONS = (1, 2)
+
+#: Footer JSON schema written by this code.  Schema 2 adds ``zones``
+#: (one pruning digest per chunk, ``null`` where unknown), ``bloom``
+#: (filter parameters), and the optional ``domain_index`` section.
+FOOTER_SCHEMA = 2
 
 #: Chunk kinds: plain connection records vs. domain-grouped checkpoint
 #: shards (connection columns + domain columns + qlog blobs).
@@ -82,10 +117,23 @@ KIND_DOMAINS = 1
 
 _FRAME_CHUNK = 0x01
 _FRAME_FOOTER = 0x02
+_FRAME_INDEX = 0x03
+
+#: Chunk-payload flag bits (high nibble of the payload's kind byte).
+#: The low nibble stays the chunk kind, so a flagged chunk still frames
+#: identically; version-1 chunks simply have no flags set.
+_CHUNK_FLAG_WEEK = 0x10
+_CHUNK_KIND_MASK = 0x0F
 
 _CHUNK_HEADER = struct.Struct("<IIIB")  # payload_len, crc32, n_records, kind
 _FOOTER_HEADER = struct.Struct("<I")  # payload_len
+_INDEX_HEADER = struct.Struct("<II")  # payload_len, crc32
 _TRAILER = struct.Struct("<Q4s")  # footer frame offset, end magic
+
+#: One secondary-index row: 5-byte domain hash + u32be chunk ordinal.
+#: Big-endian ordinals keep byte order == (hash, ordinal) sort order.
+_INDEX_ROW_SIZE = 9
+_INDEX_HASH_SIZE = 5
 
 _DEFAULT_CHUNK_RECORDS = 1024
 
@@ -231,6 +279,157 @@ def _read_doubles(buf: bytes, pos: int, count: int) -> tuple[tuple[float, ...], 
 
 
 # ----------------------------------------------------------------------
+# Zone maps: per-chunk pruning digests serialized into the footer.
+# ----------------------------------------------------------------------
+
+#: Bloom sizing: ~10 bits and 4 seeded hash probes per distinct domain
+#: give a ~1 % false-positive rate — a false positive only costs one
+#: needlessly inflated chunk (the residual filter stays exact).
+_BLOOM_BITS_PER_VALUE = 10
+_BLOOM_HASHES = 4
+
+#: Value sets wider than this stop pruning anything useful and bloat the
+#: footer; the zone entry stores ``null`` ("unbounded") instead.
+_ZONE_SET_CAP = 64
+
+_week_serial_cache: dict[str, int | None] = {}
+
+
+def week_serial(label: str | None) -> int | None:
+    """Week label -> campaign serial (``None``: unlabeled/unparseable).
+
+    Records whose label does not parse can never satisfy a week
+    predicate, so both the zone map and the residual filter treat them
+    exactly like week-less records.
+    """
+    if label is None:
+        return None
+    serial = _week_serial_cache.get(label, _week_serial_cache)
+    if serial is _week_serial_cache:
+        from repro.campaign.schedule import CalendarWeek
+
+        try:
+            serial = CalendarWeek.from_label(label).serial
+        except (ValueError, TypeError):
+            serial = None
+        _week_serial_cache[label] = serial
+    return serial
+
+
+def _bloom_positions(value: str, m_bits: int) -> list[int]:
+    """The seeded bit positions of ``value`` in an ``m_bits`` filter."""
+    digest = hashlib.sha256(b"cbr-bloom\x00" + value.encode("utf-8")).digest()
+    return [
+        int.from_bytes(digest[8 * i : 8 * i + 8], "big") % m_bits
+        for i in range(_BLOOM_HASHES)
+    ]
+
+
+def _bloom_build(values: set[str]) -> str:
+    m_bits = max(64, len(values) * _BLOOM_BITS_PER_VALUE)
+    m_bits = (m_bits + 7) & ~7
+    bits = bytearray(m_bits >> 3)
+    for value in values:
+        for position in _bloom_positions(value, m_bits):
+            bits[position >> 3] |= 1 << (position & 7)
+    return bytes(bits).hex()
+
+
+def bloom_might_contain(bloom_hex: str, value: str) -> bool:
+    """Whether the serialized filter *may* contain ``value``.
+
+    ``False`` is definitive (Bloom filters have no false negatives), so
+    the planner may skip the chunk without decoding it.
+    """
+    bits = bytes.fromhex(bloom_hex)
+    m_bits = len(bits) << 3
+    return all(
+        bits[position >> 3] >> (position & 7) & 1
+        for position in _bloom_positions(value, m_bits)
+    )
+
+
+def _domain_hash_bytes(name: str) -> bytes:
+    return hashlib.sha256(b"cbr-dhash\x00" + name.encode("utf-8")).digest()[
+        :_INDEX_HASH_SIZE
+    ]
+
+
+def domain_hash(name: str) -> str:
+    """Seeded 40-bit domain hash keying the secondary index (hex)."""
+    return _domain_hash_bytes(name).hex()
+
+
+def _index_rows_lookup(rows: bytes, key: bytes) -> list[int]:
+    """Binary search the packed index rows for one 5-byte hash key."""
+    count = len(rows) // _INDEX_ROW_SIZE
+    low, high = 0, count
+    while low < high:
+        mid = (low + high) // 2
+        start = mid * _INDEX_ROW_SIZE
+        if rows[start : start + _INDEX_HASH_SIZE] < key:
+            low = mid + 1
+        else:
+            high = mid
+    ordinals: list[int] = []
+    while low < count:
+        start = low * _INDEX_ROW_SIZE
+        if rows[start : start + _INDEX_HASH_SIZE] != key:
+            break
+        ordinals.append(
+            int.from_bytes(rows[start + _INDEX_HASH_SIZE : start + _INDEX_ROW_SIZE], "big")
+        )
+        low += 1
+    return ordinals
+
+
+def _zone_value_set(values: set) -> list | None:
+    """A sorted small-domain value set, or ``null`` when unbounded."""
+    if len(values) > _ZONE_SET_CAP:
+        return None
+    return sorted(values)
+
+
+def _zone_entry(records: Sequence[ConnectionRecord]) -> dict:
+    """The pruning digest of one chunk (see ``repro.analysis.query``).
+
+    Keys (all prunable dimensions are *conservative*: a chunk is skipped
+    only when the digest proves no record can match):
+
+    * ``w`` — ``[min, max]`` week serial over week-labeled records, or
+      ``null`` when the chunk has none (week predicates then prune it);
+    * ``t`` — ``[min, max]`` spin-edge time (ms) over received edges;
+    * ``p`` / ``f`` / ``b`` / ``e`` — value sets for provider, failure
+      kind, behaviour, and spin-edge count (``null`` = unbounded);
+    * ``d`` — hex Bloom filter over the chunk's domain names.
+    """
+    weeks: list[int] = []
+    for record in records:
+        serial = week_serial(record.week)
+        if serial is not None:
+            weeks.append(serial)
+    t_min = t_max = None
+    for record in records:
+        for edge in record.observation.edges_received:
+            time_ms = edge.time_ms
+            if t_min is None or time_ms < t_min:
+                t_min = time_ms
+            if t_max is None or time_ms > t_max:
+                t_max = time_ms
+    return {
+        "w": [min(weeks), max(weeks)] if weeks else None,
+        "t": None if t_min is None else [t_min, t_max],
+        "p": _zone_value_set({r.provider_name for r in records}),
+        "f": sorted({r.failure.value for r in records if r.failure is not None}),
+        "b": sorted({r.behaviour.value for r in records}),
+        "e": _zone_value_set(
+            {len(r.observation.edges_received) for r in records}
+        ),
+        "d": _bloom_build({r.domain for r in records}),
+    }
+
+
+# ----------------------------------------------------------------------
 # Chunk encoding.
 # ----------------------------------------------------------------------
 
@@ -357,6 +556,16 @@ def _encode_connection_columns(
     )
 
 
+def _encode_week_column(
+    out: bytearray, records: Sequence[ConnectionRecord], table: _StringTable
+) -> None:
+    """The v2 trailing week column (0 = unlabeled record)."""
+    intern = table.add
+    _write_uv_column(
+        out, [0 if r.week is None else intern(r.week) + 1 for r in records]
+    )
+
+
 def _encode_domain_columns(
     out: bytearray,
     domains: Sequence,
@@ -389,15 +598,25 @@ def _encode_domain_columns(
 
 
 def _encode_chunk(
-    records: Sequence[ConnectionRecord], kind: int, domains: Sequence | None = None
+    records: Sequence[ConnectionRecord],
+    kind: int,
+    domains: Sequence | None = None,
+    with_week: bool = True,
 ) -> bytes:
     table = _StringTable()
     columns = bytearray()
     _encode_connection_columns(columns, records, table)
+    flags = 0
+    if with_week:
+        # The week column sits between the connection and domain column
+        # blocks, announced by a payload flag bit so version-1 chunks
+        # (no flags) decode unchanged.
+        flags |= _CHUNK_FLAG_WEEK
+        _encode_week_column(columns, records, table)
     if kind == KIND_DOMAINS:
         assert domains is not None
         _encode_domain_columns(columns, domains, records, table)
-    head = bytearray([kind])
+    head = bytearray([kind | flags])
     _write_uv(head, len(records))
     return zlib.compress(bytes(head) + table.encode() + bytes(columns), 6)
 
@@ -533,9 +752,12 @@ def _decode_chunk(
 ) -> tuple[list[ConnectionRecord], list[DomainResultData] | None]:
     buf = payload
     pos = 1
-    kind = buf[0]
+    flags = buf[0] & ~_CHUNK_KIND_MASK
+    kind = buf[0] & _CHUNK_KIND_MASK
     if kind not in (KIND_RECORDS, KIND_DOMAINS):
         raise CbrFormatError(f"unknown chunk kind {kind}")
+    if flags & ~_CHUNK_FLAG_WEEK:
+        raise CbrFormatError(f"unknown chunk flags 0x{flags:02x}")
     if want_domains and kind != KIND_DOMAINS:
         raise CbrFormatError("chunk has no domain columns")
     n, pos = _read_uv(buf, pos)
@@ -579,6 +801,11 @@ def _decode_chunk(
     stack_flat, pos = _read_doubles(buf, pos, sum(stack_counts))
     versions, pos = _read_uv_column(buf, pos, n)
     failure_idx, pos = _read_uv_column(buf, pos, n)
+    if flags & _CHUNK_FLAG_WEEK:
+        week_idx, pos = _read_uv_column(buf, pos, n)
+        weeks = [None if not i else strings[i - 1] for i in week_idx]
+    else:
+        weeks = None
 
     behaviours = [_BEHAVIOURS[strings[i]] for i in behaviour_idx]
     _VALUES_SEEN = (set(), {False}, {True}, {False, True})
@@ -620,6 +847,7 @@ def _decode_chunk(
         record.qlog = None
         record.negotiated_version = None if not version else version - 1
         record.failure = None if not failure else _FAILURES[strings[failure - 1]]
+        record.week = None if weeks is None else weeks[i]
         stack_offset += count
         append(record)
 
@@ -674,6 +902,32 @@ def _decode_chunk(
 # ----------------------------------------------------------------------
 
 
+def _write_index_frame(
+    write, offset: int, ordinals_by_hash: dict[bytes, list[int]]
+) -> dict:
+    """Write the packed secondary-index frame; returns its footer entry."""
+    rows = b"".join(
+        key + ordinal.to_bytes(4, "big")
+        for key in sorted(ordinals_by_hash)
+        for ordinal in ordinals_by_hash[key]
+    )
+    write(bytes([_FRAME_INDEX]))
+    write(_INDEX_HEADER.pack(len(rows), zlib.crc32(rows)))
+    write(rows)
+    return {"at": offset, "rows": len(rows) // _INDEX_ROW_SIZE}
+
+
+def _write_footer(write, footer_offset: int, footer: dict) -> None:
+    """Serialize the footer frame + trailer through ``write``."""
+    payload = zlib.compress(
+        json.dumps(footer, separators=(",", ":")).encode("utf-8"), 6
+    )
+    write(bytes([_FRAME_FOOTER]))
+    write(_FOOTER_HEADER.pack(len(payload)))
+    write(payload)
+    write(_TRAILER.pack(footer_offset, _END_MAGIC))
+
+
 class CbrWriter:
     """Streaming cbr encoder over a binary stream.
 
@@ -682,6 +936,12 @@ class CbrWriter:
     :meth:`write_domain_result` for a checkpoint shard (records grouped
     by domain; chunks flush on whole-domain boundaries).  ``close``
     writes the footer index and trailer.
+
+    ``zone_maps`` and ``domain_index`` control the footer's pruning
+    sections (both default on; they cost encode-side set building, no
+    chunk bytes).  ``compat_v1`` writes the exact pre-zone-map container
+    (version byte 1, no week column, schema-1 footer) — it exists so
+    compatibility tests and tooling can fabricate legacy artifacts.
     """
 
     def __init__(
@@ -689,19 +949,27 @@ class CbrWriter:
         stream: IO[bytes],
         chunk_records: int = _DEFAULT_CHUNK_RECORDS,
         kind: int = KIND_RECORDS,
+        zone_maps: bool = True,
+        domain_index: bool = True,
+        compat_v1: bool = False,
     ) -> None:
         if chunk_records < 1:
             raise ValueError("chunk_records must be >= 1")
         self._stream = stream
         self._chunk_records = chunk_records
         self._kind = kind
+        self._compat_v1 = compat_v1
+        self._zone_maps = zone_maps and not compat_v1
+        self._domain_index = domain_index and not compat_v1
         self._records: list[ConnectionRecord] = []
         self._domains: list = []
         self._offset = 0
         self._chunks: list[list] = []  # [offset, payload_len, n_records, kind]
+        self._zones: list[dict | None] = []
+        self._domain_ordinals: dict[bytes, list[int]] = {}
         self.records_written = 0
         self._closed = False
-        self._write(CBR_MAGIC + bytes([_FORMAT_VERSION]))
+        self._write(CBR_MAGIC + bytes([1 if compat_v1 else _FORMAT_VERSION]))
 
     def _write(self, data: bytes) -> None:
         self._stream.write(data)
@@ -731,8 +999,18 @@ class CbrWriter:
             self._records,
             self._kind,
             self._domains if self._kind == KIND_DOMAINS else None,
+            with_week=not self._compat_v1,
         )
         n = len(self._records)
+        ordinal = len(self._chunks)
+        if self._zone_maps:
+            self._zones.append(_zone_entry(self._records))
+        if self._domain_index:
+            ordinals = self._domain_ordinals
+            for name in {record.domain for record in self._records}:
+                buckets = ordinals.setdefault(_domain_hash_bytes(name), [])
+                if not buckets or buckets[-1] != ordinal:
+                    buckets.append(ordinal)
         self._chunks.append([self._offset, len(payload), n, self._kind])
         self._write(bytes([_FRAME_CHUNK]))
         self._write(_CHUNK_HEADER.pack(len(payload), zlib.crc32(payload), n, self._kind))
@@ -749,19 +1027,21 @@ class CbrWriter:
         # An empty domain-kind artifact must still announce its kind so
         # readers can validate (`domain_batches` on a records file).
         footer = {
-            "schema": _FORMAT_VERSION,
+            "schema": 1 if self._compat_v1 else FOOTER_SCHEMA,
             "records": self.records_written,
             "kind": self._kind,
             "chunks": self._chunks,
         }
-        payload = zlib.compress(
-            json.dumps(footer, separators=(",", ":")).encode("utf-8"), 6
-        )
-        footer_offset = self._offset
-        self._write(bytes([_FRAME_FOOTER]))
-        self._write(_FOOTER_HEADER.pack(len(payload)))
-        self._write(payload)
-        self._write(_TRAILER.pack(footer_offset, _END_MAGIC))
+        if self._zone_maps:
+            footer["zones"] = self._zones
+            footer["bloom"] = {"hashes": _BLOOM_HASHES}
+        if self._domain_index:
+            # Sorted rows keep the index bytes independent of insertion
+            # order and make the lookup a binary search.
+            footer["domain_index"] = _write_index_frame(
+                self._write, self._offset, self._domain_ordinals
+            )
+        _write_footer(self._write, self._offset, footer)
         self._closed = True
         return self.records_written
 
@@ -798,7 +1078,7 @@ class CbrReader:
         head = stream.read(len(CBR_MAGIC) + 1)
         if head[: len(CBR_MAGIC)] != CBR_MAGIC:
             raise CbrFormatError("not a cbr stream (bad magic)")
-        if head[len(CBR_MAGIC)] != _FORMAT_VERSION:
+        if head[len(CBR_MAGIC)] not in _SUPPORTED_VERSIONS:
             raise CbrFormatError(f"unsupported cbr version {head[len(CBR_MAGIC)]}")
 
     def _damaged(self, message: str) -> None:
@@ -815,6 +1095,18 @@ class CbrReader:
                 return  # clean EOF (footer-less stream fragment)
             if frame_type[0] == _FRAME_FOOTER:
                 return
+            if frame_type[0] == _FRAME_INDEX:
+                # The secondary index is seek-only data; the record
+                # stream just steps over it.
+                header = read(_INDEX_HEADER.size)
+                if len(header) < _INDEX_HEADER.size:
+                    self._damaged("truncated index header")
+                    return
+                (index_len, _crc) = _INDEX_HEADER.unpack(header)
+                if len(read(index_len)) < index_len:
+                    self._damaged("truncated index payload")
+                    return
+                continue
             if frame_type[0] != _FRAME_CHUNK:
                 self._damaged(f"unknown frame type 0x{frame_type[0]:02x}")
                 return  # framing lost: cannot resynchronize
@@ -880,6 +1172,133 @@ class CbrReader:
             yield from batch
 
 
+class CbrIndexedReader:
+    """Random-access cbr reader over a seekable stream.
+
+    Reads the footer once, then decodes exactly the chunk ordinals it is
+    asked for — this is the decode backend of the predicate-pushdown
+    query planner: planning happens on the footer's zone maps, and only
+    the surviving ordinals are ever inflated.  ``errors`` follows
+    :class:`CbrReader` (``"count"`` skips damaged chunks and counts
+    them).  Raises :class:`CbrFormatError` when the stream has no
+    readable footer (torn trailer); callers fall back to the sequential
+    tolerant reader in that case.
+    """
+
+    def __init__(self, stream: IO[bytes], errors: str = "raise") -> None:
+        if errors not in ("raise", "count"):
+            raise ValueError("errors must be 'raise' or 'count'")
+        self._stream = stream
+        self._errors = errors
+        self.corrupt_chunks = 0
+        self.records_read = 0
+        self._ip_cache: dict = {}
+        self._index_rows: bytes | None = None
+        self._index_loaded = False
+        stream.seek(0)
+        head = stream.read(len(CBR_MAGIC) + 1)
+        if head[: len(CBR_MAGIC)] != CBR_MAGIC:
+            raise CbrFormatError("not a cbr stream (bad magic)")
+        if head[len(CBR_MAGIC)] not in _SUPPORTED_VERSIONS:
+            raise CbrFormatError(f"unsupported cbr version {head[len(CBR_MAGIC)]}")
+        self.footer = read_footer(stream)
+
+    @property
+    def chunk_count(self) -> int:
+        return len(self.footer.get("chunks", ()))
+
+    def _damaged(self, message: str) -> None:
+        if self._errors == "raise":
+            raise CbrFormatError(message)
+        self.corrupt_chunks += 1
+
+    def _load_index(self) -> bytes | None:
+        """The packed index rows, loaded and validated once on demand."""
+        if self._index_loaded:
+            return self._index_rows
+        self._index_loaded = True
+        info = self.footer.get("domain_index")
+        if not isinstance(info, dict):
+            return None
+        try:
+            self._stream.seek(info["at"])
+            head = self._stream.read(1 + _INDEX_HEADER.size)
+            if len(head) < 1 + _INDEX_HEADER.size or head[0] != _FRAME_INDEX:
+                raise CbrFormatError("domain index frame is damaged")
+            rows_len, crc = _INDEX_HEADER.unpack_from(head, 1)
+            rows = self._stream.read(rows_len)
+            if (
+                len(rows) < rows_len
+                or zlib.crc32(rows) != crc
+                or rows_len != info["rows"] * _INDEX_ROW_SIZE
+            ):
+                raise CbrFormatError("domain index frame is damaged")
+        except (CbrFormatError, KeyError, TypeError, OSError, struct.error):
+            # A broken *optional* index only costs pruning opportunity:
+            # report the damage and answer queries from zone maps alone.
+            self._damaged("domain index frame is damaged")
+            return None
+        self._index_rows = rows
+        return rows
+
+    def domain_index_lookup(self, name: str) -> list[int] | None:
+        """Chunk ordinals that may hold ``name``.
+
+        ``None`` means "no usable index" (pre-index file, or a damaged
+        index frame in tolerant mode) — the caller must fall back to
+        scanning every chunk the zone maps allow.  An empty list is a
+        definitive miss: the index is complete, so an unlisted hash
+        proves the domain is absent.
+        """
+        rows = self._load_index()
+        if rows is None:
+            return None
+        return _index_rows_lookup(rows, _domain_hash_bytes(name))
+
+    def read_chunks(
+        self,
+        ordinals: Sequence[int],
+        want_edges_received: bool = True,
+        want_edges_sorted: bool = True,
+    ) -> Iterator[list[ConnectionRecord]]:
+        """Yield one record batch per requested chunk ordinal."""
+        chunks = self.footer.get("chunks", ())
+        stream = self._stream
+        for ordinal in ordinals:
+            offset, payload_len, _n, _kind = chunks[ordinal]
+            stream.seek(offset)
+            frame = stream.read(1 + _CHUNK_HEADER.size + payload_len)
+            if (
+                len(frame) < 1 + _CHUNK_HEADER.size + payload_len
+                or frame[0] != _FRAME_CHUNK
+            ):
+                self._damaged(f"chunk {ordinal} frame is damaged")
+                continue
+            stored_len, crc, _n_records, _kind_byte = _CHUNK_HEADER.unpack_from(
+                frame, 1
+            )
+            payload = frame[1 + _CHUNK_HEADER.size :]
+            if stored_len != payload_len or zlib.crc32(payload) != crc:
+                self._damaged(f"chunk {ordinal} CRC mismatch")
+                continue
+            try:
+                raw = zlib.decompress(payload)
+                records, _ = _decode_chunk(
+                    raw,
+                    want_edges_received=want_edges_received,
+                    want_edges_sorted=want_edges_sorted,
+                    ip_cache=self._ip_cache,
+                )
+            except (
+                zlib.error, CbrFormatError, KeyError, IndexError, ValueError,
+                struct.error,
+            ):
+                self._damaged(f"chunk {ordinal} decode failed")
+                continue
+            self.records_read += len(records)
+            yield records
+
+
 def read_footer(stream: IO[bytes]) -> dict:
     """Read the footer index of a seekable cbr stream."""
     stream.seek(0, 2)
@@ -898,6 +1317,22 @@ def read_footer(stream: IO[bytes]) -> dict:
     return json.loads(zlib.decompress(stream.read(payload_len)).decode("utf-8"))
 
 
+def _source_footer(source: IO[bytes]) -> dict | None:
+    """A concat source's footer, or ``None`` when unreadable.
+
+    The stream position is restored to the start either way, so the
+    frame-copy pass that follows sees the whole stream.
+    """
+    try:
+        if not source.seekable():
+            return None
+        footer = read_footer(source)
+    except (CbrFormatError, OSError):
+        footer = None
+    source.seek(0)
+    return footer
+
+
 def concat_frames(
     sources: Sequence[str | os.PathLike | IO[bytes]], out: IO[bytes]
 ) -> tuple[int, int]:
@@ -905,9 +1340,14 @@ def concat_frames(
 
     Each source may be an open binary stream or a path.  Chunk frames
     are copied verbatim (CRC-verified, never decompressed) and a fresh
-    footer index is written; the inputs' footers are dropped.  This is
-    how checkpoint shards merge into one artifact at I/O speed.
-    Returns ``(chunks, records)``.
+    footer index is written; the inputs' footers are dropped — except
+    their *zone maps*, which are carried over per chunk (only the
+    ordinals change), so merged artifacts stay prunable.  Sources
+    predating zone maps contribute ``null`` zone entries (never pruned,
+    always correct).  The secondary domain index is merged only when
+    every source carries one; a single index-less source would make
+    lookups silently incomplete, so the merged footer drops the section
+    instead.  Returns ``(chunks, records)``.
     """
     offset = 0
 
@@ -918,18 +1358,39 @@ def concat_frames(
 
     write(CBR_MAGIC + bytes([_FORMAT_VERSION]))
     chunks: list[list] = []
+    zones: list[dict | None] = []
+    index_rows: list[bytes] = []
+    index_complete = True
     records = 0
     kind_seen: int | None = None
 
     def copy_source(source: IO[bytes]) -> None:
-        nonlocal records, kind_seen
+        nonlocal records, kind_seen, index_complete
+        footer = _source_footer(source)
+        base = len(chunks)
         head = source.read(len(CBR_MAGIC) + 1)
         if head[: len(CBR_MAGIC)] != CBR_MAGIC:
             raise CbrFormatError("concat source is not a cbr stream")
+        if head[len(CBR_MAGIC)] not in _SUPPORTED_VERSIONS:
+            raise CbrFormatError(
+                f"concat source has unsupported cbr version {head[len(CBR_MAGIC)]}"
+            )
+        source_rows: bytes | None = None
         while True:
             frame_type = source.read(1)
             if not frame_type or frame_type[0] == _FRAME_FOOTER:
                 break
+            if frame_type[0] == _FRAME_INDEX:
+                # Index rows carry source-local ordinals, so the frame
+                # is consumed (rebased below), never copied verbatim.
+                rows_len, crc = _INDEX_HEADER.unpack(
+                    source.read(_INDEX_HEADER.size)
+                )
+                rows = source.read(rows_len)
+                if len(rows) < rows_len or zlib.crc32(rows) != crc:
+                    raise CbrFormatError("concat source index is damaged")
+                source_rows = rows
+                continue
             if frame_type[0] != _FRAME_CHUNK:
                 raise CbrFormatError("concat source has unknown frame type")
             header = source.read(_CHUNK_HEADER.size)
@@ -944,6 +1405,27 @@ def concat_frames(
             write(header)
             write(payload)
             records += n_records
+        # Footer chunk entries are in file order, exactly the order the
+        # copy above walked, so zone entries re-align by position; only
+        # the ordinals are fresh.
+        copied = len(chunks) - base
+        source_zones = (footer or {}).get("zones") or []
+        zones.extend(
+            source_zones[index] if index < len(source_zones) else None
+            for index in range(copied)
+        )
+        if source_rows is None or not isinstance(
+            (footer or {}).get("domain_index"), dict
+        ):
+            index_complete = False
+        elif index_complete:
+            for start in range(0, len(source_rows), _INDEX_ROW_SIZE):
+                key = source_rows[start : start + _INDEX_HASH_SIZE]
+                ordinal = int.from_bytes(
+                    source_rows[start + _INDEX_HASH_SIZE : start + _INDEX_ROW_SIZE],
+                    "big",
+                )
+                index_rows.append(key + (base + ordinal).to_bytes(4, "big"))
 
     for source in sources:
         if isinstance(source, (str, os.PathLike)):
@@ -952,15 +1434,20 @@ def concat_frames(
         else:
             copy_source(source)
     footer = {
-        "schema": _FORMAT_VERSION,
+        "schema": FOOTER_SCHEMA,
         "records": records,
         "kind": KIND_RECORDS if kind_seen is None else kind_seen,
         "chunks": chunks,
+        "zones": zones,
+        "bloom": {"hashes": _BLOOM_HASHES},
     }
-    payload = zlib.compress(json.dumps(footer, separators=(",", ":")).encode("utf-8"), 6)
-    footer_offset = offset
-    write(bytes([_FRAME_FOOTER]))
-    write(_FOOTER_HEADER.pack(len(payload)))
-    write(payload)
-    write(_TRAILER.pack(footer_offset, _END_MAGIC))
+    if index_complete:
+        # Re-sort globally: per-source row order interleaves by hash.
+        merged: dict[bytes, list[int]] = {}
+        for row in sorted(index_rows):
+            merged.setdefault(row[:_INDEX_HASH_SIZE], []).append(
+                int.from_bytes(row[_INDEX_HASH_SIZE:], "big")
+            )
+        footer["domain_index"] = _write_index_frame(write, offset, merged)
+    _write_footer(write, offset, footer)
     return len(chunks), records

@@ -1,9 +1,10 @@
 """Command-line interface for the spin-bit reproduction.
 
-Eight subcommands mirror the study's workflow::
+Nine subcommands mirror the study's workflow::
 
     repro scan        # build a population, scan it, export the dataset
     repro analyze     # run the connection-level analyses on a dataset
+    repro query       # index-backed point lookups (e.g. one domain)
     repro convert     # re-encode an artifact (jsonl <-> cbr), merge shards
     repro compliance  # the Figure 2 longitudinal study
     repro report      # regenerate every table and figure in one run
@@ -18,7 +19,11 @@ run on different machines, exactly how the paper separates measurement
 from analysis.  ``analyze`` streams the artifact through the single-pass
 :class:`~repro.analysis.engine.AnalysisEngine`: every requested section
 folds over one shared stream of record batches, decoding the artifact
-exactly once in bounded memory.  ``monitor`` is the
+exactly once in bounded memory.  With ``--where`` the stream first goes
+through the predicate-pushdown planner
+(:mod:`repro.analysis.query`): on cbr artifacts whole chunks are pruned
+via footer zone maps before any decoding, and ``query domain`` answers
+point lookups from the footer's domain index.  ``monitor`` is the
 operator-side counterpart: it multiplexes many concurrent simulated
 connections into one tap stream and publishes windowed RTT metric
 snapshots as JSONL while the stream runs.
@@ -154,6 +159,41 @@ def _build_parser() -> argparse.ArgumentParser:
             "failures", "all",
         ),
         default="all",
+    )
+    analyze.add_argument(
+        "--where",
+        default=None,
+        metavar="EXPR",
+        help="filter records before analysis, with zone-map chunk pruning "
+        "on cbr artifacts; e.g. \"provider == cloudflare and week between "
+        "cw20-2023 and cw25-2023\" (operators: ==, in, between, present; "
+        "clauses joined by 'and')",
+    )
+    analyze.add_argument(
+        "--telemetry-out",
+        default=None,
+        metavar="DIR",
+        help="write deterministic telemetry (query planner counters) to "
+        "this directory",
+    )
+
+    query = sub.add_parser(
+        "query",
+        help="index-backed point lookups over an artifact (cbr footer "
+        "domain index + zone maps)",
+    )
+    query_sub = query.add_subparsers(dest="query_command", required=True)
+    query_domain = query_sub.add_parser(
+        "domain", help="print every connection record of one domain as JSONL"
+    )
+    query_domain.add_argument("name", help="registered domain name to look up")
+    query_domain.add_argument("dataset", help="artifact path ('-' for stdin)")
+    query_domain.add_argument(
+        "--telemetry-out",
+        default=None,
+        metavar="DIR",
+        help="write deterministic telemetry (query planner counters) to "
+        "this directory",
     )
 
     convert = sub.add_parser(
@@ -432,22 +472,50 @@ def _cmd_scan(args: argparse.Namespace) -> int:
     return 0
 
 
+def _parse_where_arg(expression: str | None):
+    """``--where`` text -> (predicate, stats) or ``(None, None)``."""
+    if not expression:
+        return None, None
+    from repro.analysis.query import QueryError, QueryStats, parse_where
+
+    try:
+        return parse_where(expression), QueryStats()
+    except QueryError as error:
+        raise SystemExit(f"repro: error: invalid --where: {error}")
+
+
+def _print_query_stats(stats) -> None:
+    print(
+        f"query plan: decoded {stats.chunks_selected}/{stats.chunks_total} "
+        f"chunks ({stats.chunks_pruned} pruned), matched "
+        f"{stats.records_matched}/{stats.records_scanned} records",
+        file=sys.stderr,
+    )
+
+
 def _cmd_analyze(args: argparse.Namespace) -> int:
     from repro.analysis.engine import AnalysisEngine, build_record_folds
     from repro.analysis.report import render_org_table, render_series_summary
-    from repro.artifacts import open_record_batches
+    from repro.artifacts import open_query_source
     from repro.faults import render_failure_table
 
     wanted = args.section
+    predicate, stats = _parse_where_arg(args.where)
+    telemetry = _make_telemetry(args.telemetry_out)
     engine = AnalysisEngine(build_record_folds(wanted))
+    want_edges_received = engine.needs_edges_received or (
+        predicate is not None and predicate.needs_edges_received
+    )
     try:
-        with open_record_batches(
+        with open_query_source(
             args.dataset,
-            want_edges_received=engine.needs_edges_received,
+            predicate,
+            stats=stats,
+            want_edges_received=want_edges_received,
             want_edges_sorted=engine.needs_edges_sorted,
             errors="count",
         ) as source:
-            results = engine.run(source.batches())
+            results = engine.run(source.batches(), predicate=predicate, stats=stats)
             loaded = source.records_read
             corrupt = source.corrupt_chunks
     except OSError as error:
@@ -456,6 +524,10 @@ def _cmd_analyze(args: argparse.Namespace) -> int:
     print(f"{loaded} connection records loaded", file=sys.stderr)
     if corrupt:
         print(f"{corrupt} corrupt chunks skipped", file=sys.stderr)
+    if stats is not None:
+        _print_query_stats(stats)
+        stats.emit(telemetry)
+    _save_telemetry(telemetry, args.telemetry_out)
 
     if wanted in ("orgs", "all"):
         print("== AS organizations (Table 2 style) ==")
@@ -495,6 +567,34 @@ def _cmd_analyze(args: argparse.Namespace) -> int:
             print()
         print("== failure taxonomy ==")
         print(render_failure_table(results["failures"]))
+    return 0
+
+
+def _cmd_query(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.analysis.artifacts import record_to_dict
+    from repro.analysis.query import Eq, QueryStats, filter_batch
+    from repro.artifacts import open_query_source
+
+    predicate = Eq("domain", args.name)
+    stats = QueryStats()
+    telemetry = _make_telemetry(args.telemetry_out)
+    try:
+        with open_query_source(args.dataset, predicate, stats=stats) as source:
+            for batch in source.batches():
+                for record in filter_batch(batch, predicate, stats):
+                    # Same line encoding as the JSONL artifact schema, so
+                    # the lookup output is a valid (sub-)dataset itself.
+                    line = json.dumps(  # jsonl-ok
+                        record_to_dict(record), separators=(",", ":")
+                    )
+                    print(line)
+    except OSError as error:
+        raise SystemExit(f"repro: error: cannot read {args.dataset}: {error}")
+    _print_query_stats(stats)
+    stats.emit(telemetry)
+    _save_telemetry(telemetry, args.telemetry_out)
     return 0
 
 
@@ -721,6 +821,7 @@ _COMMANDS = {
     "scan": _cmd_scan,
     "report": _cmd_report,
     "analyze": _cmd_analyze,
+    "query": _cmd_query,
     "convert": _cmd_convert,
     "compliance": _cmd_compliance,
     "monitor": _cmd_monitor,

@@ -111,6 +111,7 @@ def _short_circuit(result: "DomainScanResult") -> None:
         observation=observation,
         stack_rtts_ms=[],
         failure=FailureKind.CIRCUIT_OPEN,
+        week=template.week,
     )
     result.connections = [record]
     result.quic_support = False

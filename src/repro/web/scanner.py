@@ -63,6 +63,13 @@ __all__ = [
 _MAX_REDIRECTS = 3
 
 
+def _stamp_week(results: list["DomainScanResult"], week_label: str) -> None:
+    """Stamp every connection record with the measurement week."""
+    for result in results:
+        for record in result.connections:
+            record.week = week_label
+
+
 @dataclass(frozen=True)
 class ScanConfig:
     """Scanner tunables.
@@ -132,6 +139,11 @@ class ConnectionRecord:
     #: resilience are configured (classification off keeps legacy scans
     #: byte-identical).
     failure: FailureKind | None = None
+    #: Calendar-week label of the measurement that produced this record
+    #: (``"cw20-2023"``); stamped by the scanner so merged multi-week
+    #: artifacts stay sliceable by week.  ``None`` on records from
+    #: pre-week datasets.
+    week: str | None = None
 
     @property
     def shows_spin_activity(self) -> bool:
@@ -325,11 +337,13 @@ class Scanner:
             self.population.config.seed, "scan", week_label, ip_version
         )
         if checkpoint is None:
-            return [
+            results = [
                 self._scan_domain(domain, ip_version, probe, epoch, seed_prefix)
                 for domain in targets
             ]
-        results: list[DomainScanResult] = []
+            _stamp_week(results, week_label)
+            return results
+        results = []
         chunk = checkpoint.chunk
         for shard_index, start in enumerate(range(0, len(targets), chunk)):
             shard_targets = targets[start : start + chunk]
@@ -339,8 +353,14 @@ class Scanner:
                     self._scan_domain(domain, ip_version, probe, epoch, seed_prefix)
                     for domain in shard_targets
                 ]
+                # Stamp before the shard is persisted, so checkpoint
+                # artifacts merged via ``repro convert`` stay queryable
+                # by week.
+                _stamp_week(shard, week_label)
                 checkpoint.save_shard(shard_index, shard)
             results.extend(shard)
+        # Loaded shards may predate week stamping; normalize everything.
+        _stamp_week(results, week_label)
         return results
 
     # ------------------------------------------------------------------

@@ -27,11 +27,15 @@ from repro.artifacts import (
 from repro.artifacts.cbr import (
     CBR_MAGIC,
     CbrFormatError,
+    CbrIndexedReader,
     CbrReader,
     CbrWriter,
+    FOOTER_SCHEMA,
     KIND_DOMAINS,
+    bloom_might_contain,
     concat_frames,
     read_footer,
+    week_serial,
     write_records_cbr,
 )
 from repro.cli import main
@@ -332,6 +336,173 @@ class TestCliIdentity:
         assert code == 0
         assert out.read_bytes()[: len(CBR_MAGIC)] == CBR_MAGIC
         capsys.readouterr()
+
+
+def encode_v1(records, chunk_records: int = 128) -> bytes:
+    """A true footer-schema-1 artifact, as written before zone maps."""
+    buffer = io.BytesIO()
+    writer = CbrWriter(buffer, chunk_records=chunk_records, compat_v1=True)
+    writer.write_records(records)
+    writer.close()
+    return buffer.getvalue()
+
+
+class TestZoneMaps:
+    def test_footer_carries_one_zone_per_chunk(self, scan_records):
+        footer = read_footer(io.BytesIO(encode(scan_records, chunk_records=16)))
+        assert footer["schema"] == FOOTER_SCHEMA
+        zones = footer["zones"]
+        assert len(zones) == len(footer["chunks"])
+        for zone in zones:
+            assert set(zone) == {"w", "t", "p", "f", "b", "e", "d"}
+        # Every record of this scan is week-stamped, so every envelope
+        # is the single scanned week.
+        serial = week_serial("cw20-2023")
+        assert all(zone["w"] == [serial, serial] for zone in zones)
+
+    def test_bloom_has_no_false_negatives(self, scan_records):
+        footer = read_footer(io.BytesIO(encode(scan_records, chunk_records=16)))
+        zones = footer["zones"]
+        for ordinal, chunk_records in enumerate(
+            _chunk_slices(scan_records, 16)
+        ):
+            bloom = zones[ordinal]["d"]
+            for record in chunk_records:
+                assert bloom_might_contain(bloom, record.domain)
+
+    def test_domain_index_finds_every_domain(self, scan_records):
+        payload = encode(scan_records, chunk_records=16)
+        reader = CbrIndexedReader(io.BytesIO(payload))
+        # One row per distinct (domain, chunk) pair.
+        assert reader.footer["domain_index"]["rows"] == len(
+            {
+                (record.domain, ordinal)
+                for ordinal, chunk_records in enumerate(
+                    _chunk_slices(scan_records, 16)
+                )
+                for record in chunk_records
+            }
+        )
+        for ordinal, chunk_records in enumerate(
+            _chunk_slices(scan_records, 16)
+        ):
+            for record in chunk_records:
+                assert ordinal in reader.domain_index_lookup(record.domain)
+
+    def test_domain_index_definitive_miss(self, scan_records):
+        payload = encode(scan_records, chunk_records=16)
+        reader = CbrIndexedReader(io.BytesIO(payload))
+        assert reader.domain_index_lookup("never-scanned.example") == []
+
+    def test_week_column_round_trips(self, scan_records):
+        decoded = decode(encode(scan_records))
+        assert all(r.week == "cw20-2023" for r in decoded)
+        weekless = [replace(r, qlog=None, week=None) for r in scan_records[:5]]
+        assert decode(encode(weekless)) == weekless
+
+    def test_indexed_reader_reads_exact_ordinals(self, scan_records):
+        payload = encode(scan_records, chunk_records=16)
+        reader = CbrIndexedReader(io.BytesIO(payload))
+        batches = list(reader.read_chunks([1, 3]))
+        assert batches[0] == artifact_view(scan_records[16:32])
+        assert batches[1] == artifact_view(scan_records[48:64])
+
+    def test_indexed_reader_rejects_torn_trailer(self, scan_records):
+        payload = encode(scan_records)
+        with pytest.raises(CbrFormatError):
+            CbrIndexedReader(io.BytesIO(payload[:-4]))
+
+
+def _chunk_slices(records, size):
+    for start in range(0, len(records), size):
+        yield records[start : start + size]
+
+
+class TestFooterV1Compat:
+    """Artifacts written before zone maps must keep working unchanged."""
+
+    def test_v1_file_reads_and_round_trips(self, scan_records):
+        payload = encode_v1(scan_records)
+        assert payload[len(CBR_MAGIC)] == 1
+        # v1 chunks have no week column, so the stamp does not survive.
+        assert decode(payload) == [
+            replace(r, qlog=None, week=None) for r in scan_records
+        ]
+        footer = read_footer(io.BytesIO(payload))
+        assert footer["schema"] == 1
+        assert "zones" not in footer
+        assert "domain_index" not in footer
+
+    def test_v1_file_analyzes(self, scan_records, tmp_path, capsys):
+        path = tmp_path / "legacy.cbr"
+        path.write_bytes(encode_v1(scan_records))
+        assert main(["analyze", str(path), "--section", "versions"]) == 0
+        assert "QUIC v1" in capsys.readouterr().out
+
+    def test_v1_files_merge(self, scan_records):
+        half = len(scan_records) // 2
+        out = io.BytesIO()
+        chunks, records = concat_frames(
+            [
+                io.BytesIO(encode_v1(scan_records[:half], chunk_records=16)),
+                io.BytesIO(encode_v1(scan_records[half:], chunk_records=16)),
+            ],
+            out,
+        )
+        assert records == len(scan_records)
+        assert decode(out.getvalue()) == [
+            replace(r, qlog=None, week=None) for r in scan_records
+        ]
+        footer = read_footer(io.BytesIO(out.getvalue()))
+        # Pre-zone-map sources merge cleanly: null zone entries (never
+        # pruned) and no incomplete domain index.
+        assert footer["zones"] == [None] * chunks
+        assert "domain_index" not in footer
+
+
+class TestConcatZoneCarry:
+    def test_concat_carries_source_zones(self, scan_records):
+        half = len(scan_records) // 2
+        first = encode(scan_records[:half], chunk_records=16)
+        second = encode(scan_records[half:], chunk_records=16)
+        out = io.BytesIO()
+        concat_frames([io.BytesIO(first), io.BytesIO(second)], out)
+        merged = read_footer(io.BytesIO(out.getvalue()))
+        zones_a = read_footer(io.BytesIO(first))["zones"]
+        zones_b = read_footer(io.BytesIO(second))["zones"]
+        assert merged["zones"] == zones_a + zones_b
+
+    def test_concat_rebases_domain_index_ordinals(self, scan_records):
+        half = len(scan_records) // 2
+        first = encode(scan_records[:half], chunk_records=16)
+        second = encode(scan_records[half:], chunk_records=16)
+        out = io.BytesIO()
+        concat_frames([io.BytesIO(first), io.BytesIO(second)], out)
+        reader = CbrIndexedReader(io.BytesIO(out.getvalue()))
+        base = len(read_footer(io.BytesIO(first))["chunks"])
+        for ordinal, chunk_records in enumerate(
+            _chunk_slices(artifact_view(scan_records[half:]), 16)
+        ):
+            for record in chunk_records:
+                assert base + ordinal in reader.domain_index_lookup(
+                    record.domain
+                )
+
+    def test_concat_mixed_versions_drops_index_keeps_zones(self, scan_records):
+        half = len(scan_records) // 2
+        first = encode(scan_records[:half], chunk_records=16)
+        second = encode_v1(scan_records[half:], chunk_records=16)
+        out = io.BytesIO()
+        chunks, _ = concat_frames([io.BytesIO(first), io.BytesIO(second)], out)
+        merged = read_footer(io.BytesIO(out.getvalue()))
+        zones_a = read_footer(io.BytesIO(first))["zones"]
+        assert merged["zones"] == zones_a + [None] * (chunks - len(zones_a))
+        # One index-less source would make point lookups silently
+        # incomplete, so the merged footer must not claim an index.
+        assert "domain_index" not in merged
+        assert decode(out.getvalue()) == artifact_view(scan_records[:half]) + [
+            replace(r, qlog=None, week=None) for r in scan_records[half:]
+        ]
 
 
 class TestTolerantAnalyze:
