@@ -1,0 +1,204 @@
+"""Service query latency: millisecond answers from the week index.
+
+The point of the service plane is that asking "what was adoption in
+week X?" costs milliseconds, not a re-analysis of the archive.  This
+benchmark spools a ≥100k-record multi-week synthetic corpus, folds it
+through the incremental indexer once, then hammers the summary
+endpoints of a live HTTP server and measures per-request latency.
+
+Hard gates:
+
+* **p50 < 10 ms** over the summary endpoints (adoption, compliance,
+  analyze, weeks, healthz) against the indexed 100k-record corpus;
+* **zero cbr chunk decodes** on the query hot path — the telemetry
+  registry's ``query.chunks_total`` counter (which every chunk-decoding
+  query path emits into) must stay absent/zero after the request storm.
+
+Writes ``BENCH_service_query.json`` at the repo root
+(``scripts/bench.sh`` appends each run to ``BENCH_history.jsonl``).
+"""
+
+from __future__ import annotations
+
+import json
+import random
+import statistics
+import threading
+import time
+import urllib.request
+from pathlib import Path
+
+from repro.artifacts.cbr import write_records_cbr
+from repro.core.classify import SpinBehaviour
+from repro.core.observer import SpinEdge, SpinObservation
+from repro.internet.asdb import IpAddr
+from repro.service import ServiceState, SpoolStore, WeekIndexer, build_server
+from repro.telemetry import Telemetry
+from repro.web.scanner import ConnectionRecord
+
+#: ≥100k records across 26 measurement weeks, spooled as one artifact
+#: per quarter of the campaign (multi-artifact folding, like the daemon).
+BENCH_WEEKS = 26
+RECORDS_PER_WEEK = 4_000
+ARTIFACTS = 4
+
+#: Hard gates (ISSUE acceptance criteria).
+MAX_P50_MS = 10.0
+REQUESTS = 400
+
+_PROVIDERS = ("cloudflare", "google", "fastly", "hostinger", "other-hosting")
+_BEHAVIOURS = (
+    SpinBehaviour.SPIN,
+    SpinBehaviour.SPIN,
+    SpinBehaviour.ALL_ZERO,
+    SpinBehaviour.ALL_ONE,
+    SpinBehaviour.GREASE,
+)
+
+_RESULT_PATH = Path(__file__).resolve().parent.parent / "BENCH_service_query.json"
+
+
+def _build_records() -> list[ConnectionRecord]:
+    rng = random.Random(20230520)
+    records = []
+    index = 0
+    for week_offset in range(BENCH_WEEKS):
+        week = f"cw{10 + week_offset}-2023"
+        for _ in range(RECORDS_PER_WEEK):
+            behaviour = _BEHAVIOURS[index % len(_BEHAVIOURS)]
+            spinning = behaviour is SpinBehaviour.SPIN
+            edge_times = [
+                1_000.0 * week_offset + 30.0 * j
+                for j in range(rng.randrange(2, 6) if spinning else 0)
+            ]
+            edges = [
+                SpinEdge(time_ms=t, packet_number=j * 3 + 1, new_value=bool(j % 2))
+                for j, t in enumerate(edge_times)
+            ]
+            rtts = [30.0 for _ in edges[1:]]
+            observation = SpinObservation(
+                packets_seen=max(4, len(edges) * 4),
+                values_seen={False, True} if spinning else {False},
+                edges_received=edges,
+                edges_sorted=list(edges),
+                rtts_received_ms=rtts,
+                rtts_sorted_ms=list(rtts),
+            )
+            records.append(
+                ConnectionRecord(
+                    domain=f"dom{index:07d}.example",
+                    host=f"www.dom{index:07d}.example",
+                    ip=IpAddr(value=0x0A000001 + index, version=4),
+                    ip_version=4,
+                    provider_name=_PROVIDERS[index % len(_PROVIDERS)],
+                    server_header="LiteSpeed",
+                    status=200,
+                    success=True,
+                    behaviour=behaviour,
+                    observation=observation,
+                    stack_rtts_ms=list(rtts),
+                    negotiated_version=1,
+                    week=week,
+                )
+            )
+            index += 1
+    return records
+
+
+def _get(url: str) -> bytes:
+    with urllib.request.urlopen(url) as response:
+        assert response.status == 200
+        return response.read()
+
+
+def test_service_query_latency(tmp_path):
+    records = _build_records()
+    n = len(records)
+    assert n >= 100_000
+
+    # -- spool + fold (the daemon's write path, timed for the record) --
+    spool = SpoolStore(tmp_path / "spool")
+    indexer = WeekIndexer(tmp_path / "index")
+    per_artifact = n // ARTIFACTS
+    for start in range(0, n, per_artifact):
+        path = tmp_path / f"slice-{start}.cbr"
+        with open(path, "wb") as stream:
+            write_records_cbr(records[start:start + per_artifact], stream)
+        spool.submit_file(path)
+    fold_start = time.perf_counter()
+    folded = indexer.fold_pending(spool)
+    fold_elapsed = time.perf_counter() - fold_start
+    assert len(folded) == ARTIFACTS
+    assert len(indexer.weeks()) == BENCH_WEEKS
+
+    # -- live server over the index -----------------------------------
+    telemetry = Telemetry()
+    state = ServiceState(spool, indexer, telemetry=telemetry)
+    server = build_server(state)
+    thread = threading.Thread(target=server.serve_forever, daemon=True)
+    thread.start()
+    try:
+        port = server.server_address[1]
+        base = f"http://127.0.0.1:{port}"
+        weeks = indexer.weeks()
+        endpoints = [
+            f"{base}/v1/adoption?week={weeks[0]}",
+            f"{base}/v1/adoption",
+            f"{base}/v1/compliance?week={weeks[-1]}",
+            f"{base}/v1/analyze?week={weeks[1]}&section=versions",
+            f"{base}/v1/analyze",
+            f"{base}/v1/weeks",
+            f"{base}/v1/healthz",
+        ]
+        for url in endpoints:  # warm-up: parse summaries, render text
+            _get(url)
+
+        merged = json.loads(_get(f"{base}/v1/adoption"))
+        assert merged["connections_total"] == n
+
+        latencies_ms = []
+        for i in range(REQUESTS):
+            url = endpoints[i % len(endpoints)]
+            start = time.perf_counter()
+            _get(url)
+            latencies_ms.append((time.perf_counter() - start) * 1_000.0)
+    finally:
+        server.shutdown()
+        server.server_close()
+
+    latencies_ms.sort()
+    quantiles = statistics.quantiles(latencies_ms, n=100)
+    p50, p99 = quantiles[49], quantiles[98]
+    counters = telemetry.registry.snapshot()["counters"]
+    chunks_decoded = counters.get("query.chunks_total", 0)
+
+    payload = {
+        "benchmark": "service_query",
+        "records": n,
+        "weeks": BENCH_WEEKS,
+        "artifacts": ARTIFACTS,
+        "fold_elapsed_s": round(fold_elapsed, 3),
+        "requests": REQUESTS,
+        "latency_ms": {
+            "p50": round(p50, 3),
+            "p99": round(p99, 3),
+            "max": round(latencies_ms[-1], 3),
+        },
+        "query.chunks_total": chunks_decoded,
+        "requests_served": counters.get("service.requests_total", 0),
+    }
+    _RESULT_PATH.write_text(json.dumps(payload, indent=2) + "\n", encoding="utf-8")
+
+    print()
+    print(f"service query over {n} indexed records ({BENCH_WEEKS} weeks):")
+    print(f"  fold (once)   {fold_elapsed:7.3f} s")
+    print(f"  p50           {p50:7.3f} ms")
+    print(f"  p99           {p99:7.3f} ms")
+    print(f"  chunk decodes {chunks_decoded:7d}")
+
+    assert p50 < MAX_P50_MS, (
+        f"summary-endpoint p50 {p50:.3f} ms exceeds the {MAX_P50_MS:.0f} ms gate"
+    )
+    assert chunks_decoded == 0, (
+        f"query hot path decoded {chunks_decoded} cbr chunks; must be zero"
+    )

@@ -1,7 +1,7 @@
 #!/usr/bin/env bash
 # Per-PR perf gate: run the tier-1 tests, then the perf benchmarks
 # (scan, monitor, and analyze throughput; telemetry and fault overhead;
-# query pushdown latency),
+# query pushdown and service query latency),
 # and append each benchmark's result (stamped with commit and timestamp)
 # to BENCH_history.jsonl so every PR records its perf delta.  The cbr
 # round-trip identity gate runs first: no perf run is recorded from a
@@ -66,6 +66,9 @@ python -m pytest -q -s benchmarks/test_perf_fault_overhead.py
 echo "== query-pushdown benchmark =="
 python -m pytest -q -s benchmarks/test_perf_query_pushdown.py
 
+echo "== service-query benchmark =="
+python -m pytest -q -s benchmarks/test_perf_service_query.py
+
 echo "== chaos smoke =="
 bash scripts/chaos_smoke.sh
 
@@ -88,6 +91,7 @@ for result_file in (
     "BENCH_telemetry_overhead.json",
     "BENCH_fault_overhead.json",
     "BENCH_query_pushdown.json",
+    "BENCH_service_query.json",
 ):
     result = json.loads(pathlib.Path(result_file).read_text())
     result["commit"] = commit

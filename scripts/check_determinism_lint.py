@@ -16,10 +16,12 @@ is supposed to classify) and must never sleep on the wall clock
 (``time.sleep`` — retry backoff is charged to *simulated* time).
 
 Performance rules ride along too (PR 5): under ``src/repro/analysis/``
-a ``json.loads``/``json.dumps`` call inside a ``for`` loop is per-record
-JSON — exactly the cost profile the columnar artifact format exists to
-remove — and is flagged.  The JSONL codec itself is the one legitimate
-per-line JSON loop and opts out with ``# jsonl-ok``.
+and ``src/repro/service/`` a ``json.loads``/``json.dumps`` call inside
+a ``for`` loop is per-record JSON — exactly the cost profile the
+columnar artifact format and the week index exist to remove — and is
+flagged.  The JSONL codecs themselves (the artifact reader, the spool
+manifest, the ``/v1/domain`` response body) are the legitimate per-line
+JSON loops and opt out with ``# jsonl-ok``.
 
 Benchmarks (``benchmarks/``) legitimately measure wall-clock and are
 not scanned.  A source line may opt out with the pattern's pragma when
@@ -71,9 +73,10 @@ def find_violations(root: Path) -> list[tuple[Path, int, str]]:
                 if pattern.search(line) and pragma not in line:
                     violations.append((path, number, line.strip()))
                     break
-    analysis = root / "repro" / "analysis"
-    if analysis.is_dir():
-        violations.extend(find_json_loop_violations(analysis))
+    for hot_layer in ("analysis", "service"):
+        layer_root = root / "repro" / hot_layer
+        if layer_root.is_dir():
+            violations.extend(find_json_loop_violations(layer_root))
     return violations
 
 

@@ -1,0 +1,143 @@
+#!/usr/bin/env python3
+"""Convert a Tranco-style ranking CSV into a service seed batch.
+
+The paper's target population starts from the Tranco top list (plus
+CZDS zone files); a running measurement service takes new targets
+through ``POST /v1/seeds``.  This script is the bridge: it reads the
+``rank,domain`` CSV shape Tranco publishes and either
+
+* writes the ``{"domains": [...]}`` batch as JSON (stdout or ``--out``,
+  ready for an offline seed file or a later ``curl``), or
+* POSTs it straight to a running service with ``--post URL`` (the bare
+  service root or the full ``/v1/seeds`` endpoint both work).
+
+Usage::
+
+    python scripts/seed_from_tranco.py top-1m.csv --top 500 --out seeds.json
+    python scripts/seed_from_tranco.py top-1m.csv --post http://127.0.0.1:8323
+
+Rows are taken in file order (Tranco files are rank-sorted), ``--top``
+caps how many survive, and malformed rows (no domain column, empty
+names) are skipped with a note on stderr.  Exit status is non-zero on
+an empty batch or a failed POST.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import urllib.error
+import urllib.request
+from pathlib import Path
+
+SEEDS_ENDPOINT = "/v1/seeds"
+
+
+def parse_tranco_csv(lines, top: int | None = None) -> tuple[list[str], int]:
+    """Domains in rank order from ``rank,domain`` lines.
+
+    Tolerates a header row, bare-domain lines (no rank column), comment
+    lines, and surrounding whitespace; returns ``(domains, skipped)``.
+    """
+    domains: list[str] = []
+    seen: set[str] = set()
+    skipped = 0
+    for line in lines:
+        row = line.strip()
+        if not row or row.startswith("#"):
+            continue
+        cells = [cell.strip() for cell in row.split(",")]
+        name = cells[-1].lower()
+        if cells[0].lower() in ("rank", "position") or name in ("domain", ""):
+            continue  # header row or rank-only line
+        if "." not in name or " " in name:
+            skipped += 1
+            continue
+        if name in seen:
+            continue
+        seen.add(name)
+        domains.append(name)
+        if top is not None and len(domains) >= top:
+            break
+    return domains, skipped
+
+
+def post_seeds(url: str, domains: list[str]) -> dict:
+    """POST the batch to a service; returns the decoded JSON reply."""
+    if not url.rstrip("/").endswith(SEEDS_ENDPOINT):
+        url = url.rstrip("/") + SEEDS_ENDPOINT
+    body = json.dumps({"domains": domains}).encode("utf-8")
+    request = urllib.request.Request(
+        url,
+        data=body,
+        method="POST",
+        headers={"Content-Type": "application/json"},
+    )
+    with urllib.request.urlopen(request) as response:
+        return json.loads(response.read().decode("utf-8"))
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        description="convert a Tranco-style CSV into a /v1/seeds batch"
+    )
+    parser.add_argument(
+        "csv",
+        help="Tranco-style CSV path ('rank,domain' rows), or '-' for stdin",
+    )
+    parser.add_argument(
+        "--top", type=int, default=None,
+        help="keep only the first N ranked domains",
+    )
+    parser.add_argument(
+        "--out", default=None,
+        help="write the JSON batch to this file instead of stdout",
+    )
+    parser.add_argument(
+        "--post", default=None, metavar="URL",
+        help="POST the batch to a running service instead of printing it",
+    )
+    args = parser.parse_args(argv)
+
+    if args.csv == "-":
+        lines = sys.stdin.read().splitlines()
+    else:
+        try:
+            lines = Path(args.csv).read_text(encoding="utf-8").splitlines()
+        except OSError as error:
+            print(f"seed_from_tranco: error: {error}", file=sys.stderr)
+            return 2
+    domains, skipped = parse_tranco_csv(lines, top=args.top)
+    if skipped:
+        print(
+            f"seed_from_tranco: skipped {skipped} malformed row(s)",
+            file=sys.stderr,
+        )
+    if not domains:
+        print("seed_from_tranco: error: no domains in the input", file=sys.stderr)
+        return 2
+
+    if args.post is not None:
+        try:
+            reply = post_seeds(args.post, domains)
+        except (urllib.error.URLError, OSError, json.JSONDecodeError) as error:
+            print(f"seed_from_tranco: error: POST failed: {error}", file=sys.stderr)
+            return 1
+        print(json.dumps(reply, sort_keys=True))
+        return 0
+
+    batch = json.dumps({"domains": domains}, indent=1) + "\n"
+    if args.out is not None:
+        Path(args.out).write_text(batch, encoding="utf-8")
+        print(
+            f"seed_from_tranco: wrote {len(domains)} domain(s) to {args.out}",
+            file=sys.stderr,
+        )
+    else:
+        sys.stdout.write(batch)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -24,6 +24,7 @@ __all__ = [
     "AccuracyFold",
     "AccuracyStudy",
     "ReorderingImpact",
+    "SeriesStats",
     "SeriesSummary",
     "accuracy_study",
     "ABS_DIFF_EDGES_MS",
@@ -114,6 +115,135 @@ class SeriesSummary:
         if not self.results:
             return 0.0
         return sum(1 for r in self.results if r.ratio > 3.0) / len(self.results)
+
+
+@dataclass
+class SeriesStats:
+    """Count-based form of a :class:`SeriesSummary` (no per-result list).
+
+    Holds exactly the integer counters the rendered summary and the
+    headline shares are computed from, so it can be persisted, merged by
+    plain addition (the service plane's per-week summaries), and still
+    render byte-identically to the original series: every share is the
+    same exact ``int / int`` division, and the histograms carry the same
+    integer bins.
+    """
+
+    label: str
+    connections: int = 0
+    overestimating: int = 0
+    underestimating: int = 0
+    within_25ms: int = 0
+    over_200ms: int = 0
+    within_25pct: int = 0
+    within_factor2: int = 0
+    over_factor3: int = 0
+    abs_histogram: Histogram = field(
+        default_factory=lambda: Histogram(edges=ABS_DIFF_EDGES_MS)
+    )
+    ratio_histogram: Histogram = field(
+        default_factory=lambda: Histogram(edges=RATIO_EDGES)
+    )
+
+    @classmethod
+    def from_summary(cls, series: "SeriesSummary") -> "SeriesStats":
+        """Reduce a full series to its mergeable counters."""
+        results = series.results
+        return cls(
+            label=series.label,
+            connections=len(results),
+            overestimating=sum(1 for r in results if r.absolute_ms > 0),
+            underestimating=sum(1 for r in results if r.absolute_ms < 0),
+            within_25ms=sum(1 for r in results if abs(r.absolute_ms) <= 25.0),
+            over_200ms=sum(1 for r in results if r.absolute_ms > 200.0),
+            within_25pct=sum(1 for r in results if abs(r.ratio) <= 1.25),
+            within_factor2=sum(1 for r in results if abs(r.ratio) <= 2.0),
+            over_factor3=sum(1 for r in results if r.ratio > 3.0),
+            abs_histogram=Histogram.from_dict(series.abs_histogram.as_dict()),
+            ratio_histogram=Histogram.from_dict(series.ratio_histogram.as_dict()),
+        )
+
+    def merge(self, other: "SeriesStats") -> None:
+        """Fold another series' counters in (commutative addition)."""
+        self.connections += other.connections
+        self.overestimating += other.overestimating
+        self.underestimating += other.underestimating
+        self.within_25ms += other.within_25ms
+        self.over_200ms += other.over_200ms
+        self.within_25pct += other.within_25pct
+        self.within_factor2 += other.within_factor2
+        self.over_factor3 += other.over_factor3
+        for mine, theirs in (
+            (self.abs_histogram, other.abs_histogram),
+            (self.ratio_histogram, other.ratio_histogram),
+        ):
+            mine.underflow += theirs.underflow
+            mine.overflow += theirs.overflow
+            for index, count in enumerate(theirs.counts):
+                mine.counts[index] += count
+
+    def as_dict(self) -> dict:
+        """JSON-serializable representation (service week summaries)."""
+        return {
+            "label": self.label,
+            "connections": self.connections,
+            "overestimating": self.overestimating,
+            "underestimating": self.underestimating,
+            "within_25ms": self.within_25ms,
+            "over_200ms": self.over_200ms,
+            "within_25pct": self.within_25pct,
+            "within_factor2": self.within_factor2,
+            "over_factor3": self.over_factor3,
+            "abs_histogram": self.abs_histogram.as_dict(),
+            "ratio_histogram": self.ratio_histogram.as_dict(),
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "SeriesStats":
+        """Inverse of :meth:`as_dict`."""
+        return cls(
+            label=data["label"],
+            connections=int(data["connections"]),
+            overestimating=int(data["overestimating"]),
+            underestimating=int(data["underestimating"]),
+            within_25ms=int(data["within_25ms"]),
+            over_200ms=int(data["over_200ms"]),
+            within_25pct=int(data["within_25pct"]),
+            within_factor2=int(data["within_factor2"]),
+            over_factor3=int(data["over_factor3"]),
+            abs_histogram=Histogram.from_dict(data["abs_histogram"]),
+            ratio_histogram=Histogram.from_dict(data["ratio_histogram"]),
+        )
+
+    # -- the same headline shares a SeriesSummary exposes --------------
+
+    @property
+    def overestimate_share(self) -> float:
+        return self.overestimating / self.connections if self.connections else 0.0
+
+    @property
+    def underestimate_share(self) -> float:
+        return self.underestimating / self.connections if self.connections else 0.0
+
+    @property
+    def within_25ms_share(self) -> float:
+        return self.within_25ms / self.connections if self.connections else 0.0
+
+    @property
+    def over_200ms_share(self) -> float:
+        return self.over_200ms / self.connections if self.connections else 0.0
+
+    @property
+    def within_25pct_share(self) -> float:
+        return self.within_25pct / self.connections if self.connections else 0.0
+
+    @property
+    def within_factor2_share(self) -> float:
+        return self.within_factor2 / self.connections if self.connections else 0.0
+
+    @property
+    def over_factor3_share(self) -> float:
+        return self.over_factor3 / self.connections if self.connections else 0.0
 
 
 @dataclass

@@ -18,7 +18,13 @@ from repro.core.metrics import AccuracyResult, compare_means
 from repro.core.observer import spin_rtts_from_edges
 from repro.web.scanner import ConnectionRecord
 
-__all__ = ["FilterFold", "FilterOutcome", "FilterStudy", "run_filter_study"]
+__all__ = [
+    "FilterFold",
+    "FilterOutcome",
+    "FilterOutcomeStats",
+    "FilterStudy",
+    "run_filter_study",
+]
 
 
 @dataclass
@@ -51,6 +57,67 @@ class FilterOutcome:
             return 0.0
         ordered = sorted(abs(r.absolute_ms) for r in self.results)
         return ordered[len(ordered) // 2]
+
+
+@dataclass
+class FilterOutcomeStats:
+    """Count-based form of a :class:`FilterOutcome` (no result list).
+
+    Carries the integer counters behind the rendered filter-study rows,
+    so per-week service summaries can persist and merge them by plain
+    addition and still render byte-identically (shares are the same
+    exact ``int / int`` divisions).
+    """
+
+    label: str
+    connections: int = 0
+    within_25pct: int = 0
+    underestimating: int = 0
+    connections_lost: int = 0
+
+    @classmethod
+    def from_outcome(cls, outcome: FilterOutcome) -> "FilterOutcomeStats":
+        results = outcome.results
+        return cls(
+            label=outcome.label,
+            connections=len(results),
+            within_25pct=sum(1 for r in results if abs(r.ratio) <= 1.25),
+            underestimating=sum(1 for r in results if r.absolute_ms < 0),
+            connections_lost=outcome.connections_lost,
+        )
+
+    def merge(self, other: "FilterOutcomeStats") -> None:
+        self.connections += other.connections
+        self.within_25pct += other.within_25pct
+        self.underestimating += other.underestimating
+        self.connections_lost += other.connections_lost
+
+    def as_dict(self) -> dict:
+        return {
+            "label": self.label,
+            "connections": self.connections,
+            "within_25pct": self.within_25pct,
+            "underestimating": self.underestimating,
+            "connections_lost": self.connections_lost,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "FilterOutcomeStats":
+        return cls(
+            label=data["label"],
+            connections=int(data["connections"]),
+            within_25pct=int(data["within_25pct"]),
+            underestimating=int(data["underestimating"]),
+            connections_lost=int(data["connections_lost"]),
+        )
+
+    @property
+    def within_25pct_share(self) -> float:
+        return self.within_25pct / self.connections if self.connections else 0.0
+
+    @property
+    def underestimate_share(self) -> float:
+        return self.underestimating / self.connections if self.connections else 0.0
 
 
 @dataclass

@@ -18,6 +18,7 @@ from repro.analysis.support import SupportOverview
 from repro.internet.population import ListGroup
 
 __all__ = [
+    "render_analysis_sections",
     "render_compliance_histogram",
     "render_configuration_table",
     "render_histogram",
@@ -156,6 +157,60 @@ def render_series_summary(series: SeriesSummary) -> str:
         "  mapped ratio histogram:",
         render_histogram(series.ratio_histogram),
     ]
+    return "\n".join(lines)
+
+
+def render_analysis_sections(results, wanted: str = "all") -> str:
+    """The ``repro analyze`` stdout block for ``results``.
+
+    ``results`` is the ``{section: result}`` mapping an
+    :class:`~repro.analysis.engine.AnalysisEngine` run returns (or its
+    count-based service-summary reconstruction — the section objects are
+    duck-typed).  Shared between the CLI and the service query API so a
+    summary-served section is byte-identical to the CLI's output by
+    construction.
+    """
+    from repro.faults.taxonomy import render_failure_table
+
+    lines: list[str] = []
+    if wanted in ("orgs", "all"):
+        lines.append("== AS organizations (Table 2 style) ==")
+        lines.append(render_org_table(results["orgs"]))
+        lines.append("")
+    if wanted in ("webservers", "all"):
+        lines.append("== webserver attribution (spinning connections) ==")
+        for share in results["webservers"][:6]:
+            lines.append(
+                f"  {share.server_header:30s} {share.connections:6d}"
+                f" {share.share * 100:5.1f} %"
+            )
+        lines.append("")
+    if wanted in ("accuracy", "all"):
+        lines.append("== RTT accuracy (Figures 3/4 style) ==")
+        lines.append(render_series_summary(results["accuracy"].spin_received))
+        lines.append("")
+    if wanted in ("versions", "all"):
+        lines.append("== negotiated QUIC versions ==")
+        for share in results["versions"]:
+            lines.append(
+                f"  {share.label:14s} {share.connections:6d}"
+                f" {share.share * 100:5.1f} %"
+            )
+        lines.append("")
+    if wanted in ("filters", "all"):
+        lines.append("== RFC 9312 filter study ==")
+        for outcome in results["filters"].outcomes():
+            lines.append(
+                f"  {outcome.label:22s} n={outcome.connections:5d}"
+                f"  within25%={outcome.within_25pct_share * 100:5.1f} %"
+                f"  underest={outcome.underestimate_share * 100:4.1f} %"
+                f"  lost={outcome.connections_lost}"
+            )
+    if wanted in ("failures", "all"):
+        if wanted == "all":
+            lines.append("")
+        lines.append("== failure taxonomy ==")
+        lines.append(render_failure_table(results["failures"]))
     return "\n".join(lines)
 
 

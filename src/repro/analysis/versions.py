@@ -11,12 +11,17 @@ negotiation machinery sees use.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Iterable, Sequence
+from typing import Iterable, Mapping, Sequence
 
 from repro.quic.version import QuicVersion
 from repro.web.scanner import ConnectionRecord
 
-__all__ = ["VersionFold", "VersionShare", "version_distribution"]
+__all__ = [
+    "VersionFold",
+    "VersionShare",
+    "version_distribution",
+    "version_distribution_from_counts",
+]
 
 
 @dataclass(frozen=True)
@@ -57,19 +62,35 @@ class VersionFold:
                 continue
             counts[version] = counts.get(version, 0) + 1
 
+    def counts(self) -> dict[int, int]:
+        """The mergeable per-version counters behind the ranking."""
+        return dict(self._counts)
+
     def finish(self) -> list[VersionShare]:
-        total = sum(self._counts.values())
-        shares = [
-            VersionShare(
-                version=version,
-                label=_label(version),
-                connections=count,
-                share=count / total,
-            )
-            for version, count in self._counts.items()
-        ]
-        shares.sort(key=lambda entry: (-entry.connections, entry.version))
-        return shares
+        return version_distribution_from_counts(self._counts)
+
+
+def version_distribution_from_counts(
+    counts: Mapping[int, int]
+) -> list[VersionShare]:
+    """Rebuild the version ranking from per-version connection counters.
+
+    The counters are :class:`VersionFold`'s internal state; persisted
+    per week they merge by addition and reproduce the fold's output
+    byte-identically.
+    """
+    total = sum(counts.values())
+    shares = [
+        VersionShare(
+            version=version,
+            label=_label(version),
+            connections=count,
+            share=count / total,
+        )
+        for version, count in counts.items()
+    ]
+    shares.sort(key=lambda entry: (-entry.connections, entry.version))
+    return shares
 
 
 def version_distribution(records: Iterable[ConnectionRecord]) -> list[VersionShare]:

@@ -11,12 +11,17 @@ actual response bytes.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Iterable, Sequence
+from typing import Iterable, Mapping, Sequence
 
 from repro.core.classify import SpinBehaviour
 from repro.web.scanner import ConnectionRecord
 
-__all__ = ["WebserverFold", "WebserverShare", "webserver_shares"]
+__all__ = [
+    "WebserverFold",
+    "WebserverShare",
+    "webserver_shares",
+    "webserver_shares_from_counts",
+]
 
 
 @dataclass(frozen=True)
@@ -56,14 +61,31 @@ class WebserverFold:
             header = connection.server_header or "<none>"
             counts[header] = counts.get(header, 0) + 1
 
+    def counts(self) -> dict[str, int]:
+        """The mergeable per-header counters behind the share ranking."""
+        return dict(self._counts)
+
     def finish(self) -> list[WebserverShare]:
-        total = sum(self._counts.values())
-        shares = [
-            WebserverShare(server_header=header, connections=count, share=count / total)
-            for header, count in self._counts.items()
-        ]
-        shares.sort(key=lambda entry: (-entry.connections, entry.server_header))
-        return shares
+        return webserver_shares_from_counts(self._counts)
+
+
+def webserver_shares_from_counts(
+    counts: Mapping[str, int]
+) -> list[WebserverShare]:
+    """Rebuild the share ranking from per-header connection counters.
+
+    The counters are :class:`WebserverFold`'s internal state; persisted
+    per week they merge by addition and reproduce the fold's output
+    byte-identically (shares are exact ``count / total`` divisions of
+    the same integers).
+    """
+    total = sum(counts.values())
+    shares = [
+        WebserverShare(server_header=header, connections=count, share=count / total)
+        for header, count in counts.items()
+    ]
+    shares.sort(key=lambda entry: (-entry.connections, entry.server_header))
+    return shares
 
 
 def webserver_shares(

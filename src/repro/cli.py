@@ -1,6 +1,6 @@
 """Command-line interface for the spin-bit reproduction.
 
-Nine subcommands mirror the study's workflow::
+The subcommands mirror the study's workflow::
 
     repro scan        # build a population, scan it, export the dataset
     repro analyze     # run the connection-level analyses on a dataset
@@ -11,6 +11,8 @@ Nine subcommands mirror the study's workflow::
     repro monitor     # streaming on-path monitoring of many-flow traffic
     repro demo        # one observed connection, spin vs stack RTT
     repro telemetry   # summarize a --telemetry-out directory
+    repro service     # campaign daemon + week index + HTTP query API
+    repro serve       # shorthand for 'repro service serve'
 
 ``scan`` writes the artifact that ``analyze`` consumes — the
 Appendix-B-style JSONL schema or the columnar binary ``cbr`` store
@@ -176,6 +178,12 @@ def _build_parser() -> argparse.ArgumentParser:
         help="write deterministic telemetry (query planner counters) to "
         "this directory",
     )
+    analyze.add_argument(
+        "--verbose",
+        action="store_true",
+        help="print the query-planner plan line to stderr (off by default "
+        "so piped output stays clean; telemetry counters are unaffected)",
+    )
 
     query = sub.add_parser(
         "query",
@@ -194,6 +202,12 @@ def _build_parser() -> argparse.ArgumentParser:
         metavar="DIR",
         help="write deterministic telemetry (query planner counters) to "
         "this directory",
+    )
+    query_domain.add_argument(
+        "--verbose",
+        action="store_true",
+        help="print the query-planner plan line to stderr (off by default "
+        "so piped output stays clean; telemetry counters are unaffected)",
     )
 
     convert = sub.add_parser(
@@ -294,6 +308,51 @@ def _build_parser() -> argparse.ArgumentParser:
 
     sub.add_parser("demo", help="one simulated connection, spin vs stack RTT")
 
+    service = sub.add_parser(
+        "service",
+        help="measurement-as-a-service plane: campaign daemon, incremental "
+        "week index, HTTP/JSON query API",
+    )
+    service_sub = service.add_subparsers(dest="service_command", required=True)
+
+    run_once = service_sub.add_parser(
+        "run-once",
+        help="one daemon tick: scan pending campaign weeks into the spool "
+        "and fold every new artifact into the week index",
+    )
+    _add_service_dir_arg(run_once)
+    _add_service_campaign_args(run_once)
+    run_once.add_argument(
+        "--max-weeks",
+        type=int,
+        default=None,
+        help="scan at most this many pending weeks this tick (default: all)",
+    )
+
+    service_serve = service_sub.add_parser(
+        "serve", help="run the HTTP/JSON query API (plus the scan scheduler)"
+    )
+    _add_serve_args(service_serve)
+
+    index = service_sub.add_parser(
+        "index",
+        help="fold every spooled artifact the ledger does not list yet",
+    )
+    _add_service_dir_arg(index)
+
+    submit = service_sub.add_parser(
+        "submit",
+        help="spool existing artifact files (content-addressed, dedup on "
+        "identical bytes) and fold them into the week index",
+    )
+    _add_service_dir_arg(submit)
+    submit.add_argument("artifacts", nargs="+", help="artifact paths to spool")
+
+    serve = sub.add_parser(
+        "serve", help="shorthand for 'repro service serve'"
+    )
+    _add_serve_args(serve)
+
     telemetry = sub.add_parser(
         "telemetry", help="inspect telemetry directories written by scan/monitor"
     )
@@ -303,6 +362,60 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     summarize.add_argument("directory", help="directory passed to --telemetry-out")
     return parser
+
+
+def _add_service_dir_arg(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--dir",
+        required=True,
+        metavar="DIR",
+        help="service directory (spool/ and index/ live underneath)",
+    )
+    parser.add_argument(
+        "--telemetry-out",
+        default=None,
+        metavar="DIR",
+        help="write deterministic telemetry for this invocation there",
+    )
+
+
+def _add_service_campaign_args(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--seed", type=int, default=20230520)
+    parser.add_argument("--czds", type=int, default=2_000, help="CZDS domain count")
+    parser.add_argument(
+        "--toplist", type=int, default=200, help="toplist domain count"
+    )
+    parser.add_argument(
+        "--first-week", default="cw18-2023", help="first campaign week label"
+    )
+    parser.add_argument(
+        "--last-week", default="cw20-2023", help="last campaign week label"
+    )
+    parser.add_argument("--ip-version", type=int, choices=(4, 6), default=4)
+    parser.add_argument(
+        "--workers",
+        type=int,
+        default=1,
+        help="scan worker processes (1 = in-process; 0 = one per core)",
+    )
+
+
+def _add_serve_args(parser: argparse.ArgumentParser) -> None:
+    _add_service_dir_arg(parser)
+    _add_service_campaign_args(parser)
+    parser.add_argument("--host", default="127.0.0.1")
+    parser.add_argument("--port", type=int, default=8323)
+    parser.add_argument(
+        "--interval-s",
+        type=float,
+        default=3600.0,
+        help="scan-scheduler cadence in wall-clock seconds",
+    )
+    parser.add_argument(
+        "--no-scan",
+        action="store_true",
+        help="serve the existing index only; schedule no scans",
+    )
 
 
 def _open_out(path: str):
@@ -484,7 +597,15 @@ def _parse_where_arg(expression: str | None):
         raise SystemExit(f"repro: error: invalid --where: {error}")
 
 
-def _print_query_stats(stats) -> None:
+def _print_query_stats(stats, verbose: bool) -> None:
+    """The planner's plan line — stderr, and only with ``--verbose``.
+
+    Scripts piping ``repro analyze``/``repro query`` output should not
+    have to filter planner chatter; the telemetry counters
+    (``query.chunks_total`` etc.) stay unconditional.
+    """
+    if not verbose:
+        return
     print(
         f"query plan: decoded {stats.chunks_selected}/{stats.chunks_total} "
         f"chunks ({stats.chunks_pruned} pruned), matched "
@@ -495,9 +616,8 @@ def _print_query_stats(stats) -> None:
 
 def _cmd_analyze(args: argparse.Namespace) -> int:
     from repro.analysis.engine import AnalysisEngine, build_record_folds
-    from repro.analysis.report import render_org_table, render_series_summary
+    from repro.analysis.report import render_analysis_sections
     from repro.artifacts import open_query_source
-    from repro.faults import render_failure_table
 
     wanted = args.section
     predicate, stats = _parse_where_arg(args.where)
@@ -525,48 +645,11 @@ def _cmd_analyze(args: argparse.Namespace) -> int:
     if corrupt:
         print(f"{corrupt} corrupt chunks skipped", file=sys.stderr)
     if stats is not None:
-        _print_query_stats(stats)
+        _print_query_stats(stats, args.verbose)
         stats.emit(telemetry)
     _save_telemetry(telemetry, args.telemetry_out)
 
-    if wanted in ("orgs", "all"):
-        print("== AS organizations (Table 2 style) ==")
-        print(render_org_table(results["orgs"]))
-        print()
-    if wanted in ("webservers", "all"):
-        print("== webserver attribution (spinning connections) ==")
-        for share in results["webservers"][:6]:
-            print(
-                f"  {share.server_header:30s} {share.connections:6d}"
-                f" {share.share * 100:5.1f} %"
-            )
-        print()
-    if wanted in ("accuracy", "all"):
-        print("== RTT accuracy (Figures 3/4 style) ==")
-        print(render_series_summary(results["accuracy"].spin_received))
-        print()
-    if wanted in ("versions", "all"):
-        print("== negotiated QUIC versions ==")
-        for share in results["versions"]:
-            print(
-                f"  {share.label:14s} {share.connections:6d}"
-                f" {share.share * 100:5.1f} %"
-            )
-        print()
-    if wanted in ("filters", "all"):
-        print("== RFC 9312 filter study ==")
-        for outcome in results["filters"].outcomes():
-            print(
-                f"  {outcome.label:22s} n={outcome.connections:5d}"
-                f"  within25%={outcome.within_25pct_share * 100:5.1f} %"
-                f"  underest={outcome.underestimate_share * 100:4.1f} %"
-                f"  lost={outcome.connections_lost}"
-            )
-    if wanted in ("failures", "all"):
-        if wanted == "all":
-            print()
-        print("== failure taxonomy ==")
-        print(render_failure_table(results["failures"]))
+    print(render_analysis_sections(results, wanted))
     return 0
 
 
@@ -592,7 +675,7 @@ def _cmd_query(args: argparse.Namespace) -> int:
                     print(line)
     except OSError as error:
         raise SystemExit(f"repro: error: cannot read {args.dataset}: {error}")
-    _print_query_stats(stats)
+    _print_query_stats(stats, args.verbose)
     stats.emit(telemetry)
     _save_telemetry(telemetry, args.telemetry_out)
     return 0
@@ -817,6 +900,101 @@ def _cmd_telemetry(args: argparse.Namespace) -> int:
     return 0
 
 
+def _service_config_from_args(args: argparse.Namespace):
+    """Build a ServiceConfig, routing every error through the one-line
+    ``repro: error:`` convention before any directory is touched."""
+    from repro.service import ServiceConfig
+
+    try:
+        return ServiceConfig(
+            seed=args.seed,
+            czds_domains=args.czds,
+            toplist_domains=args.toplist,
+            first_week=args.first_week,
+            last_week=args.last_week,
+            ip_version=args.ip_version,
+            workers=args.workers,
+        )
+    except ValueError as error:
+        raise SystemExit(f"repro: error: {error}")
+
+
+def _service_stores(args: argparse.Namespace):
+    from repro.service import SpoolStore, WeekIndexer
+
+    try:
+        spool = SpoolStore(f"{args.dir}/spool")
+        indexer = WeekIndexer(f"{args.dir}/index")
+    except OSError as error:
+        raise SystemExit(
+            f"repro: error: cannot open service directory {args.dir}: {error}"
+        )
+    return spool, indexer
+
+
+def _cmd_service(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.service import CampaignDaemon, serve_forever
+
+    command = getattr(args, "service_command", "serve")
+    if command in ("run-once", "serve"):
+        config = _service_config_from_args(args)
+        telemetry = _make_telemetry(getattr(args, "telemetry_out", None))
+        try:
+            daemon = CampaignDaemon(args.dir, config, telemetry=telemetry)
+        except OSError as error:
+            raise SystemExit(
+                f"repro: error: cannot open service directory {args.dir}: {error}"
+            )
+        if command == "run-once":
+            status = daemon.run_once(max_weeks=args.max_weeks, verbose=True)
+            _save_telemetry(telemetry, args.telemetry_out)
+            print(json.dumps(status, sort_keys=True))
+            return 0
+        if args.port < 0 or args.port > 65535:
+            raise SystemExit(f"repro: error: invalid port {args.port}")
+        try:
+            serve_forever(
+                daemon,
+                host=args.host,
+                port=args.port,
+                interval_s=None if args.no_scan else args.interval_s,
+            )
+        except ValueError as error:
+            raise SystemExit(f"repro: error: {error}")
+        except OSError as error:
+            raise SystemExit(
+                f"repro: error: cannot bind {args.host}:{args.port}: {error}"
+            )
+        return 0
+
+    spool, indexer = _service_stores(args)
+    telemetry = _make_telemetry(args.telemetry_out)
+    if command == "submit":
+        for path in args.artifacts:
+            try:
+                entry = spool.submit_file(path)
+            except OSError as error:
+                raise SystemExit(f"repro: error: cannot read {path}: {error}")
+            print(
+                f"spooled {path} as {entry.fingerprint}"
+                + ("" if entry.new else " (duplicate payload)"),
+                file=sys.stderr,
+            )
+    folded = indexer.fold_pending(spool)
+    if telemetry is not None:
+        telemetry.registry.counter("service.artifacts_folded").inc(len(folded))
+    _save_telemetry(telemetry, args.telemetry_out)
+    print(
+        json.dumps(
+            {"folded_artifacts": folded, "indexed_weeks": indexer.weeks()},
+            sort_keys=True,
+        )
+    )
+    return 0
+
+
 _COMMANDS = {
     "scan": _cmd_scan,
     "report": _cmd_report,
@@ -827,6 +1005,8 @@ _COMMANDS = {
     "monitor": _cmd_monitor,
     "demo": _cmd_demo,
     "telemetry": _cmd_telemetry,
+    "service": _cmd_service,
+    "serve": _cmd_service,
 }
 
 

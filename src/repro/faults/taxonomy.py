@@ -23,6 +23,7 @@ __all__ = [
     "FailureKind",
     "classify_exchange",
     "failure_summary",
+    "failure_summary_from_counts",
     "render_failure_table",
 ]
 
@@ -123,19 +124,37 @@ class FailureFold:
         self._total += total
         self._succeeded += succeeded
 
+    def counts(self) -> tuple[int, int, dict[str, int]]:
+        """The mergeable ``(total, succeeded, kinds)`` counters."""
+        return self._total, self._succeeded, dict(self._counts)
+
     def finish(self) -> dict:
-        ordered = dict(
-            sorted(
-                self._counts.items(),
-                key=lambda item: _KIND_ORDER.get(item[0], len(_KIND_ORDER)),
-            )
+        return failure_summary_from_counts(
+            self._total, self._succeeded, self._counts
         )
-        return {
-            "total": self._total,
-            "succeeded": self._succeeded,
-            "failed": self._total - self._succeeded,
-            "kinds": ordered,
-        }
+
+
+def failure_summary_from_counts(
+    total: int, succeeded: int, kinds: dict[str, int]
+) -> dict:
+    """The :func:`failure_summary` dict from raw counters.
+
+    Counters merge by plain addition, so persisted per-week summaries
+    (the service plane) rebuild the same dict — stable enum ordering
+    included — byte-identically.
+    """
+    ordered = dict(
+        sorted(
+            kinds.items(),
+            key=lambda item: _KIND_ORDER.get(item[0], len(_KIND_ORDER)),
+        )
+    )
+    return {
+        "total": total,
+        "succeeded": succeeded,
+        "failed": total - succeeded,
+        "kinds": ordered,
+    }
 
 
 def failure_summary(records: Iterable) -> dict:

@@ -1,0 +1,357 @@
+"""HTTP/JSON query API over the week index — the service's front door.
+
+A stdlib :class:`http.server.ThreadingHTTPServer` serving millisecond
+answers from the indexer's summary files.  The hot path never decodes
+artifact chunks: summaries are parsed once per index version and cached
+(including the merged all-weeks view and the rendered ``repro
+analyze`` text blocks), and every summary-backed response is a pure
+function of those counters.  The one deliberately cold endpoint is
+``/v1/domain/<name>``, which runs an index-backed point lookup against
+the spooled ``cbr`` artifacts — its chunk decodes are *counted* in the
+telemetry registry (``query.chunks_total`` …), which is how the
+benchmark asserts the summary endpoints decode zero chunks.
+
+Endpoints (all JSON unless noted)::
+
+    GET  /v1/healthz                     liveness + index version info
+    GET  /v1/weeks                       indexed week labels
+    GET  /v1/adoption?week=cw20-2023     domain/connection adoption counters
+    GET  /v1/compliance?week=...         behaviour-class distribution
+    GET  /v1/analyze?week=...&section=   the repro-analyze text block
+    GET  /v1/domain/<name>               the domain's records (JSONL body)
+    GET  /v1/metrics                     telemetry registry snapshot
+    POST /v1/seeds                       register target domains
+
+``week`` defaults to ``all`` (every indexed week merged).  Errors are
+JSON too: ``{"error": ...}`` with a 4xx status.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import threading
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from urllib.parse import parse_qs, unquote, urlparse
+
+from repro.service.daemon import CampaignDaemon
+from repro.service.indexer import WeekIndexer
+from repro.service.spool import SpoolStore
+
+__all__ = ["ServiceState", "build_server", "serve_forever"]
+
+_SEEDS_NAME = "seeds.json"
+_MAX_BODY_BYTES = 4 << 20
+
+
+class ServiceState:
+    """Shared, cached view of one service directory.
+
+    Week summaries and rendered analysis blocks are cached per *index
+    version* (the ledger file's content): a fold by the daemon or an
+    external ``repro service index`` bumps the version and the next
+    request reloads.  Checking the version costs one small file read —
+    that is the entire per-request filesystem footprint of the summary
+    endpoints.
+    """
+
+    def __init__(
+        self,
+        spool: SpoolStore,
+        indexer: WeekIndexer,
+        telemetry=None,
+        seeds_path=None,
+    ) -> None:
+        self.spool = spool
+        self.indexer = indexer
+        self.telemetry = telemetry
+        self.seeds_path = seeds_path or (spool.directory / _SEEDS_NAME)
+        self._lock = threading.Lock()
+        self._version: str | None = None
+        self._summaries: dict = {}
+        self._rendered: dict = {}
+
+    def summary(self, week: str):
+        """The (cached) summary for ``week`` or the merged ``all`` view."""
+        with self._lock:
+            self._refresh_locked()
+            if week in self._summaries:
+                return self._summaries[week]
+            if week == "all":
+                summary = self.indexer.load_combined()
+            else:
+                summary = self.indexer.load_week(week)
+            if summary is not None:
+                self._summaries[week] = summary
+            return summary
+
+    def analysis_text(self, week: str, section: str) -> str | None:
+        """The rendered ``repro analyze`` block (cached per version)."""
+        from repro.analysis.report import render_analysis_sections
+
+        key = (week, section)
+        with self._lock:
+            self._refresh_locked()
+            cached = self._rendered.get(key)
+        if cached is not None:
+            return cached
+        summary = self.summary(week)
+        if summary is None:
+            return None
+        text = render_analysis_sections(summary.analysis_results(), section)
+        with self._lock:
+            self._rendered[key] = text
+        return text
+
+    def domain_records(self, name: str):
+        """Point lookup across every spooled artifact (the cold path).
+
+        Yields JSONL lines; decodes are charged to the telemetry
+        registry through the same :class:`QueryStats` counters the CLI
+        query path emits.
+        """
+        from repro.analysis.artifacts import record_to_dict
+        from repro.analysis.query import Eq, QueryStats, filter_batch
+        from repro.artifacts import open_query_source
+
+        predicate = Eq("domain", name)
+        for entry in self.spool.artifacts():
+            stats = QueryStats()
+            with open_query_source(str(entry.path), predicate, stats=stats) as source:
+                for batch in source.batches():
+                    for record in filter_batch(batch, predicate, stats):
+                        yield json.dumps(  # jsonl-ok: the JSONL response body
+                            record_to_dict(record), separators=(",", ":")
+                        )
+            stats.emit(self.telemetry)
+
+    def add_seeds(self, domains: list[str]) -> dict:
+        """Merge a seed batch into the service's target backlog.
+
+        The backlog is advisory input for future campaigns (the paper's
+        Tranco/CZDS list intake); storage is a sorted, deduplicated JSON
+        file so repeated batches are idempotent.
+        """
+        cleaned = sorted(
+            {name.strip().lower() for name in domains if name and name.strip()}
+        )
+        if not cleaned:
+            raise ValueError("no usable domain names in the seed batch")
+        with self._lock:
+            existing: list[str] = []
+            if self.seeds_path.is_file():
+                try:
+                    existing = json.loads(
+                        self.seeds_path.read_text(encoding="utf-8")
+                    ).get("domains", [])
+                except (OSError, json.JSONDecodeError):
+                    existing = []
+            merged = sorted(set(existing) | set(cleaned))
+            payload = json.dumps(
+                {"domains": merged}, sort_keys=True, indent=1
+            )
+            tmp = self.seeds_path.with_suffix(".tmp")
+            tmp.write_text(payload + "\n", encoding="utf-8")
+            os.replace(tmp, self.seeds_path)
+        return {
+            "accepted": len(cleaned),
+            "new": len(merged) - len(existing),
+            "total": len(merged),
+        }
+
+    def counter(self, name: str, amount: int = 1) -> None:
+        if self.telemetry is not None:
+            self.telemetry.registry.counter(name).inc(amount)
+
+    def metrics_snapshot(self) -> dict:
+        if self.telemetry is None:
+            return {}
+        return self.telemetry.registry.snapshot()
+
+    def _refresh_locked(self) -> None:
+        version = self.indexer.version()
+        if version != self._version:
+            self._version = version
+            self._summaries = {}
+            self._rendered = {}
+
+
+class _Handler(BaseHTTPRequestHandler):
+    """Routes /v1/* onto the shared :class:`ServiceState`."""
+
+    #: Set by :func:`build_server` on the subclass.
+    state: ServiceState = None  # type: ignore[assignment]
+    server_version = "repro-service/1"
+    protocol_version = "HTTP/1.1"
+
+    # -- plumbing ------------------------------------------------------
+
+    def log_message(self, format, *args):  # noqa: A002 - stdlib signature
+        pass  # requests are counted in telemetry, not printed
+
+    def _send_json(self, payload: dict, status: int = 200) -> None:
+        body = (json.dumps(payload, sort_keys=True) + "\n").encode("utf-8")
+        self.send_response(status)
+        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
+
+    def _send_error_json(self, message: str, status: int = 400) -> None:
+        self.state.counter("service.requests_errored")
+        self._send_json({"error": message}, status=status)
+
+    # -- routing -------------------------------------------------------
+
+    def do_GET(self) -> None:  # noqa: N802 - stdlib naming
+        state = self.state
+        state.counter("service.requests_total")
+        url = urlparse(self.path)
+        query = parse_qs(url.query)
+        week = (query.get("week") or ["all"])[0]
+        route = url.path.rstrip("/") or "/"
+        if route == "/v1/healthz":
+            self._send_json(
+                {
+                    "status": "ok",
+                    "weeks": state.indexer.weeks(),
+                    "artifacts": len(state.spool.artifacts()),
+                }
+            )
+        elif route == "/v1/weeks":
+            self._send_json({"weeks": state.indexer.weeks()})
+        elif route == "/v1/adoption":
+            self._summary_endpoint(week, lambda summary: summary.adoption())
+        elif route == "/v1/compliance":
+            self._summary_endpoint(week, lambda summary: summary.compliance())
+        elif route == "/v1/analyze":
+            section = (query.get("section") or ["all"])[0]
+            self._analyze_endpoint(week, section)
+        elif route.startswith("/v1/domain/"):
+            self._domain_endpoint(unquote(route[len("/v1/domain/"):]))
+        elif route == "/v1/metrics":
+            self._send_json({"metrics": state.metrics_snapshot()})
+        else:
+            self._send_error_json(f"unknown endpoint {url.path}", status=404)
+
+    def do_POST(self) -> None:  # noqa: N802 - stdlib naming
+        state = self.state
+        state.counter("service.requests_total")
+        url = urlparse(self.path)
+        if url.path.rstrip("/") != "/v1/seeds":
+            self._send_error_json(f"unknown endpoint {url.path}", status=404)
+            return
+        try:
+            length = int(self.headers.get("Content-Length") or 0)
+        except ValueError:
+            length = -1
+        if length <= 0 or length > _MAX_BODY_BYTES:
+            self._send_error_json("a JSON body with Content-Length is required")
+            return
+        try:
+            data = json.loads(self.rfile.read(length).decode("utf-8"))
+            domains = data["domains"]
+            if not isinstance(domains, list):
+                raise TypeError("domains must be a list")
+            result = state.add_seeds([str(name) for name in domains])
+        except (ValueError, KeyError, TypeError, UnicodeDecodeError) as error:
+            self._send_error_json(f"invalid seed batch: {error}")
+            return
+        state.counter("service.seeds_accepted", result["accepted"])
+        self._send_json(result)
+
+    # -- endpoint bodies -----------------------------------------------
+
+    def _summary_endpoint(self, week: str, view) -> None:
+        summary = self.state.summary(week)
+        if summary is None:
+            self._send_error_json(f"week {week!r} is not indexed", status=404)
+            return
+        self._send_json(view(summary))
+
+    def _analyze_endpoint(self, week: str, section: str) -> None:
+        sections = (
+            "all", "orgs", "webservers", "accuracy", "versions", "filters",
+            "failures",
+        )
+        if section not in sections:
+            self._send_error_json(f"unknown section {section!r}")
+            return
+        text = self.state.analysis_text(week, section)
+        if text is None:
+            self._send_error_json(f"week {week!r} is not indexed", status=404)
+            return
+        self._send_json({"week": week, "section": section, "text": text})
+
+    def _domain_endpoint(self, name: str) -> None:
+        if not name:
+            self._send_error_json("a domain name is required")
+            return
+        lines = list(self.state.domain_records(name))
+        body = ("".join(line + "\n" for line in lines)).encode("utf-8")
+        self.send_response(200)
+        self.send_header("Content-Type", "application/jsonl")
+        self.send_header("X-Record-Count", str(len(lines)))
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
+
+
+def build_server(
+    state: ServiceState, host: str = "127.0.0.1", port: int = 0
+) -> ThreadingHTTPServer:
+    """A ready-to-serve HTTP server bound to ``host:port`` (0 = any)."""
+    handler = type("ReproServiceHandler", (_Handler,), {"state": state})
+    server = ThreadingHTTPServer((host, port), handler)
+    server.daemon_threads = True
+    return server
+
+
+def serve_forever(
+    daemon: CampaignDaemon,
+    host: str = "127.0.0.1",
+    port: int = 8323,
+    interval_s: float | None = None,
+    verbose: bool = True,
+) -> None:
+    """Run the query API, optionally with a background scan scheduler.
+
+    ``interval_s`` enables the campaign scheduler on the wall clock;
+    ``None`` serves the existing index only.  Blocks until interrupted.
+    """
+    import sys
+
+    from repro.service.daemon import Scheduler, WallClock
+
+    state = ServiceState(
+        daemon.spool, daemon.indexer, telemetry=daemon.telemetry
+    )
+    server = build_server(state, host=host, port=port)
+    stop = threading.Event()
+    worker = None
+    if interval_s is not None:
+        scheduler = Scheduler(daemon, interval_s, clock=WallClock())
+        worker = threading.Thread(
+            target=scheduler.run,
+            kwargs={"should_stop": stop.is_set, "verbose": verbose},
+            daemon=True,
+        )
+        worker.start()
+    if verbose:
+        bound_host, bound_port = server.server_address[:2]
+        print(
+            f"service: listening on http://{bound_host}:{bound_port}/v1/ "
+            + (
+                f"(scan tick every {interval_s:g} s)"
+                if interval_s is not None
+                else "(serve-only: no scans scheduled)"
+            ),
+            file=sys.stderr,
+        )
+    try:
+        server.serve_forever()
+    except KeyboardInterrupt:
+        pass
+    finally:
+        stop.set()
+        server.server_close()

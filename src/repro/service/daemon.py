@@ -1,0 +1,275 @@
+"""Campaign daemon: scheduled scans feeding the spool and the index.
+
+The daemon turns the one-shot ``repro scan`` workflow into a standing
+measurement service.  Its unit of work is a *tick*: find the campaign
+weeks whose scan is not yet recorded in the spool manifest, run the
+next ones through the regular :class:`~repro.web.scanner.Scanner`
+(checkpointed under the spool, so a crash mid-scan resumes shard by
+shard), encode each dataset as a ``cbr`` artifact into the
+content-addressed spool, and hand the spool to the
+:class:`~repro.service.WeekIndexer`.
+
+Crash-survivability is compositional, not bespoke: every step is either
+idempotent or checkpointed by an existing layer —
+
+* scan interrupted → :mod:`repro.faults.checkpoint` resumes shards;
+* crash after the scan, before ``record_scan`` → the re-run produces
+  the byte-identical dataset (scans are pure functions of the seed),
+  whose submission dedupes on content and whose fold the ledger makes
+  a no-op;
+* crash mid-fold → the indexer's per-week fingerprint lists finish
+  exactly the missing weeks.
+
+Scheduling is clock-agnostic: :class:`Scheduler` paces ticks through a
+pluggable clock.  Tests drive a :class:`SimulatedClock`; the ``repro
+serve`` loop is the one place the service touches the wall clock, with
+the determinism-lint pragmas marking that boundary.
+"""
+
+from __future__ import annotations
+
+import io
+import sys
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Callable
+
+from repro.campaign.schedule import CalendarWeek, Campaign
+from repro.service.indexer import WeekIndexer
+from repro.service.spool import SpoolStore, scan_digest
+
+__all__ = [
+    "CampaignDaemon",
+    "Scheduler",
+    "ServiceConfig",
+    "SimulatedClock",
+    "WallClock",
+]
+
+
+@dataclass(frozen=True)
+class ServiceConfig:
+    """What one service instance measures, and how."""
+
+    seed: int = 20230520
+    czds_domains: int = 2_000
+    toplist_domains: int = 200
+    first_week: str = "cw18-2023"
+    last_week: str = "cw20-2023"
+    ip_version: int = 4
+    workers: int = 1
+
+    def __post_init__(self) -> None:
+        if self.czds_domains < 0 or self.toplist_domains < 0:
+            raise ValueError("domain counts must be non-negative")
+        if self.czds_domains + self.toplist_domains == 0:
+            raise ValueError("the population must contain at least one domain")
+        if self.ip_version not in (4, 6):
+            raise ValueError(f"ip_version must be 4 or 6, not {self.ip_version}")
+        if self.workers < 0:
+            raise ValueError("workers must be >= 0 (0 = one per core)")
+        # Validates both labels and their ordering up front, so a typoed
+        # week surfaces as one configuration error before any scanning.
+        self.campaign()
+
+    def campaign(self) -> Campaign:
+        first = CalendarWeek.from_label(self.first_week)
+        last = CalendarWeek.from_label(self.last_week)
+        return Campaign(first=first, last=last)
+
+
+class CampaignDaemon:
+    """Drives campaign scans into a spool + index directory pair."""
+
+    def __init__(
+        self,
+        directory: str | Path,
+        config: ServiceConfig,
+        telemetry=None,
+        fault_hook: Callable[[str], None] | None = None,
+    ) -> None:
+        self.directory = Path(directory)
+        self.config = config
+        self.telemetry = telemetry
+        self.spool = SpoolStore(self.directory / "spool")
+        self.indexer = WeekIndexer(
+            self.directory / "index", fault_hook=fault_hook
+        )
+        self._population = None
+        self._scanner = None
+
+    @property
+    def population(self):
+        if self._population is None:
+            from repro.internet.population import (
+                PopulationConfig,
+                build_population,
+            )
+
+            self._population = build_population(
+                PopulationConfig(
+                    toplist_domains=self.config.toplist_domains,
+                    czds_domains=self.config.czds_domains,
+                    seed=self.config.seed,
+                )
+            )
+        return self._population
+
+    @property
+    def scanner(self):
+        if self._scanner is None:
+            from repro.web.parallel import ParallelScanConfig
+            from repro.web.scanner import Scanner
+
+            workers = self.config.workers
+            parallel = (
+                ParallelScanConfig.auto()
+                if workers == 0
+                else ParallelScanConfig(workers=workers)
+            )
+            self._scanner = Scanner(
+                self.population, parallel=parallel, telemetry=self.telemetry
+            )
+        return self._scanner
+
+    def pending_weeks(self) -> list[CalendarWeek]:
+        """Campaign weeks whose scan the spool manifest does not record."""
+        completed = self.spool.completed_scans()
+        return [
+            week
+            for week in self.config.campaign().weeks()
+            if scan_digest(self._scan_fingerprint(week)) not in completed
+        ]
+
+    def run_once(self, max_weeks: int | None = None, verbose: bool = False) -> dict:
+        """One daemon tick: scan pending weeks, spool, fold, report.
+
+        Returns a machine-parseable status dict; folding covers *every*
+        pending spooled artifact (also externally submitted ones), not
+        just this tick's scans.
+        """
+        pending = self.pending_weeks()
+        if max_weeks is not None:
+            pending = pending[:max_weeks]
+        scanned = []
+        for week in pending:
+            scanned.append(self._scan_week(week, verbose=verbose))
+        folded = self.indexer.fold_pending(self.spool)
+        if self.telemetry is not None:
+            registry = self.telemetry.registry
+            registry.counter("service.ticks_total").inc()
+            registry.counter("service.weeks_scanned").inc(len(scanned))
+            registry.counter("service.artifacts_folded").inc(len(folded))
+        return {
+            "scanned_weeks": scanned,
+            "folded_artifacts": folded,
+            "pending_weeks": len(self.pending_weeks()),
+            "indexed_weeks": self.indexer.weeks(),
+        }
+
+    def _scan_week(self, week: CalendarWeek, verbose: bool = False) -> str:
+        from repro.artifacts.cbr import write_records_cbr
+
+        fingerprint = self._scan_fingerprint(week)
+        digest = scan_digest(fingerprint)
+        if verbose:
+            print(
+                f"service: scanning week {week.label} "
+                f"(IPv{self.config.ip_version}) ...",
+                file=sys.stderr,
+            )
+        dataset = self.scanner.scan(
+            week_label=week.label,
+            ip_version=self.config.ip_version,
+            verbose=verbose,
+            checkpoint_dir=self.directory / "spool" / "checkpoints" / digest,
+        )
+        buffer = io.BytesIO()
+        write_records_cbr(dataset.connection_records(), buffer)
+        entry = self.spool.submit_bytes(
+            buffer.getvalue(), source=f"daemon:{week.label}"
+        )
+        self.spool.record_scan(fingerprint, entry.fingerprint)
+        return week.label
+
+    def _scan_fingerprint(self, week: CalendarWeek) -> dict:
+        """The scan's identity — same derivation the checkpoint layer uses."""
+        from repro.faults.checkpoint import scan_fingerprint
+
+        return scan_fingerprint(
+            self.config.seed,
+            week.label,
+            self.config.ip_version,
+            0,
+            self.population.domains,
+            repr(self.scanner.config),
+        )
+
+
+class SimulatedClock:
+    """Deterministic clock for scheduler tests: sleeping advances time."""
+
+    def __init__(self) -> None:
+        self.now_s = 0.0
+        self.sleeps: list[float] = []
+
+    def monotonic(self) -> float:
+        return self.now_s
+
+    def sleep(self, seconds: float) -> None:
+        self.sleeps.append(seconds)
+        self.now_s += seconds
+
+
+class WallClock:
+    """The real clock — only the serve loop runs on it, never analysis."""
+
+    def monotonic(self) -> float:
+        import time
+
+        return time.monotonic()
+
+    def sleep(self, seconds: float) -> None:
+        import time
+
+        time.sleep(seconds)  # robustness-ok: serve-loop pacing, not a scan
+
+
+class Scheduler:
+    """Paces daemon ticks on a fixed cadence through a pluggable clock."""
+
+    def __init__(
+        self,
+        daemon: CampaignDaemon,
+        interval_s: float,
+        clock=None,
+    ) -> None:
+        if interval_s <= 0:
+            raise ValueError("tick interval must be positive")
+        self.daemon = daemon
+        self.interval_s = interval_s
+        self.clock = clock if clock is not None else SimulatedClock()
+        self.ticks = 0
+
+    def run(
+        self,
+        max_ticks: int | None = None,
+        should_stop: Callable[[], bool] | None = None,
+        verbose: bool = False,
+    ) -> None:
+        """Tick until ``max_ticks`` or ``should_stop()``; sleeps between.
+
+        The next tick is scheduled relative to the *start* of the last
+        one, so slow scans do not drift the cadence further than they
+        must.
+        """
+        while max_ticks is None or self.ticks < max_ticks:
+            if should_stop is not None and should_stop():
+                return
+            started = self.clock.monotonic()
+            self.daemon.run_once(verbose=verbose)
+            self.ticks += 1
+            if max_ticks is not None and self.ticks >= max_ticks:
+                return
+            elapsed = self.clock.monotonic() - started
+            self.clock.sleep(max(0.0, self.interval_s - elapsed))

@@ -152,6 +152,21 @@ class TestArgumentErrors:
         with pytest.raises(SystemExit):
             main(["scan"])
 
+    def test_service_config_errors_use_the_cli_convention(self, tmp_path):
+        # Service-layer config errors must surface as the one-line
+        # ``repro: error:`` convention, not a traceback.
+        cases = [
+            ["service", "run-once", "--dir", str(tmp_path / "a"),
+             "--first-week", "week-zero"],
+            ["service", "run-once", "--dir", str(tmp_path / "b"),
+             "--czds", "0", "--toplist", "0"],
+            ["serve", "--dir", str(tmp_path / "c"), "--port", "99999"],
+        ]
+        for argv in cases:
+            with pytest.raises(SystemExit) as excinfo:
+                main(argv)
+            assert str(excinfo.value).startswith("repro: error:"), argv
+
 
 class TestReport:
     def test_report_runs_small(self, capsys):

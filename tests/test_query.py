@@ -321,6 +321,11 @@ class TestCliQuery:
             line for line in lines if json.loads(line)["domain"] == name
         ]
         assert captured.out.splitlines() == expected
+        # The plan line is opt-in: silent by default, stderr with --verbose.
+        assert "query plan:" not in captured.err
+        assert main(["query", "domain", name, str(cbr_path), "--verbose"]) == 0
+        captured = capsys.readouterr()
+        assert captured.out.splitlines() == expected
         assert "query plan:" in captured.err
 
     def test_analyze_where_identical_across_formats(self, artifact_pair, capsys):

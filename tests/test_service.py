@@ -1,0 +1,346 @@
+"""The measurement-as-a-service plane (spool, indexer, daemon, API)."""
+
+import io
+import json
+import threading
+import urllib.error
+import urllib.request
+from contextlib import redirect_stdout
+
+import pytest
+
+from repro.cli import main
+from repro.service import (
+    CampaignDaemon,
+    Scheduler,
+    ServiceConfig,
+    ServiceState,
+    SimulatedClock,
+    SpoolStore,
+    WeekIndexer,
+    build_server,
+)
+
+CONFIG = ServiceConfig(
+    seed=77,
+    czds_domains=140,
+    toplist_domains=40,
+    first_week="cw19-2023",
+    last_week="cw20-2023",
+)
+
+
+def run_daemon(directory) -> CampaignDaemon:
+    daemon = CampaignDaemon(directory, CONFIG)
+    daemon.run_once()
+    return daemon
+
+
+def index_bytes(indexer: WeekIndexer) -> dict[str, bytes]:
+    """Every summary file's bytes, plus the ledger — the identity probe."""
+    files = {
+        path.name: path.read_bytes()
+        for path in indexer.directory.glob("week-*.json")
+    }
+    files["ledger.json"] = (indexer.directory / "ledger.json").read_bytes()
+    return files
+
+
+class TestSpool:
+    def test_submit_is_content_addressed_and_deduped(self, tmp_path):
+        spool = SpoolStore(tmp_path / "spool")
+        first = spool.submit_bytes(b"payload-a", source="test")
+        again = spool.submit_bytes(b"payload-a", source="test-again")
+        other = spool.submit_bytes(b"payload-b", source="test")
+        assert first.new and not again.new and other.new
+        assert first.fingerprint == again.fingerprint != other.fingerprint
+        assert len(spool.artifacts()) == 2
+
+    def test_artifacts_survive_a_damaged_manifest(self, tmp_path):
+        spool = SpoolStore(tmp_path / "spool")
+        entry = spool.submit_bytes(b"payload", source="test")
+        spool.manifest_path.write_text("{torn json\n", encoding="utf-8")
+        listed = spool.artifacts()
+        assert [item.fingerprint for item in listed] == [entry.fingerprint]
+
+
+class TestIndexerIdempotence:
+    @pytest.fixture(scope="class")
+    def daemon(self, tmp_path_factory):
+        return run_daemon(tmp_path_factory.mktemp("svc"))
+
+    def test_duplicate_fold_is_a_noop(self, daemon):
+        before = index_bytes(daemon.indexer)
+        for entry in daemon.spool.artifacts():
+            assert daemon.indexer.fold_artifact(entry.path, entry.fingerprint) is False
+        assert index_bytes(daemon.indexer) == before
+
+    def test_duplicate_submission_is_a_noop(self, daemon, tmp_path):
+        before = index_bytes(daemon.indexer)
+        entry = daemon.spool.artifacts()[0]
+        copy = tmp_path / "copy.cbr"
+        copy.write_bytes(entry.path.read_bytes())
+        resubmitted = daemon.spool.submit_file(copy)
+        assert not resubmitted.new
+        assert daemon.indexer.fold_pending(daemon.spool) == []
+        assert index_bytes(daemon.indexer) == before
+
+    def test_shuffled_submission_order_is_byte_identical(
+        self, daemon, tmp_path
+    ):
+        entries = daemon.spool.artifacts()
+        assert len(entries) >= 2
+        for name, order in (("fwd", entries), ("rev", list(reversed(entries)))):
+            indexer = WeekIndexer(tmp_path / name)
+            for entry in order:
+                assert indexer.fold_artifact(entry.path, entry.fingerprint)
+            assert index_bytes(indexer) == index_bytes(daemon.indexer), name
+
+    def test_crash_mid_fold_then_resume_is_byte_identical(
+        self, daemon, tmp_path
+    ):
+        """Kill the fold after the first week file; the resumed fold must
+        finish the remaining weeks without double-counting the first."""
+        entry = daemon.spool.artifacts()[0]
+        reference = WeekIndexer(tmp_path / "reference")
+        assert reference.fold_artifact(entry.path, entry.fingerprint)
+
+        class Crash(RuntimeError):
+            pass
+
+        def crash_after_first_week(event):
+            if event == "week-written":
+                raise Crash(event)
+
+        crashed = WeekIndexer(
+            tmp_path / "crashed", fault_hook=crash_after_first_week
+        )
+        with pytest.raises(Crash):
+            crashed.fold_artifact(entry.path, entry.fingerprint)
+        assert entry.fingerprint not in crashed.ledger()
+
+        resumed = WeekIndexer(tmp_path / "crashed")  # no hook: clean restart
+        assert resumed.fold_artifact(entry.path, entry.fingerprint)
+        assert index_bytes(resumed) == index_bytes(reference)
+
+
+class TestDaemon:
+    def test_run_once_resumes_from_the_spool_manifest(self, tmp_path):
+        daemon = run_daemon(tmp_path / "svc")
+        assert daemon.pending_weeks() == []
+        again = CampaignDaemon(tmp_path / "svc", CONFIG)
+        status = again.run_once()
+        assert status["scanned_weeks"] == []
+        assert status["folded_artifacts"] == []
+        assert status["indexed_weeks"] == ["cw19-2023", "cw20-2023"]
+
+    def test_scheduler_paces_ticks_on_the_simulated_clock(self, tmp_path):
+        daemon = CampaignDaemon(
+            tmp_path / "svc",
+            ServiceConfig(
+                seed=5,
+                czds_domains=60,
+                toplist_domains=0,
+                first_week="cw20-2023",
+                last_week="cw20-2023",
+            ),
+        )
+        clock = SimulatedClock()
+        scheduler = Scheduler(daemon, interval_s=300.0, clock=clock)
+        scheduler.run(max_ticks=3)
+        assert scheduler.ticks == 3
+        assert len(clock.sleeps) == 2  # no sleep after the final tick
+        assert all(0.0 <= s <= 300.0 for s in clock.sleeps)
+        assert daemon.indexer.weeks() == ["cw20-2023"]
+
+
+@pytest.fixture(scope="module")
+def service(tmp_path_factory):
+    """A folded service directory plus a live API server."""
+    daemon = run_daemon(tmp_path_factory.mktemp("svc-api"))
+    state = ServiceState(daemon.spool, daemon.indexer)
+    server = build_server(state)
+    thread = threading.Thread(target=server.serve_forever, daemon=True)
+    thread.start()
+    port = server.server_address[1]
+    yield daemon, f"http://127.0.0.1:{port}"
+    server.shutdown()
+    server.server_close()
+
+
+def http_get(url: str) -> tuple[int, bytes]:
+    try:
+        with urllib.request.urlopen(url) as response:
+            return response.status, response.read()
+    except urllib.error.HTTPError as error:
+        return error.code, error.read()
+
+
+class TestApi:
+    def test_healthz_and_weeks(self, service):
+        _, base = service
+        status, body = http_get(f"{base}/v1/healthz")
+        assert status == 200
+        health = json.loads(body)
+        assert health["status"] == "ok"
+        assert health["weeks"] == ["cw19-2023", "cw20-2023"]
+        status, body = http_get(f"{base}/v1/weeks")
+        assert json.loads(body)["weeks"] == ["cw19-2023", "cw20-2023"]
+
+    def test_adoption_and_compliance_counters_add_up(self, service):
+        _, base = service
+        weekly = [
+            json.loads(http_get(f"{base}/v1/adoption?week={week}")[1])
+            for week in ("cw19-2023", "cw20-2023")
+        ]
+        merged = json.loads(http_get(f"{base}/v1/adoption")[1])
+        assert merged["week"] == "all"
+        assert merged["connections_total"] == sum(
+            entry["connections_total"] for entry in weekly
+        )
+        compliance = json.loads(http_get(f"{base}/v1/compliance")[1])
+        assert (
+            sum(compliance["behaviours"].values())
+            == merged["connections_total"]
+        )
+
+    def test_analyze_is_byte_identical_to_the_cli(self, service, tmp_path):
+        """The tentpole acceptance check: /v1/analyze must serve the same
+        bytes ``repro analyze`` prints over the union of the artifacts."""
+        daemon, base = service
+        from repro.artifacts import open_record_batches, write_records
+
+        records = []
+        for entry in daemon.spool.artifacts():
+            with open_record_batches(str(entry.path)) as source:
+                records.extend(source.records())
+        union = tmp_path / "union.cbr"
+        write_records(records, str(union))
+        buffer = io.StringIO()
+        with redirect_stdout(buffer):
+            assert main(["analyze", str(union)]) == 0
+        cli_text = buffer.getvalue()
+        api_text = json.loads(http_get(f"{base}/v1/analyze")[1])["text"]
+        assert api_text + "\n" == cli_text
+
+    def test_analyze_single_week_matches_where_filter(self, service, tmp_path):
+        daemon, base = service
+        from repro.artifacts import open_record_batches, write_records
+
+        records = []
+        for entry in daemon.spool.artifacts():
+            with open_record_batches(str(entry.path)) as source:
+                records.extend(source.records())
+        union = tmp_path / "union.cbr"
+        write_records(records, str(union))
+        buffer = io.StringIO()
+        with redirect_stdout(buffer):
+            assert main(
+                [
+                    "analyze", str(union), "--section", "versions",
+                    "--where", "week == cw19-2023",
+                ]
+            ) == 0
+        cli_text = buffer.getvalue()
+        payload = json.loads(
+            http_get(f"{base}/v1/analyze?week=cw19-2023&section=versions")[1]
+        )
+        assert payload["text"] + "\n" == cli_text
+
+    def test_domain_endpoint_matches_repro_query(self, service):
+        daemon, base = service
+        entry = daemon.spool.artifacts()[0]
+        from repro.artifacts import open_record_batches
+
+        with open_record_batches(str(entry.path)) as source:
+            name = next(source.records()).domain
+        buffer = io.StringIO()
+        with redirect_stdout(buffer):
+            assert main(["query", "domain", name, str(entry.path)]) == 0
+        cli_lines = buffer.getvalue().splitlines()
+        status, body = http_get(f"{base}/v1/domain/{name}")
+        assert status == 200
+        api_lines = body.decode("utf-8").splitlines()
+        # The API aggregates across every spooled artifact; the CLI saw
+        # one file, so its lines must be a subsequence prefix per artifact.
+        assert cli_lines
+        for line in cli_lines:
+            assert line in api_lines
+
+    def test_post_seeds_roundtrip(self, service):
+        daemon, base = service
+        payload = json.dumps(
+            {"domains": ["tranco-a.example", "tranco-b.example", "tranco-a.example"]}
+        ).encode("utf-8")
+        request = urllib.request.Request(
+            f"{base}/v1/seeds", data=payload, method="POST",
+            headers={"Content-Type": "application/json"},
+        )
+        with urllib.request.urlopen(request) as response:
+            result = json.loads(response.read())
+        assert result["accepted"] == 2
+        stored = json.loads(
+            (daemon.spool.directory / "seeds.json").read_text(encoding="utf-8")
+        )
+        assert stored["domains"] == ["tranco-a.example", "tranco-b.example"]
+
+    def test_unknown_endpoint_and_week_are_json_errors(self, service):
+        _, base = service
+        status, body = http_get(f"{base}/v1/nope")
+        assert status == 404 and "error" in json.loads(body)
+        status, body = http_get(f"{base}/v1/adoption?week=cw01-1999")
+        assert status == 404 and "error" in json.loads(body)
+
+
+class TestServiceCli:
+    def test_run_once_submit_and_index_roundtrip(self, tmp_path, capsys):
+        service_dir = tmp_path / "svc"
+        args = [
+            "--dir", str(service_dir),
+            "--seed", "77",
+            "--czds", "140",
+            "--toplist", "40",
+            "--first-week", "cw19-2023",
+            "--last-week", "cw20-2023",
+        ]
+        assert main(["service", "run-once", *args]) == 0
+        status = json.loads(capsys.readouterr().out)
+        assert status["scanned_weeks"] == ["cw19-2023", "cw20-2023"]
+        assert status["pending_weeks"] == 0
+
+        # Re-submitting a spooled artifact through the CLI is a no-op.
+        artifact = next((service_dir / "spool" / "artifacts").glob("*.cbr"))
+        assert main(
+            ["service", "submit", "--dir", str(service_dir), str(artifact)]
+        ) == 0
+        captured = capsys.readouterr()
+        assert "duplicate payload" in captured.err
+        assert json.loads(captured.out)["folded_artifacts"] == []
+
+        assert main(["service", "index", "--dir", str(service_dir)]) == 0
+        assert json.loads(capsys.readouterr().out)["folded_artifacts"] == []
+
+    def test_bad_week_label_is_a_clean_error(self, tmp_path, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main(
+                [
+                    "service", "run-once",
+                    "--dir", str(tmp_path / "svc"),
+                    "--first-week", "definitely-not-a-week",
+                ]
+            )
+        message = str(excinfo.value)
+        assert message.startswith("repro: error:")
+        assert not (tmp_path / "svc").exists()  # failed before touching disk
+
+    def test_empty_population_is_a_clean_error(self, tmp_path):
+        with pytest.raises(SystemExit) as excinfo:
+            main(
+                [
+                    "service", "run-once",
+                    "--dir", str(tmp_path / "svc"),
+                    "--czds", "0",
+                    "--toplist", "0",
+                ]
+            )
+        assert str(excinfo.value).startswith("repro: error:")
