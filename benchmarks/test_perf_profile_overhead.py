@@ -1,0 +1,103 @@
+"""Profiler overhead: a profiled scan must stay close to telemetry-only.
+
+PR 8 threads the charge-driven sampling profiler (:mod:`repro.obs.profile`)
+through the scanner's per-domain and per-connection hot paths, guarded —
+like every other instrument — by ``is None`` checks and, when on, doing
+only dict accumulation per phase.  This benchmark quantifies the cost
+of turning the profiler on *on top of* an already-instrumented scan
+(the realistic ``repro profile`` configuration): the paired-round
+median slowdown must stay under 10 %.
+
+Writes ``BENCH_profile_overhead.json`` at the repo root;
+``scripts/bench.sh`` appends each run to ``BENCH_history.jsonl``.
+"""
+
+from __future__ import annotations
+
+import json
+import statistics
+import time
+from pathlib import Path
+
+from repro.obs import PhaseProfiler
+from repro.telemetry import Telemetry
+from repro.web.scanner import ScanConfig, Scanner
+
+#: Fixed workload size; big enough that per-run setup is noise.
+BENCH_DOMAINS = 400
+
+#: Maximum tolerated profiler-on slowdown (issue acceptance: <10 %),
+#: as the median of per-round on/off ratios (see the fault-overhead
+#: benchmark for why ratios beat absolute best-of-N times).
+OVERHEAD_LIMIT = 0.10
+ROUNDS = 9
+
+_RESULT_PATH = Path(__file__).resolve().parent.parent / "BENCH_profile_overhead.json"
+
+
+def _scan_runner(population, profiled: bool):
+    domains = population.domains[:BENCH_DOMAINS]
+
+    def run():
+        telemetry = Telemetry()
+        if profiled:
+            telemetry.profiler = PhaseProfiler()
+        Scanner(population, ScanConfig(), telemetry=telemetry).scan(
+            week_label="cw20-2023", ip_version=4, domains=domains
+        )
+
+    return run
+
+
+def test_profile_overhead(population):
+    run_plain = _scan_runner(population, profiled=False)
+    run_profiled = _scan_runner(population, profiled=True)
+
+    # Warm-up pass so the first measured round doesn't absorb one-time
+    # import/cache costs.
+    run_profiled()
+    run_plain()
+
+    ratios: list[float] = []
+    best_plain = best_profiled = None
+    for _ in range(ROUNDS):
+        start = time.perf_counter()
+        run_plain()
+        elapsed_plain = time.perf_counter() - start
+        start = time.perf_counter()
+        run_profiled()
+        elapsed_profiled = time.perf_counter() - start
+        ratios.append(elapsed_profiled / elapsed_plain)
+        if best_plain is None or elapsed_plain < best_plain:
+            best_plain = elapsed_plain
+        if best_profiled is None or elapsed_profiled < best_profiled:
+            best_profiled = elapsed_profiled
+
+    overhead = statistics.median(ratios) - 1.0
+
+    payload = {
+        "benchmark": "profile_overhead",
+        "bench_domains": BENCH_DOMAINS,
+        "rounds": ROUNDS,
+        "results": {
+            "best_telemetry_s": round(best_plain, 3),
+            "best_profiled_s": round(best_profiled, 3),
+            "domains_per_sec_telemetry": round(BENCH_DOMAINS / best_plain, 1),
+            "domains_per_sec_profiled": round(BENCH_DOMAINS / best_profiled, 1),
+            "round_ratios": [round(r, 4) for r in ratios],
+            "overhead_median": round(overhead, 4),
+        },
+    }
+    _RESULT_PATH.write_text(json.dumps(payload, indent=2) + "\n", encoding="utf-8")
+
+    print()
+    print(f"profiler overhead ({BENCH_DOMAINS} domains, {ROUNDS} rounds):")
+    print(
+        f"  telemetry-only best {best_plain:.3f} s  profiled best "
+        f"{best_profiled:.3f} s  median overhead {overhead * 100:+.1f} %"
+    )
+
+    assert overhead < OVERHEAD_LIMIT, (
+        f"profiler overhead {overhead * 100:.1f} % (median of {ROUNDS} "
+        f"paired rounds) exceeds {OVERHEAD_LIMIT * 100:.0f} %"
+    )

@@ -7,7 +7,10 @@
 #   3. the failure-taxonomy summary is byte-identical across workers,
 #   4. a checkpointed campaign with a deleted shard resumes to the same
 #      merged dataset as an uninterrupted run,
-#   5. the monitor survives corrupt datagrams deterministically.
+#   5. the monitor survives corrupt datagrams deterministically,
+#   6. a service campaign tick leaves the directory healthy: the
+#      'repro status --exit-code' SLO gate passes and the span log
+#      covers the whole pipeline.
 #
 # Everything runs in a throwaway temp directory; the repo tree is not
 # touched.
@@ -73,6 +76,26 @@ with open(sys.argv[1], encoding="utf-8") as stream:
 assert summary["type"] == "summary", summary
 assert summary["parse_errors"] > 0, "corrupt datagrams were not counted"
 print(f"monitor counted {summary['parse_errors']} parse errors, no crash")
+PY
+
+echo "== chaos smoke: service tick + SLO health gate =="
+python -m repro.cli service run-once --dir "$WORK/svc" \
+    --telemetry-out "$WORK/svc/telemetry" \
+    --seed 417 --czds 200 --toplist 50 \
+    --first-week cw20-2023 --last-week cw20-2023 >/dev/null 2>&1
+python -m repro.cli status --dir "$WORK/svc" --exit-code
+python - "$WORK/svc/telemetry/spans.jsonl" <<'PY'
+import json
+import sys
+
+with open(sys.argv[1], encoding="utf-8") as stream:
+    rows = [json.loads(line) for line in stream]
+stages = {row["name"].partition(":")[0] for row in rows}
+missing = {"campaign", "scan", "domain", "spool", "index", "status"} - stages
+assert not missing, f"span log misses pipeline stages: {sorted(missing)}"
+roots = [row["name"] for row in rows if row["parent"] is None]
+assert roots == ["campaign"], f"expected one campaign root, got {roots}"
+print(f"span log OK: {len(rows)} spans, stages {sorted(stages)}")
 PY
 
 echo "chaos smoke: OK"

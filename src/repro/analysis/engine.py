@@ -56,11 +56,15 @@ class RecordFold(Protocol):
 class AnalysisEngine:
     """Runs a set of folds over one stream of record batches."""
 
-    def __init__(self, folds: Sequence[RecordFold]) -> None:
+    def __init__(self, folds: Sequence[RecordFold], telemetry=None) -> None:
         names = [fold.name for fold in folds]
         if len(set(names)) != len(names):
             raise ValueError(f"duplicate fold names: {names}")
         self.folds = list(folds)
+        #: Optional :class:`repro.telemetry.Telemetry`; when its
+        #: ``profiler`` is set, per-fold self time is attributed under
+        #: ``fold:<section>`` phases (``repro profile --analyze``).
+        self.telemetry = telemetry
 
     @property
     def needs_edges_received(self) -> bool:
@@ -89,6 +93,11 @@ class AnalysisEngine:
         scanned and matched records when given.
         """
         folds = self.folds
+        profiler = (
+            self.telemetry.profiler if self.telemetry is not None else None
+        )
+        if profiler is not None:
+            return self._run_profiled(batches, predicate, stats, profiler)
         if predicate is not None or stats is not None:
             from repro.analysis.query import filter_batch
 
@@ -102,6 +111,29 @@ class AnalysisEngine:
                 for fold in folds:
                     fold.update_many(batch)
         return {fold.name: fold.finish() for fold in folds}
+
+    def _run_profiled(self, batches, predicate, stats, profiler):
+        """The profiling twin of :meth:`run`: same results, per-fold
+        phases.  A separate loop so the unprofiled hot path stays free
+        of per-batch-per-fold context managers."""
+        from repro.analysis.query import filter_batch
+
+        folds = self.folds
+        with profiler.phase("analyze"):
+            for batch in batches:
+                if predicate is not None or stats is not None:
+                    with profiler.phase("filter"):
+                        batch = filter_batch(batch, predicate, stats)
+                if not batch:
+                    continue
+                for fold in folds:
+                    with profiler.phase(f"fold:{fold.name}"):
+                        fold.update_many(batch)
+            results = {}
+            for fold in folds:
+                with profiler.phase(f"fold:{fold.name}"):
+                    results[fold.name] = fold.finish()
+        return results
 
 
 def build_record_folds(sections: Iterable[str], asdb=None) -> list[RecordFold]:

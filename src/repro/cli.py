@@ -13,6 +13,9 @@ The subcommands mirror the study's workflow::
     repro telemetry   # summarize a --telemetry-out directory
     repro service     # campaign daemon + week index + HTTP query API
     repro serve       # shorthand for 'repro service serve'
+    repro status      # SLO health verdict (live server or finished campaign)
+    repro profile     # sampling profiler over a seeded scan
+    repro top         # one-shot operator console over a running server
 
 ``scan`` writes the artifact that ``analyze`` consumes — the
 Appendix-B-style JSONL schema or the columnar binary ``cbr`` store
@@ -361,6 +364,88 @@ def _build_parser() -> argparse.ArgumentParser:
         "summarize", help="human-readable digest of a saved telemetry directory"
     )
     summarize.add_argument("directory", help="directory passed to --telemetry-out")
+
+    status = sub.add_parser(
+        "status",
+        help="evaluate SLOs into a health verdict, from a live server's "
+        "/v1/metrics or a finished campaign's service directory",
+    )
+    target = status.add_mutually_exclusive_group(required=True)
+    target.add_argument(
+        "--dir", metavar="DIR", help="service directory to judge offline"
+    )
+    target.add_argument(
+        "--url", metavar="URL", help="base URL of a running 'repro serve'"
+    )
+    status.add_argument(
+        "--slo",
+        default=None,
+        metavar="FILE",
+        help="JSON list of SLO specs replacing the built-in objectives",
+    )
+    status.add_argument(
+        "--metrics",
+        default=None,
+        metavar="FILE",
+        help="metrics.json snapshot to evaluate alongside --dir gauges "
+        "(default: DIR/telemetry/metrics.json when present)",
+    )
+    status.add_argument(
+        "--json",
+        action="store_true",
+        help="emit the structured report instead of the text rendering",
+    )
+    status.add_argument(
+        "--exit-code",
+        action="store_true",
+        help="exit 0 when ok, 1 when degraded, 2 when failing (shell gate)",
+    )
+
+    profile = sub.add_parser(
+        "profile",
+        help="run the sampling profiler over a seeded scan and report "
+        "per-phase self time",
+    )
+    profile.add_argument("--czds", type=int, default=400, help="CZDS domain count")
+    profile.add_argument(
+        "--toplist", type=int, default=100, help="toplist domain count"
+    )
+    profile.add_argument("--seed", type=int, default=20230520)
+    profile.add_argument("--week", default="cw20-2023", help="calendar week label")
+    profile.add_argument("--ip-version", type=int, choices=(4, 6), default=4)
+    profile.add_argument(
+        "--sim",
+        action="store_true",
+        help="charge simulated milliseconds instead of wall time "
+        "(deterministic per seed)",
+    )
+    profile.add_argument(
+        "--sample-interval-ms",
+        type=float,
+        default=1.0,
+        help="milliseconds of self time per synthetic sample",
+    )
+    profile.add_argument(
+        "--analyze",
+        action="store_true",
+        help="also run the analysis folds over the scanned dataset, "
+        "profiled per section",
+    )
+    profile.add_argument(
+        "--out",
+        default=None,
+        metavar="FILE",
+        help="write collapsed stacks (flamegraph input) there ('-' for stdout)",
+    )
+
+    top = sub.add_parser(
+        "top", help="one-shot operator console over a running 'repro serve'"
+    )
+    top.add_argument(
+        "--url",
+        default="http://127.0.0.1:8323",
+        help="base URL of the running service API",
+    )
     return parser
 
 
@@ -877,6 +962,7 @@ def _cmd_telemetry(args: argparse.Namespace) -> int:
     import json
     from pathlib import Path
 
+    from repro.obs.spans import SPANS_FILENAME, read_spans, render_span_summary
     from repro.telemetry import (
         SNAPSHOT_FILENAME,
         TRACE_FILENAME,
@@ -897,6 +983,162 @@ def _cmd_telemetry(args: argparse.Namespace) -> int:
         with open(trace_path, "r", encoding="utf-8") as stream:
             events = read_trace(stream)
     print(render_summary(snapshot, events))
+    spans_path = directory / SPANS_FILENAME
+    if spans_path.is_file():
+        with open(spans_path, "r", encoding="utf-8") as stream:
+            rows = read_spans(stream)
+        if rows:
+            print(render_span_summary(rows))
+    return 0
+
+
+def _load_slo_specs(slo_path: str | None):
+    """The SLO spec set for ``repro status``: built-ins or a JSON file."""
+    from repro.obs import default_service_slos, parse_slo_specs
+
+    if not slo_path:
+        return default_service_slos()
+    try:
+        with open(slo_path, "r", encoding="utf-8") as stream:
+            text = stream.read()
+    except OSError as error:
+        raise SystemExit(f"repro: error: cannot read {slo_path}: {error}")
+    try:
+        return parse_slo_specs(text)
+    except ValueError as error:
+        raise SystemExit(f"repro: error: {error}")
+
+
+def _cmd_status(args: argparse.Namespace) -> int:
+    import json
+    import os
+
+    from repro.obs import HealthEngine
+
+    specs = _load_slo_specs(args.slo)
+    if args.url:
+        from repro.obs.console import fetch_json, health_from_payload
+
+        base = args.url.rstrip("/")
+        try:
+            if args.slo:
+                # Custom objectives: pull the raw snapshot and judge
+                # locally — the server only knows its own spec set.
+                payload = fetch_json(base + "/v1/metrics")
+                snapshot = payload.get("metrics", payload)
+                report = HealthEngine(specs).evaluate(snapshot)
+            else:
+                report = health_from_payload(fetch_json(base + "/v1/status"))
+        except ConnectionError as error:
+            raise SystemExit(f"repro: error: {error}")
+    else:
+        from repro.obs import collect_service_gauges
+
+        if not os.path.isdir(args.dir):
+            raise SystemExit(
+                f"repro: error: no service directory at {args.dir}"
+            )
+        spool, indexer = _service_stores(args)
+        snapshot: dict = {"counters": {}, "gauges": {}, "histograms": {}}
+        metrics_path = args.metrics
+        if metrics_path is None:
+            candidate = os.path.join(args.dir, "telemetry", "metrics.json")
+            if os.path.isfile(candidate):
+                metrics_path = candidate
+        if metrics_path:
+            try:
+                with open(metrics_path, "r", encoding="utf-8") as stream:
+                    loaded = json.load(stream)
+            except (OSError, ValueError) as error:
+                raise SystemExit(
+                    f"repro: error: cannot read {metrics_path}: {error}"
+                )
+            for section in ("counters", "gauges", "histograms"):
+                snapshot[section].update(loaded.get(section, {}))
+        snapshot["gauges"].update(collect_service_gauges(spool, indexer))
+        report = HealthEngine(specs).evaluate(snapshot)
+    if args.json:
+        print(json.dumps(report.to_dict(), sort_keys=True))
+    else:
+        print(report.render())
+    return report.exit_code if args.exit_code else 0
+
+
+def _cmd_profile(args: argparse.Namespace) -> int:
+    import time
+
+    from repro.internet.population import PopulationConfig, build_population
+    from repro.obs import PhaseProfiler
+    from repro.telemetry import Telemetry
+    from repro.web.scanner import Scanner
+
+    # Diagnostics-only wall clock, injected so the profiler package
+    # itself never reads one (the determinism lint covers it).
+    clock = None if args.sim else time.perf_counter  # wallclock-ok: profiling diagnostics
+    try:
+        profiler = PhaseProfiler(
+            sample_interval_ms=args.sample_interval_ms, clock=clock
+        )
+    except ValueError as error:
+        raise SystemExit(f"repro: error: {error}")
+    telemetry = Telemetry()
+    telemetry.profiler = profiler
+    population = build_population(
+        PopulationConfig(
+            toplist_domains=args.toplist, czds_domains=args.czds, seed=args.seed
+        )
+    )
+    print(
+        f"profiling a scan of {len(population.domains)} domains "
+        f"(week {args.week}, IPv{args.ip_version},"
+        f" {'simulated' if args.sim else 'wall'} clock) ...",
+        file=sys.stderr,
+    )
+    started = time.perf_counter()  # wallclock-ok: coverage denominator (stderr only)
+    dataset = Scanner(population, telemetry=telemetry).scan(
+        week_label=args.week, ip_version=args.ip_version
+    )
+    elapsed_ms = (time.perf_counter() - started) * 1000.0  # wallclock-ok: coverage denominator (stderr only)
+    if args.analyze:
+        from repro.analysis.engine import AnalysisEngine, build_record_folds
+
+        engine = AnalysisEngine(
+            build_record_folds(("webservers", "accuracy", "versions", "filters")),
+            telemetry=telemetry,
+        )
+        engine.run([dataset.connection_records()])
+    print(profiler.render_report("repro profile"))
+    if not args.sim:
+        print(
+            f"coverage: {profiler.coverage(elapsed_ms) * 100.0:.1f}% of "
+            f"{elapsed_ms:.0f} ms scan wall time attributed",
+            file=sys.stderr,
+        )
+    if args.out:
+        stream, close = _open_out(args.out)
+        try:
+            for line in profiler.collapsed():
+                stream.write(line + "\n")
+        finally:
+            if close:
+                stream.close()
+        if close:
+            print(f"collapsed stacks written to {args.out}", file=sys.stderr)
+    return 0
+
+
+def _cmd_top(args: argparse.Namespace) -> int:
+    from repro.obs.console import fetch_json, render_console
+
+    base = args.url.rstrip("/")
+    try:
+        healthz = fetch_json(base + "/v1/healthz")
+        status = fetch_json(base + "/v1/status")
+        metrics = fetch_json(base + "/v1/metrics")
+        spans_payload = fetch_json(base + "/v1/spans")
+    except ConnectionError as error:
+        raise SystemExit(f"repro: error: {error}")
+    print(render_console(healthz, status, metrics, spans_payload))
     return 0
 
 
@@ -1007,6 +1249,9 @@ _COMMANDS = {
     "telemetry": _cmd_telemetry,
     "service": _cmd_service,
     "serve": _cmd_service,
+    "status": _cmd_status,
+    "profile": _cmd_profile,
+    "top": _cmd_top,
 }
 
 

@@ -200,6 +200,16 @@ class MonitorPipeline:
                 spin_flows=spin_flows,
                 samples=summary.samples.get("count", 0),
             )
+            # One span for the whole monitor run, stamped with stream
+            # time — the monitor's deterministic clock — so span logs
+            # cover the on-path pipeline alongside the scan plane.
+            monitor_span = self.telemetry.spans.span(
+                "monitor",
+                windows=summary.windows,
+                datagrams=summary.datagrams,
+                spin_flows=spin_flows,
+            )
+            monitor_span.end(summary.duration_ms)
         return summary
 
     def _publish(self, snapshot: WindowSnapshot) -> None:

@@ -20,6 +20,8 @@ Endpoints (all JSON unless noted)::
     GET  /v1/analyze?week=...&section=   the repro-analyze text block
     GET  /v1/domain/<name>               the domain's records (JSONL body)
     GET  /v1/metrics                     telemetry registry snapshot
+    GET  /v1/status                      SLO health report (repro.obs.slo)
+    GET  /v1/spans                       causal span log of the campaign
     POST /v1/seeds                       register target domains
 
 ``week`` defaults to ``all`` (every indexed week merged).  Errors are
@@ -31,9 +33,17 @@ from __future__ import annotations
 import json
 import os
 import threading
+import time
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from urllib.parse import parse_qs, unquote, urlparse
 
+from repro.obs.slo import (
+    HealthEngine,
+    HealthReport,
+    collect_service_gauges,
+    default_service_slos,
+)
+from repro.obs.spans import span_rows
 from repro.service.daemon import CampaignDaemon
 from repro.service.indexer import WeekIndexer
 from repro.service.spool import SpoolStore
@@ -61,11 +71,15 @@ class ServiceState:
         indexer: WeekIndexer,
         telemetry=None,
         seeds_path=None,
+        health_engine: HealthEngine | None = None,
     ) -> None:
         self.spool = spool
         self.indexer = indexer
         self.telemetry = telemetry
         self.seeds_path = seeds_path or (spool.directory / _SEEDS_NAME)
+        self.health_engine = health_engine or HealthEngine(
+            default_service_slos()
+        )
         self._lock = threading.Lock()
         self._version: str | None = None
         self._summaries: dict = {}
@@ -163,10 +177,42 @@ class ServiceState:
         if self.telemetry is not None:
             self.telemetry.registry.counter(name).inc(amount)
 
+    def observe_request_ms(self, route: str, elapsed_ms: float, status: int) -> None:
+        """Account one request: latency histogram + diag span."""
+        if self.telemetry is None:
+            return
+        self.telemetry.registry.histogram("api.request_ms").observe(elapsed_ms)
+        self.telemetry.spans.record_diag(f"request:{route}", status=status)
+
     def metrics_snapshot(self) -> dict:
         if self.telemetry is None:
             return {}
         return self.telemetry.registry.snapshot()
+
+    def health_report(self) -> HealthReport:
+        """Evaluate the configured SLOs over the current telemetry.
+
+        The snapshot is the exported registry augmented with the
+        directory-derived service gauges, so the report is meaningful
+        even before the daemon's first tick set any gauges — and it is
+        computed purely from telemetry, never by re-scanning.
+        """
+        snapshot = dict(self.metrics_snapshot())
+        gauges = dict(snapshot.get("gauges", {}))
+        gauges.update(collect_service_gauges(self.spool, self.indexer))
+        snapshot["gauges"] = gauges
+        return self.health_engine.evaluate(snapshot)
+
+    def spans_payload(self) -> dict:
+        """The campaign span log in export shape (`/v1/spans`)."""
+        if self.telemetry is None:
+            return {"trace": None, "spans": [], "diag": []}
+        spans = self.telemetry.spans
+        return {
+            "trace": spans.trace_id,
+            "spans": span_rows(spans.records, spans.trace_id),
+            "diag": span_rows(spans.diag_records, spans.trace_id),
+        }
 
     def _refresh_locked(self) -> None:
         version = self.indexer.version()
@@ -190,6 +236,7 @@ class _Handler(BaseHTTPRequestHandler):
         pass  # requests are counted in telemetry, not printed
 
     def _send_json(self, payload: dict, status: int = 200) -> None:
+        self._last_status = status
         body = (json.dumps(payload, sort_keys=True) + "\n").encode("utf-8")
         self.send_response(status)
         self.send_header("Content-Type", "application/json")
@@ -204,6 +251,17 @@ class _Handler(BaseHTTPRequestHandler):
     # -- routing -------------------------------------------------------
 
     def do_GET(self) -> None:  # noqa: N802 - stdlib naming
+        # API latency is inherently wall-clock; it feeds the operator
+        # histogram + SLOs and never enters a deterministic artifact.
+        started = time.perf_counter()  # wallclock-ok: API latency histogram
+        self._last_status = 200
+        self._route_get()
+        elapsed_ms = (time.perf_counter() - started) * 1000.0  # wallclock-ok
+        self.state.observe_request_ms(
+            urlparse(self.path).path, elapsed_ms, self._last_status
+        )
+
+    def _route_get(self) -> None:
         state = self.state
         state.counter("service.requests_total")
         url = urlparse(self.path)
@@ -231,6 +289,10 @@ class _Handler(BaseHTTPRequestHandler):
             self._domain_endpoint(unquote(route[len("/v1/domain/"):]))
         elif route == "/v1/metrics":
             self._send_json({"metrics": state.metrics_snapshot()})
+        elif route == "/v1/status":
+            self._send_json(state.health_report().to_dict())
+        elif route == "/v1/spans":
+            self._send_json(state.spans_payload())
         else:
             self._send_error_json(f"unknown endpoint {url.path}", status=404)
 
@@ -289,6 +351,7 @@ class _Handler(BaseHTTPRequestHandler):
             return
         lines = list(self.state.domain_records(name))
         body = ("".join(line + "\n" for line in lines)).encode("utf-8")
+        self._last_status = 200
         self.send_response(200)
         self.send_header("Content-Type", "application/jsonl")
         self.send_header("X-Record-Count", str(len(lines)))
@@ -322,7 +385,14 @@ def serve_forever(
     import sys
 
     from repro.service.daemon import Scheduler, WallClock
+    from repro.telemetry import Telemetry
 
+    if daemon.telemetry is None:
+        # The operator plane needs somewhere to account requests and
+        # SLO inputs even when the daemon was built without telemetry.
+        daemon.telemetry = Telemetry()
+        daemon.spool.telemetry = daemon.telemetry
+        daemon.indexer.telemetry = daemon.telemetry
     state = ServiceState(
         daemon.spool, daemon.indexer, telemetry=daemon.telemetry
     )

@@ -35,6 +35,7 @@ from pathlib import Path
 from typing import Callable
 
 from repro.campaign.schedule import CalendarWeek, Campaign
+from repro.obs.spans import trace_id_for
 from repro.service.indexer import WeekIndexer
 from repro.service.spool import SpoolStore, scan_digest
 
@@ -91,12 +92,25 @@ class CampaignDaemon:
         self.directory = Path(directory)
         self.config = config
         self.telemetry = telemetry
-        self.spool = SpoolStore(self.directory / "spool")
+        self.spool = SpoolStore(self.directory / "spool", telemetry=telemetry)
         self.indexer = WeekIndexer(
-            self.directory / "index", fault_hook=fault_hook
+            self.directory / "index", fault_hook=fault_hook, telemetry=telemetry
         )
         self._population = None
         self._scanner = None
+
+    def campaign_trace_id(self) -> str:
+        """The campaign's deterministic trace identity."""
+        config = self.config
+        return trace_id_for(
+            "campaign",
+            config.seed,
+            config.first_week,
+            config.last_week,
+            config.ip_version,
+            config.czds_domains,
+            config.toplist_domains,
+        )
 
     @property
     def population(self):
@@ -148,6 +162,17 @@ class CampaignDaemon:
         pending spooled artifact (also externally submitted ones), not
         just this tick's scans.
         """
+        telemetry = self.telemetry
+        campaign_span = None
+        if telemetry is not None:
+            spans = telemetry.spans
+            if spans.trace_id is None:
+                spans.trace_id = self.campaign_trace_id()
+            campaign_span = spans.span(
+                "campaign",
+                first_week=self.config.first_week,
+                last_week=self.config.last_week,
+            )
         pending = self.pending_weeks()
         if max_weeks is not None:
             pending = pending[:max_weeks]
@@ -155,16 +180,41 @@ class CampaignDaemon:
         for week in pending:
             scanned.append(self._scan_week(week, verbose=verbose))
         folded = self.indexer.fold_pending(self.spool)
-        if self.telemetry is not None:
-            registry = self.telemetry.registry
+        # The tick's read-back — the "query" step of the pipeline: the
+        # status report is served from the index the tick just wrote.
+        status_span = (
+            telemetry.spans.span("status") if telemetry is not None else None
+        )
+        still_pending = self.pending_weeks()
+        indexed = self.indexer.weeks()
+        if status_span is not None:
+            status_span.annotate(
+                pending_weeks=len(still_pending), indexed_weeks=len(indexed)
+            )
+            status_span.end()
+        if telemetry is not None:
+            registry = telemetry.registry
             registry.counter("service.ticks_total").inc()
             registry.counter("service.weeks_scanned").inc(len(scanned))
             registry.counter("service.artifacts_folded").inc(len(folded))
+            registry.gauge("service.pending_weeks").set(len(still_pending))
+            registry.gauge("service.weeks_indexed").set(len(indexed))
+            registry.gauge("service.spool_backlog").set(
+                sum(
+                    1
+                    for entry in self.spool.artifacts()
+                    if entry.fingerprint not in self.indexer.ledger()
+                )
+            )
+            campaign_span.annotate(
+                scanned=len(scanned), folded=len(folded)
+            )
+            campaign_span.end()
         return {
             "scanned_weeks": scanned,
             "folded_artifacts": folded,
-            "pending_weeks": len(self.pending_weeks()),
-            "indexed_weeks": self.indexer.weeks(),
+            "pending_weeks": len(still_pending),
+            "indexed_weeks": indexed,
         }
 
     def _scan_week(self, week: CalendarWeek, verbose: bool = False) -> str:
@@ -178,11 +228,28 @@ class CampaignDaemon:
                 f"(IPv{self.config.ip_version}) ...",
                 file=sys.stderr,
             )
+        import time
+
+        started = time.perf_counter()  # wallclock-ok: throughput gauge only
         dataset = self.scanner.scan(
             week_label=week.label,
             ip_version=self.config.ip_version,
             verbose=verbose,
             checkpoint_dir=self.directory / "spool" / "checkpoints" / digest,
+        )
+        elapsed = time.perf_counter() - started  # wallclock-ok: gauge only
+        telemetry = self.telemetry
+        if telemetry is not None and elapsed > 0:
+            # Wall-clock throughput is operational state, not a
+            # measurement artifact: it feeds the scan-throughput SLO and
+            # never enters the deterministic trace or span streams.
+            telemetry.registry.gauge("service.scan_domains_per_s").set(
+                len(dataset.results) / elapsed
+            )
+        spool_span = (
+            telemetry.spans.span(f"spool:{week.label}")
+            if telemetry is not None
+            else None
         )
         buffer = io.BytesIO()
         write_records_cbr(dataset.connection_records(), buffer)
@@ -190,6 +257,13 @@ class CampaignDaemon:
             buffer.getvalue(), source=f"daemon:{week.label}"
         )
         self.spool.record_scan(fingerprint, entry.fingerprint)
+        if spool_span is not None:
+            spool_span.annotate(
+                artifact=entry.fingerprint,
+                bytes=entry.size,
+                duplicate=not entry.new,
+            )
+            spool_span.end()
         return week.label
 
     def _scan_fingerprint(self, week: CalendarWeek) -> dict:

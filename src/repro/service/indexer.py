@@ -52,11 +52,17 @@ class WeekIndexer:
         directory: str | os.PathLike,
         asdb=None,
         fault_hook: Callable[[str], None] | None = None,
+        telemetry=None,
     ) -> None:
         self.directory = Path(directory)
         self.directory.mkdir(parents=True, exist_ok=True)
         self._asdb = asdb
         self._fault_hook = fault_hook
+        #: Optional :class:`repro.telemetry.Telemetry`.  Folds emit
+        #: ``index:<fingerprint>`` spans with per-week children; both
+        #: are pure functions of the folded content, so they live in the
+        #: deterministic span stream.
+        self.telemetry = telemetry
 
     @property
     def asdb(self):
@@ -78,10 +84,27 @@ class WeekIndexer:
         """
         if fingerprint in self.ledger():
             return False
+        telemetry = self.telemetry
+        span = (
+            telemetry.spans.span(f"index:{fingerprint}")
+            if telemetry is not None
+            else None
+        )
         deltas = self._summarize(path, fingerprint)
+        records = 0
         for week in sorted(deltas):
+            if telemetry is not None:
+                telemetry.spans.span(
+                    f"week:{week}", records=deltas[week].connections_total
+                ).end()
             self._merge_week(week, deltas[week], fingerprint)
+            records += deltas[week].connections_total
         self._record_in_ledger(fingerprint)
+        if span is not None:
+            span.annotate(weeks=len(deltas), records=records)
+            span.end()
+            telemetry.registry.counter("index.artifacts_folded").inc()
+            telemetry.registry.counter("index.weeks_merged").inc(len(deltas))
         return True
 
     def fold_pending(self, spool) -> list[str]:

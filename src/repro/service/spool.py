@@ -53,11 +53,18 @@ class SpoolEntry:
 class SpoolStore:
     """Artifact intake under one directory (created on demand)."""
 
-    def __init__(self, directory: str | os.PathLike) -> None:
+    def __init__(self, directory: str | os.PathLike, telemetry=None) -> None:
         self.directory = Path(directory)
         self.artifact_dir = self.directory / _ARTIFACT_DIR
         self.artifact_dir.mkdir(parents=True, exist_ok=True)
         self.manifest_path = self.directory / _MANIFEST_NAME
+        #: Optional :class:`repro.telemetry.Telemetry`; intake volume
+        #: counters only (content-derived, hence still deterministic).
+        self.telemetry = telemetry
+
+    def _count(self, name: str, amount: int = 1) -> None:
+        if self.telemetry is not None:
+            self.telemetry.registry.counter(name).inc(amount)
 
     # -- submissions ---------------------------------------------------
 
@@ -70,10 +77,13 @@ class SpoolStore:
         """
         fingerprint = artifact_fingerprint(payload)
         path = self.artifact_path(fingerprint)
+        self._count("spool.submissions")
         if path.is_file():
+            self._count("spool.duplicates")
             return SpoolEntry(
                 fingerprint=fingerprint, path=path, size=len(payload), new=False
             )
+        self._count("spool.bytes", len(payload))
         tmp = path.with_suffix(".tmp")
         tmp.write_bytes(payload)
         os.replace(tmp, path)

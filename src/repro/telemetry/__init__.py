@@ -19,6 +19,10 @@ zero-dependency observability layer every subsystem reports into.
 * :mod:`repro.telemetry.runtime` — the :class:`Telemetry` bundle the
   CLI threads through ``repro scan/monitor --telemetry-out DIR`` and
   reads back via ``repro telemetry summarize DIR``.
+
+:mod:`repro.obs` builds on this plane: causal spans (carried on the
+``Telemetry`` bundle as ``.spans``), the phase profiler (``.profiler``),
+and the SLO health engine all consume what this package records.
 """
 
 from repro.telemetry.export import (

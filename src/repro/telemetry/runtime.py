@@ -9,10 +9,12 @@ off and the instrumented code paths pay a single ``is None`` check.
 
 :meth:`Telemetry.save` writes the standard telemetry directory::
 
-    DIR/trace.jsonl    deterministic trace (byte-identical per seed)
-    DIR/diag.jsonl     sharding-dependent diagnostics (still no wall clock)
-    DIR/metrics.json   registry snapshot (lossless reload for summarize)
-    DIR/metrics.prom   Prometheus text exposition snapshot
+    DIR/trace.jsonl       deterministic trace (byte-identical per seed)
+    DIR/diag.jsonl        sharding-dependent diagnostics (still no wall clock)
+    DIR/metrics.json      registry snapshot (lossless reload for summarize)
+    DIR/metrics.prom      Prometheus text exposition snapshot
+    DIR/spans.jsonl       causal span log (byte-identical per seed)
+    DIR/spans_diag.jsonl  sharding-dependent spans (per-shard, API requests)
 
 which ``repro telemetry summarize DIR`` reads back.
 """
@@ -22,6 +24,12 @@ from __future__ import annotations
 import json
 from pathlib import Path
 
+from repro.obs.spans import (
+    SPANS_DIAG_FILENAME,
+    SPANS_FILENAME,
+    SpanLog,
+    write_spans_jsonl,
+)
 from repro.telemetry.export import (
     DIAG_FILENAME,
     PROM_FILENAME,
@@ -38,26 +46,40 @@ __all__ = ["Telemetry"]
 
 
 class Telemetry:
-    """Registry + tracer for one run (or one worker shard of a run)."""
+    """Registry + tracer + span log for one run (or one worker shard)."""
 
     def __init__(
         self,
         registry: MetricsRegistry | None = None,
         tracer: Tracer | None = None,
+        spans: SpanLog | None = None,
     ):
         self.registry = registry or MetricsRegistry()
         self.tracer = tracer or Tracer()
+        self.spans = spans or SpanLog()
+        #: Optional :class:`repro.obs.profile.PhaseProfiler`; ``None``
+        #: (the default) keeps profiling at zero cost.
+        self.profiler = None
 
-    def absorb_shard(self, registry: MetricsRegistry, events, diag_events) -> None:
+    def absorb_shard(
+        self,
+        registry: MetricsRegistry,
+        events,
+        diag_events,
+        spans=(),
+        diag_spans=(),
+    ) -> None:
         """Fold one worker shard's telemetry into this bundle.
 
         Must be called in shard order: registry merges are lossless and
-        order-insensitive for counters/histograms, but trace events are
-        concatenated, and shard order is what makes the concatenation
-        equal the sequential emission order.
+        order-insensitive for counters/histograms, but trace events and
+        span records are concatenated, and shard order is what makes
+        the concatenation equal the sequential emission order.
         """
         self.registry.merge(registry)
         self.tracer.extend(events, diag_events)
+        if spans or diag_spans:
+            self.spans.absorb(spans, diag_spans)
 
     def summary_text(self) -> str:
         """Human-readable digest of the current state."""
@@ -75,11 +97,19 @@ class Telemetry:
             "diag": directory / DIAG_FILENAME,
             "snapshot": directory / SNAPSHOT_FILENAME,
             "prom": directory / PROM_FILENAME,
+            "spans": directory / SPANS_FILENAME,
+            "spans_diag": directory / SPANS_DIAG_FILENAME,
         }
         with open(paths["trace"], "w", encoding="utf-8") as stream:
             write_trace_jsonl(self.tracer.events, stream)
         with open(paths["diag"], "w", encoding="utf-8") as stream:
             write_trace_jsonl(self.tracer.diag_events, stream)
+        with open(paths["spans"], "w", encoding="utf-8") as stream:
+            write_spans_jsonl(self.spans.records, self.spans.trace_id, stream)
+        with open(paths["spans_diag"], "w", encoding="utf-8") as stream:
+            write_spans_jsonl(
+                self.spans.diag_records, self.spans.trace_id, stream
+            )
         paths["snapshot"].write_text(
             json.dumps(self.registry.snapshot(), indent=2, sort_keys=True)
             + "\n",

@@ -125,8 +125,12 @@ def _scan_shard(task: tuple[int, Sequence["DomainRecord"], str, int, int]):
             shard_telemetry.registry,
             shard_telemetry.tracer.events,
             shard_telemetry.tracer.diag_events,
+            # Span records are path-relative to the shard; the parent's
+            # absorb re-roots them under its open scan span.
+            shard_telemetry.spans.records,
+            shard_telemetry.spans.diag_records,
         )
-    return shard_index, results, None, (), ()
+    return shard_index, results, None, (), (), (), ()
 
 
 def _pool_for(
@@ -225,14 +229,26 @@ def scan_sharded(
         # the per-task pickling round trips that dominated small shards.
         chunksize = max(1, len(pending) // (workers * 4))
         try:
-            for shard_index, results, registry, events, diag_events in pool.map(
-                _scan_shard, pending, chunksize=chunksize
-            ):
+            for (
+                shard_index,
+                results,
+                registry,
+                events,
+                diag_events,
+                spans,
+                diag_spans,
+            ) in pool.map(_scan_shard, pending, chunksize=chunksize):
                 merged[shard_index] = results
                 if checkpoint is not None:
                     checkpoint.save_shard(shard_index, results)
                 if registry is not None:
-                    shard_telemetry[shard_index] = (registry, events, diag_events)
+                    shard_telemetry[shard_index] = (
+                        registry,
+                        events,
+                        diag_events,
+                        spans,
+                        diag_spans,
+                    )
         except Exception:
             # A broken pool must not poison later scans on this scanner.
             _drop_pool(scanner)
@@ -243,14 +259,23 @@ def scan_sharded(
         for shard_index, shard in enumerate(shard_telemetry):
             if shard is None:
                 continue
-            registry, events, diag_events = shard
-            telemetry.absorb_shard(registry, events, diag_events)
+            registry, events, diag_events, spans, diag_spans = shard
+            telemetry.absorb_shard(
+                registry, events, diag_events, spans, diag_spans
+            )
             telemetry.tracer.event(
                 "scan.shard",
                 diag=True,
                 shard=shard_index,
                 domains=len(tasks[shard_index][1]),
             )
+            # The shard's existence is a sharding artifact, so its span
+            # lives in the diag stream, never the deterministic one.
+            telemetry.spans.span(
+                f"shard:{shard_index}",
+                diag=True,
+                domains=len(tasks[shard_index][1]),
+            ).end()
     return [result for shard in merged for result in shard]  # type: ignore[union-attr]
 
 
@@ -286,6 +311,8 @@ def _run_shards_inline(
                     bundle.registry,
                     bundle.tracer.events,
                     bundle.tracer.diag_events,
+                    bundle.spans.records,
+                    bundle.spans.diag_records,
                 )
     finally:
         scanner.telemetry = telemetry

@@ -16,9 +16,11 @@ from __future__ import annotations
 import random
 import sys
 import time
+from contextlib import nullcontext
 from dataclasses import dataclass, field, replace
 
 from repro._util.rng import SeedPrefix, fork_rng
+from repro.obs.spans import trace_id_for
 from repro.core.classify import SpinBehaviour, classify_connection
 from repro.core.observer import SpinObservation, observe_recorder
 from repro.core.spin import SpinPolicy, resolve_connection_policy
@@ -267,12 +269,34 @@ class Scanner:
                 chunk=self.parallel.chunk_size or 256,
             )
         started = time.perf_counter()  # wallclock-ok: stderr diagnostics only
+        scan_span = None
+        profiler = self.telemetry.profiler if self.telemetry is not None else None
+        scan_phase = profiler.phase("scan") if profiler is not None else None
+        if scan_phase is not None:
+            scan_phase.__enter__()
         if self.telemetry is not None:
             # Deliberately no worker count here: scan.begin is part of
             # the deterministic trace, which must not depend on sharding.
             self.telemetry.tracer.event(
                 "scan.begin",
                 week=week_label,
+                ip_version=ip_version,
+                domains=len(targets),
+            )
+            spans = self.telemetry.spans
+            if spans.trace_id is None:
+                # Standalone scan: the scan itself is the trace root.
+                # Under the campaign daemon the trace id is already the
+                # campaign's and this scan nests beneath it.
+                spans.trace_id = trace_id_for(
+                    "scan",
+                    self.population.config.seed,
+                    week_label,
+                    ip_version,
+                    probe,
+                )
+            scan_span = spans.span(
+                f"scan:{week_label}",
                 ip_version=ip_version,
                 domains=len(targets),
             )
@@ -285,6 +309,12 @@ class Scanner:
             results = self.scan_sequential(
                 targets, week_label, ip_version, probe, checkpoint=store
             )
+        if scan_span is not None:
+            # The merge marker closes the scan stage of the pipeline in
+            # both execution paths (the sequential path "merges" one
+            # shard) so the deterministic span stream never depends on
+            # how the work was split.
+            self.telemetry.spans.span("merge", domains=len(results)).end()
         resilience = self.config.resilience
         if resilience is not None and resilience.breaker is not None:
             # A deterministic post-merge pass (never inside the scan
@@ -299,6 +329,13 @@ class Scanner:
                 lambda r: self.population.provider_of(r.domain).name,
                 telemetry=self.telemetry,
             )
+        if scan_span is not None:
+            scan_span.annotate(
+                quic=sum(1 for r in results if r.quic_support)
+            )
+            scan_span.end()
+        if scan_phase is not None:
+            scan_phase.__exit__(None, None, None)
         if verbose:
             elapsed = time.perf_counter() - started  # wallclock-ok: diagnostics
             rate = len(targets) / elapsed if elapsed > 0 else float("inf")
@@ -366,6 +403,44 @@ class Scanner:
     # ------------------------------------------------------------------
 
     def _scan_domain(
+        self,
+        domain: DomainRecord,
+        ip_version: int,
+        probe: int,
+        epoch: int,
+        seed_prefix: SeedPrefix,
+    ) -> DomainScanResult:
+        """One domain: a ``domain:<name>`` span around the fetch chain.
+
+        The span's clock is the domain's *simulated* time (the same
+        value the ``scan.domain`` trace event carries), so span logs
+        stay a pure function of the seed.
+        """
+        telemetry = self.telemetry
+        if telemetry is None:
+            return self._scan_domain_impl(
+                domain, ip_version, probe, epoch, seed_prefix
+            )
+        span = telemetry.spans.span(f"domain:{domain.name}")
+        profiler = telemetry.profiler
+        with (
+            profiler.phase("scan.domain")
+            if profiler is not None
+            else nullcontext()
+        ):
+            result = self._scan_domain_impl(
+                domain, ip_version, probe, epoch, seed_prefix
+            )
+        span.annotate(
+            resolved=result.resolved,
+            quic=result.quic_support,
+            spins=result.shows_spin_activity,
+            connections=len(result.connections),
+        )
+        span.end(self._domain_sim_ms)
+        return result
+
+    def _scan_domain_impl(
         self,
         domain: DomainRecord,
         ip_version: int,
@@ -523,33 +598,44 @@ class Scanner:
             resilience.domain_budget_ms if resilience is not None else None
         )
 
+        profiler = telemetry.profiler if telemetry is not None else None
         attempt = 0
         kind: FailureKind | None = None
         while True:
-            exchange = run_exchange(
-                host,
-                plan,
-                config.client_spin_policy,
-                server_policy,
-                uplink_profile=profile,
-                downlink_profile=profile,
-                rng=fork_rng(rng, "exchange"),
-                final_probe=config.final_probe,
-                server_config=ConnectionConfig(
-                    flush_dispatch_ms=config.server_flush_dispatch_ms,
-                    version=server_versions[0],
-                    supported_versions=server_versions,
-                    retry_required=retry_required,
-                    ack_delay_exponent=stack.ack_delay_exponent,
-                    max_ack_delay_ms=stack.max_ack_delay_ms,
-                    handshake_stall_ms=handshake_stall_ms,
-                    reset_after_packets=reset_after,
-                ),
-                metrics=registry,
-                timeout_ms=connect_timeout,
-                impairment=impairment,
-            )
-            sim_end_ms = exchange.client.simulator.now_ms
+            with (
+                profiler.phase("exchange")
+                if profiler is not None
+                else nullcontext()
+            ):
+                exchange = run_exchange(
+                    host,
+                    plan,
+                    config.client_spin_policy,
+                    server_policy,
+                    uplink_profile=profile,
+                    downlink_profile=profile,
+                    rng=fork_rng(rng, "exchange"),
+                    final_probe=config.final_probe,
+                    server_config=ConnectionConfig(
+                        flush_dispatch_ms=config.server_flush_dispatch_ms,
+                        version=server_versions[0],
+                        supported_versions=server_versions,
+                        retry_required=retry_required,
+                        ack_delay_exponent=stack.ack_delay_exponent,
+                        max_ack_delay_ms=stack.max_ack_delay_ms,
+                        handshake_stall_ms=handshake_stall_ms,
+                        reset_after_packets=reset_after,
+                    ),
+                    metrics=registry,
+                    timeout_ms=connect_timeout,
+                    impairment=impairment,
+                )
+                sim_end_ms = exchange.client.simulator.now_ms
+                if profiler is not None:
+                    # In simulated mode this charges the exchange's sim
+                    # duration to the open stack; in wall mode the phase
+                    # measured itself and the charge is a no-op.
+                    profiler.charge(sim_end_ms)
             self._domain_sim_ms += sim_end_ms
             if registry is not None:
                 registry.counter("scan.connections").inc()
@@ -584,9 +670,14 @@ class Scanner:
         if kind is not None and registry is not None:
             registry.counter("scan.failures", kind=kind.value).inc()
 
-        observation = observe_recorder(exchange.recorder)
-        stack_rtts = exchange.recorder.stack_rtts_ms()
-        behaviour = classify_connection(observation, stack_rtts)
+        with (
+            profiler.phase("classify")
+            if profiler is not None
+            else nullcontext()
+        ):
+            observation = observe_recorder(exchange.recorder)
+            stack_rtts = exchange.recorder.stack_rtts_ms()
+            behaviour = classify_connection(observation, stack_rtts)
         qlog_doc = None
         if config.qlog_sample_rate and rng.random() < config.qlog_sample_rate:
             exchange.recorder.metadata = {
@@ -594,7 +685,12 @@ class Scanner:
                 "ip": str(ip),
                 "provider": provider_name,
             }
-            qlog_doc = recorder_to_qlog(exchange.recorder, title=host)
+            with (
+                profiler.phase("qlog")
+                if profiler is not None
+                else nullcontext()
+            ):
+                qlog_doc = recorder_to_qlog(exchange.recorder, title=host)
         return ConnectionRecord(
             domain=domain.name,
             host=host,
