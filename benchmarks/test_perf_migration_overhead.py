@@ -1,0 +1,175 @@
+"""Flow-table throughput under migration churn: the resolver's price.
+
+PR 9 puts a :class:`~repro.core.flow_resolver.FlowKeyResolver` in front
+of the flow table's keying decision.  Every datagram now passes through
+``resolve()`` (two dict probes plus tuple bookkeeping) instead of one
+``destination_cid.hex`` lookup, so the on-path monitor pays the cost on
+*every* packet even though migrations are rare.  This benchmark feeds
+the identical pre-encoded mixed workload — stable flows, NAT rebinds,
+CID rotations, and interleaved TCP segments — through a plain table and
+a resolver-equipped table, and gates the resolver's ingestion overhead
+at <10 % (median of paired-round ratios, same machine-drift-cancelling
+scheme as the other overhead benchmarks).
+
+Writes ``BENCH_migration_overhead.json`` at the repo root;
+``scripts/bench.sh`` appends each run to ``BENCH_history.jsonl``.
+"""
+
+from __future__ import annotations
+
+import json
+import random
+import statistics
+import time
+from pathlib import Path
+
+from repro.core.flow_resolver import FlowKeyResolver
+from repro.core.flow_table import SpinFlowTable
+from repro.netsim.tcp import TcpSegment, encode_tcp_segment
+from repro.quic.connection_id import ConnectionId
+from repro.quic.datagram import QuicPacket, encode_datagram
+from repro.quic.frames import PingFrame
+from repro.quic.packet import ShortHeader
+
+#: Workload shape: enough flows/packets that per-run setup is noise.
+FLOWS = 400
+PACKETS_PER_FLOW = 60
+#: Fractions of flows that experience churn mid-stream.
+REBIND_FRACTION = 0.2
+ROTATION_FRACTION = 0.2
+TCP_EVERY = 23  # one TCP segment interleaved every N QUIC datagrams
+
+OVERHEAD_LIMIT = 0.10
+ROUNDS = 9
+
+_RESULT_PATH = (
+    Path(__file__).resolve().parent.parent / "BENCH_migration_overhead.json"
+)
+
+
+def _build_workload() -> list[tuple[float, bytes, tuple]]:
+    """Pre-encode the tap stream once; timing measures ingestion only."""
+    rng = random.Random(20230520)
+    server = ("198.18.0.1", 443)
+    taps: list[tuple[float, bytes, tuple]] = []
+    for flow in range(FLOWS):
+        cid = flow.to_bytes(8, "big")
+        rotated_cid = (flow | 1 << 32).to_bytes(8, "big")
+        tuple4 = (f"10.0.{flow >> 8}.{flow & 0xFF}", 40_000 + flow, *server)
+        rebound = (f"10.9.{flow >> 8}.{flow & 0xFF}", 50_000 + flow, *server)
+        # Mutually exclusive: a flow changing tuple AND CID at once is
+        # a path migration — unlinkable by design, which would (corr-
+        # ectly) open extra flows and muddy the flow-count assertions.
+        churn = rng.random()
+        does_rebind = churn < REBIND_FRACTION
+        does_rotate = REBIND_FRACTION <= churn < REBIND_FRACTION + ROTATION_FRACTION
+        for pn in range(PACKETS_PER_FLOW):
+            midpoint = pn >= PACKETS_PER_FLOW // 2
+            wire_cid = rotated_cid if does_rotate and midpoint else cid
+            wire_tuple = rebound if does_rebind and midpoint else tuple4
+            packet = QuicPacket(
+                header=ShortHeader(
+                    destination_cid=ConnectionId(wire_cid),
+                    packet_number=pn,
+                    spin_bit=bool(pn // 4 % 2),
+                ),
+                frames=(PingFrame(),),
+            )
+            time_ms = flow * 0.01 + pn * 12.0
+            taps.append((time_ms, encode_datagram([packet]), wire_tuple))
+            if len(taps) % TCP_EVERY == 0:
+                segment = encode_tcp_segment(
+                    TcpSegment(443, 30_000 + flow, pn + 1, pn, bool(pn % 2), 0x10, 64)
+                )
+                taps.append((time_ms, segment, wire_tuple))
+    taps.sort(key=lambda tap: tap[0])
+    return taps
+
+
+def _ingest(taps, with_resolver: bool) -> SpinFlowTable:
+    table = SpinFlowTable(
+        short_dcid_length=8,
+        max_flows=2 * FLOWS,
+        idle_timeout_ms=3_600_000.0,
+        retain_retired=False,
+        resolver=FlowKeyResolver() if with_resolver else None,
+    )
+    on_datagram = table.on_server_datagram
+    for time_ms, data, tuple4 in taps:
+        on_datagram(time_ms, data, tuple4)
+    return table
+
+
+def _paired_rounds(rounds: int, fn_a, fn_b) -> tuple[list[float], float, float]:
+    """Per-round ``b/a`` ratios plus each configuration's best time."""
+    ratios: list[float] = []
+    best_a = best_b = None
+    for _ in range(rounds):
+        start = time.perf_counter()
+        fn_a()
+        elapsed_a = time.perf_counter() - start
+        start = time.perf_counter()
+        fn_b()
+        elapsed_b = time.perf_counter() - start
+        ratios.append(elapsed_b / elapsed_a)
+        if best_a is None or elapsed_a < best_a:
+            best_a = elapsed_a
+        if best_b is None or elapsed_b < best_b:
+            best_b = elapsed_b
+    return ratios, best_a, best_b
+
+
+def test_migration_overhead():
+    taps = _build_workload()
+
+    # Correctness first: the resolver-equipped table must actually be
+    # doing the extra work the benchmark claims to price — linking
+    # migrations and classifying the interleaved TCP segments.
+    table = _ingest(taps, with_resolver=True)
+    resolver = table.resolver
+    assert resolver.flows_migrated > 0
+    assert resolver.rebinds_seen > 0
+    assert resolver.tcp_datagrams > 0
+    assert resolver.flows_split == 0
+    assert table.stats.flows_created == FLOWS
+    plain = _ingest(taps, with_resolver=False)
+    # Without the resolver every rotated CID opens a phantom flow and
+    # TCP segments land in parse_errors — the behaviour being bought.
+    assert plain.stats.flows_created > FLOWS
+    assert plain.parse_errors > 0
+
+    run_plain = lambda: _ingest(taps, with_resolver=False)
+    run_resolver = lambda: _ingest(taps, with_resolver=True)
+    ratios, plain_s, resolver_s = _paired_rounds(ROUNDS, run_plain, run_resolver)
+    overhead = statistics.median(ratios) - 1.0
+
+    payload = {
+        "benchmark": "migration_overhead",
+        "flows": FLOWS,
+        "datagrams": len(taps),
+        "rounds": ROUNDS,
+        "results": {
+            "best_plain_s": round(plain_s, 3),
+            "best_resolver_s": round(resolver_s, 3),
+            "datagrams_per_sec_plain": round(len(taps) / plain_s, 1),
+            "datagrams_per_sec_resolver": round(len(taps) / resolver_s, 1),
+            "round_ratios": [round(r, 4) for r in ratios],
+            "overhead_median": round(overhead, 4),
+        },
+    }
+    _RESULT_PATH.write_text(json.dumps(payload, indent=2) + "\n", encoding="utf-8")
+
+    print()
+    print(
+        f"migration-churn flow-table ingestion ({len(taps)} datagrams, "
+        f"{FLOWS} flows, {ROUNDS} rounds):"
+    )
+    print(
+        f"  plain best {plain_s:.3f} s  with resolver best {resolver_s:.3f} s  "
+        f"median overhead {overhead * 100:+.1f} %"
+    )
+
+    assert overhead < OVERHEAD_LIMIT, (
+        f"flow-key resolver overhead {overhead * 100:.1f} % (median of "
+        f"{ROUNDS} paired rounds) exceeds {OVERHEAD_LIMIT * 100:.0f} %"
+    )

@@ -1,7 +1,8 @@
 #!/usr/bin/env bash
 # Per-PR perf gate: run the tier-1 tests, then the perf benchmarks
-# (scan, monitor, and analyze throughput; telemetry, fault, and
-# profiler overhead; query pushdown and service query latency),
+# (scan, monitor, and analyze throughput; telemetry, fault, profiler,
+# and migration-resolver overhead; query pushdown and service query
+# latency),
 # and append each benchmark's result (stamped with commit and timestamp)
 # to BENCH_history.jsonl so every PR records its perf delta.  The cbr
 # round-trip identity gate runs first: no perf run is recorded from a
@@ -66,6 +67,9 @@ python -m pytest -q -s benchmarks/test_perf_fault_overhead.py
 echo "== profile-overhead benchmark =="
 python -m pytest -q -s benchmarks/test_perf_profile_overhead.py
 
+echo "== migration-overhead benchmark =="
+python -m pytest -q -s benchmarks/test_perf_migration_overhead.py
+
 echo "== query-pushdown benchmark =="
 python -m pytest -q -s benchmarks/test_perf_query_pushdown.py
 
@@ -94,6 +98,7 @@ for result_file in (
     "BENCH_telemetry_overhead.json",
     "BENCH_fault_overhead.json",
     "BENCH_profile_overhead.json",
+    "BENCH_migration_overhead.json",
     "BENCH_query_pushdown.json",
     "BENCH_service_query.json",
 ):

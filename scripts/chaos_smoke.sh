@@ -8,7 +8,11 @@
 #   4. a checkpointed campaign with a deleted shard resumes to the same
 #      merged dataset as an uninterrupted run,
 #   5. the monitor survives corrupt datagrams deterministically,
-#   6. a service campaign tick leaves the directory healthy: the
+#   6. injected connection migrations (NAT rebinds, CID rotations,
+#      path migrations) plus multiplexed TCP flows stay deterministic,
+#      keep linkable flows un-split under CID linkage, split without it,
+#      and classify non-QUIC traffic instead of erroring,
+#   7. a service campaign tick leaves the directory healthy: the
 #      'repro status --exit-code' SLO gate passes and the span log
 #      covers the whole pipeline.
 #
@@ -77,6 +81,41 @@ assert summary["type"] == "summary", summary
 assert summary["parse_errors"] > 0, "corrupt datagrams were not counted"
 print(f"monitor counted {summary['parse_errors']} parse errors, no crash")
 PY
+
+echo "== chaos smoke: connection migration + mixed transports =="
+MIGRATE="nat-rebind:0.35,cid-rotation:0.35,path-migration:0.1"
+python -m repro.cli monitor --flows 60 --seed 7 \
+    --migrate "$MIGRATE" --tcp-flows 8 --out "$WORK/mig1.jsonl" 2>/dev/null
+python -m repro.cli monitor --flows 60 --seed 7 \
+    --migrate "$MIGRATE" --tcp-flows 8 --out "$WORK/mig2.jsonl" 2>/dev/null
+cmp "$WORK/mig1.jsonl" "$WORK/mig2.jsonl"
+python -m repro.cli monitor --flows 60 --seed 7 --no-cid-linkage \
+    --migrate "$MIGRATE" --tcp-flows 8 --out "$WORK/mig-nolink.jsonl" 2>/dev/null
+python - "$WORK/mig1.jsonl" "$WORK/mig-nolink.jsonl" <<'PY'
+import json
+import sys
+
+def summary(path):
+    with open(path, encoding="utf-8") as stream:
+        return [json.loads(line) for line in stream][-1]
+
+linked = summary(sys.argv[1])["migration"]
+unlinked = summary(sys.argv[2])["migration"]
+assert linked["flows_split"] == 0, f"linkable migrations split: {linked}"
+assert linked["flows_migrated"] > 0, f"no migrations tracked: {linked}"
+assert linked["rebinds_seen"] > 0, f"no rebinds observed: {linked}"
+assert linked["transport_mix"]["tcp"] > 0, f"no TCP classified: {linked}"
+assert linked["transport_mix"]["unparseable"] == 0, linked
+assert unlinked["flows_split"] > 0, f"control arm did not split: {unlinked}"
+print(
+    f"migration OK: {linked['flows_migrated']} migrated / "
+    f"{linked['rebinds_seen']} rebinds / 0 split with linkage; "
+    f"{unlinked['flows_split']} split without"
+)
+PY
+python -m repro.cli analyze --section migration --flows 30 --tcp-flows 4 \
+    --seed 7 --migrate "$MIGRATE" 2>/dev/null >"$WORK/mig-study.txt"
+grep -q "CID linkage" "$WORK/mig-study.txt"
 
 echo "== chaos smoke: service tick + SLO health gate =="
 python -m repro.cli service run-once --dir "$WORK/svc" \

@@ -16,7 +16,8 @@ is supposed to classify) and must never sleep on the wall clock
 (``time.sleep`` — retry backoff is charged to *simulated* time).
 
 Performance rules ride along too (PR 5): under ``src/repro/analysis/``,
-``src/repro/service/``, and ``src/repro/obs/`` a
+``src/repro/service/``, ``src/repro/obs/``, ``src/repro/monitor/``, and
+``src/repro/netsim/`` a
 ``json.loads``/``json.dumps`` call inside a ``for`` loop is per-record
 JSON — exactly the cost profile the
 columnar artifact format and the week index exist to remove — and is
@@ -74,7 +75,7 @@ def find_violations(root: Path) -> list[tuple[Path, int, str]]:
                 if pattern.search(line) and pragma not in line:
                     violations.append((path, number, line.strip()))
                     break
-    for hot_layer in ("analysis", "service", "obs"):
+    for hot_layer in ("analysis", "service", "obs", "monitor", "netsim"):
         layer_root = root / "repro" / hot_layer
         if layer_root.is_dir():
             violations.extend(find_json_loop_violations(layer_root))

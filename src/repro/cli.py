@@ -156,14 +156,48 @@ def _build_parser() -> argparse.ArgumentParser:
     analyze = sub.add_parser(
         "analyze", help="analyze an exported dataset (jsonl or cbr)"
     )
-    analyze.add_argument("dataset", help="artifact path ('-' for stdin)")
+    analyze.add_argument(
+        "dataset",
+        nargs="?",
+        default=None,
+        help="artifact path ('-' for stdin); not needed for "
+        "--section migration, which simulates its own traffic",
+    )
     analyze.add_argument(
         "--section",
         choices=(
             "orgs", "webservers", "accuracy", "versions", "filters",
-            "failures", "all",
+            "failures", "migration", "all",
         ),
         default="all",
+    )
+    analyze.add_argument(
+        "--flows",
+        type=int,
+        default=120,
+        help="(migration section) QUIC flows to simulate",
+    )
+    analyze.add_argument(
+        "--tcp-flows",
+        type=int,
+        default=10,
+        help="(migration section) TCP flows multiplexed into the tap",
+    )
+    analyze.add_argument(
+        "--seed", type=int, default=20230520, help="(migration section)"
+    )
+    analyze.add_argument(
+        "--migrate",
+        default="nat-rebind:0.3,cid-rotation:0.3,path-migration:0.1",
+        metavar="PLAN",
+        help="(migration section) comma-separated kind:probability[:delay_ms] "
+        "migration plan",
+    )
+    analyze.add_argument(
+        "--json",
+        action="store_true",
+        help="(migration section) emit the study result as JSON instead of "
+        "the rendered table",
     )
     analyze.add_argument(
         "--where",
@@ -307,6 +341,27 @@ def _build_parser() -> argparse.ArgumentParser:
         metavar="SPEC",
         help="inject seeded faults into the tap stream; "
         "'corrupt-datagram:prob' truncates that fraction of datagrams",
+    )
+    monitor.add_argument(
+        "--migrate",
+        default=None,
+        metavar="PLAN",
+        help="inject seeded connection migrations mid-flow; comma-separated "
+        "kind:probability[:delay_ms] with kinds nat-rebind, cid-rotation, "
+        "path-migration (e.g. 'nat-rebind:0.3,path-migration:0.05')",
+    )
+    monitor.add_argument(
+        "--tcp-flows",
+        type=int,
+        default=0,
+        help="multiplex N simulated TCP flows into the tap (exercises "
+        "transport classification)",
+    )
+    monitor.add_argument(
+        "--no-cid-linkage",
+        action="store_true",
+        help="disable CID-to-flow linkage in the resolver (degraded control "
+        "arm: migrations split flows instead of being tracked)",
     )
 
     sub.add_parser("demo", help="one simulated connection, spin vs stack RTT")
@@ -705,6 +760,16 @@ def _cmd_analyze(args: argparse.Namespace) -> int:
     from repro.artifacts import open_query_source
 
     wanted = args.section
+    if wanted == "migration":
+        # Simulation study, not a dataset read: compares per-flow RTT
+        # accuracy with and without CID linkage under migration chaos.
+        return _cmd_analyze_migration(args)
+
+    if args.dataset is None:
+        raise SystemExit(
+            "repro: error: analyze requires a dataset argument "
+            "(only --section migration runs without one)"
+        )
     predicate, stats = _parse_where_arg(args.where)
     telemetry = _make_telemetry(args.telemetry_out)
     engine = AnalysisEngine(build_record_folds(wanted))
@@ -735,6 +800,40 @@ def _cmd_analyze(args: argparse.Namespace) -> int:
     _save_telemetry(telemetry, args.telemetry_out)
 
     print(render_analysis_sections(results, wanted))
+    return 0
+
+
+def _cmd_analyze_migration(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.analysis.migration import (
+        render_migration_section,
+        run_linkage_study,
+    )
+    from repro.monitor import TrafficConfig
+    from repro.netsim import parse_migration_plan
+
+    try:
+        plan = parse_migration_plan(args.migrate) if args.migrate else None
+        traffic = TrafficConfig(
+            flows=args.flows,
+            seed=args.seed,
+            migration=plan,
+            tcp_flows=args.tcp_flows,
+        )
+    except ValueError as error:
+        raise SystemExit(f"repro: error: {error}")
+    print(
+        f"simulating {traffic.flows} QUIC + {traffic.tcp_flows} TCP flows "
+        f"under plan '{args.migrate or '(none)'}' (seed {traffic.seed}) "
+        "through linked and unlinked observers ...",
+        file=sys.stderr,
+    )
+    result = run_linkage_study(traffic)
+    if args.json:
+        print(json.dumps(result, sort_keys=True))
+    else:
+        print(render_migration_section(result))
     return 0
 
 
@@ -863,10 +962,17 @@ def _cmd_monitor(args: argparse.Namespace) -> int:
     )
 
     try:
+        migration = None
+        if args.migrate:
+            from repro.netsim import parse_migration_plan
+
+            migration = parse_migration_plan(args.migrate)
         traffic = TrafficConfig(
             flows=args.flows,
             seed=args.seed,
             arrival_window_ms=args.arrival_window_ms,
+            migration=migration,
+            tcp_flows=args.tcp_flows,
         )
         monitor = MonitorConfig(
             max_flows=args.max_flows,
@@ -875,6 +981,8 @@ def _cmd_monitor(args: argparse.Namespace) -> int:
             window=WindowConfig(
                 window_ms=args.window_ms, slide_windows=args.slide
             ),
+            track_migration=traffic.migration_active or args.tcp_flows > 0,
+            cid_linkage=not args.no_cid_linkage,
         )
     except ValueError as error:
         raise SystemExit(f"repro: error: {error}")

@@ -35,6 +35,7 @@ from repro.core.spin import (
     SpinPolicy,
     resolve_connection_policy,
 )
+from repro.core.flow_resolver import FlowKeyResolver, tuple_flow_key
 from repro.core.flow_table import FlowRecord, FlowTableStats, SpinFlowTable
 from repro.core.tomography import ComponentSample, SpinTomographyObserver
 from repro.core.vec import VecObserver, VecSenderState
@@ -58,6 +59,7 @@ __all__ = [
     "StreamingSpinObserver",
     "Direction",
     "ComponentSample",
+    "FlowKeyResolver",
     "FlowRecord",
     "FlowTableStats",
     "SpinFlowTable",
@@ -75,4 +77,5 @@ __all__ = [
     "observe_recorder",
     "resolve_connection_policy",
     "spin_rtts_from_edges",
+    "tuple_flow_key",
 ]

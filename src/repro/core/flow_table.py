@@ -22,6 +22,15 @@ last-seen order, so capacity eviction pops the front in O(1) and the
 idle sweep only touches actually-stale entries.  Idle sweeps are
 amortized: at most one per ``idle_timeout_ms / 4`` of *stream* time, so
 per-datagram cost stays O(1) even with millions of flows resident.
+
+Connection migration: with a
+:class:`~repro.core.flow_resolver.FlowKeyResolver` attached (and the
+tap supplying 4-tuples), flow keys survive NAT rebinds and CID
+rotations, and non-QUIC datagrams are classified instead of counted as
+parse errors.  Without one, behaviour — and every emitted byte — is
+exactly the legacy DCID-keyed table, except that zero-length-CID flows
+with a known 4-tuple are keyed by that tuple rather than all colliding
+on the single ``"(empty)"`` key.
 """
 
 from __future__ import annotations
@@ -30,6 +39,7 @@ from collections import OrderedDict
 from dataclasses import dataclass, field
 from typing import Callable
 
+from repro.core.flow_resolver import FlowKeyResolver, tuple_flow_key
 from repro.core.observer import SpinObservation, SpinObserver
 from repro.quic.datagram import decode_datagram
 from repro.quic.packet import HeaderParseError, LongHeader, ShortHeader
@@ -127,6 +137,7 @@ class SpinFlowTable:
         "observer_factory",
         "on_retire",
         "on_packet",
+        "resolver",
         "flows",
         "evicted",
         "stats",
@@ -154,6 +165,7 @@ class SpinFlowTable:
         observer_factory: Callable[[str], SpinObserver] | None = None,
         on_retire: Callable[[FlowRecord, str], None] | None = None,
         on_packet: Callable[[FlowRecord, float], None] | None = None,
+        resolver: FlowKeyResolver | None = None,
         metrics=None,
     ):
         if max_flows < 1:
@@ -173,6 +185,9 @@ class SpinFlowTable:
         self.observer_factory = observer_factory
         self.on_retire = on_retire
         self.on_packet = on_packet
+        #: Optional migration-aware key resolution + transport
+        #: classification (repro.core.flow_resolver).
+        self.resolver = resolver
         #: Resident flows in last-seen order (front = least recent).
         self.flows: OrderedDict[str, FlowRecord] = OrderedDict()
         self.evicted: list[FlowRecord] = []
@@ -219,9 +234,17 @@ class SpinFlowTable:
         """Number of flows currently resident."""
         return len(self.flows)
 
-    def on_server_datagram(self, time_ms: float, data: bytes) -> None:
-        """Process one server-to-client datagram from the tap."""
+    def on_server_datagram(
+        self, time_ms: float, data: bytes, tuple4: tuple | None = None
+    ) -> None:
+        """Process one server-to-client datagram from the tap.
+
+        ``tuple4`` is the datagram's 4-tuple when the tap knows it
+        (source ip/port, destination ip/port); it keys zero-length-CID
+        flows and feeds the resolver's migration linkage.
+        """
         stats = self.stats
+        resolver = self.resolver
         stats.datagrams += 1
         if self._m_datagrams is not None:
             self._m_datagrams.inc()
@@ -232,10 +255,15 @@ class SpinFlowTable:
         except (HeaderParseError, ValueError, IndexError):
             # IndexError covers datagrams truncated mid-header (fault
             # injection, capture loss); a monitor must count, not crash.
+            if resolver is not None:
+                if resolver.classify_non_quic(data, tuple4) == "tcp":
+                    return  # classified, not an error
             stats.parse_errors += 1
             if self._m_parse_errors is not None:
                 self._m_parse_errors.inc()
             return
+        if resolver is not None:
+            resolver.note_quic_datagram()
         for packet in packets:
             stats.packets += 1
             if self._m_packets is not None:
@@ -245,7 +273,12 @@ class SpinFlowTable:
                 continue
             if not isinstance(header, ShortHeader):
                 continue  # version negotiation packets carry no flow data
-            key = header.destination_cid.hex or "(empty)"
+            if resolver is not None:
+                key = resolver.resolve(header.destination_cid.hex, tuple4)
+            elif not header.destination_cid.value and tuple4 is not None:
+                key = tuple_flow_key(tuple4)
+            else:
+                key = header.destination_cid.hex or "(empty)"
             flow = self._flow(key, time_ms)
             if flow is None:
                 stats.overflow_drops += 1
@@ -334,6 +367,8 @@ class SpinFlowTable:
             self._m_active.set(len(flows))
 
     def _retire(self, flow: FlowRecord, reason: str) -> None:
+        if self.resolver is not None:
+            self.resolver.on_flow_retired(flow.flow_key)
         if self.retain_retired:
             self.evicted.append(flow)
         if self.on_retire is not None:

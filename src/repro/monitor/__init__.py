@@ -11,7 +11,9 @@ concurrent users and continuously publishes windowed RTT statistics.
   starts) on one shared simulator, emitted as a single time-ordered
   tap stream;
 * :mod:`repro.monitor.pipeline` — the bounded-memory streaming
-  pipeline around :class:`~repro.core.flow_table.SpinFlowTable`;
+  pipeline around :class:`~repro.core.flow_table.SpinFlowTable`,
+  optionally migration-aware via
+  :class:`~repro.core.flow_resolver.FlowKeyResolver`;
 * :mod:`repro.monitor.aggregate` — tumbling/sliding windows with
   fixed-bin log-histogram RTT percentiles;
 * :mod:`repro.monitor.snapshots` — JSONL metric snapshots and the
@@ -29,6 +31,7 @@ from repro.monitor.snapshots import SCHEMA_VERSION, SnapshotWriter, run_monitor
 from repro.monitor.traffic import (
     DEFAULT_PATH_CLASSES,
     DEFAULT_STACK_MIX,
+    SERVER_ADDR,
     FlowSpec,
     PathClass,
     TapDatagram,
@@ -46,6 +49,7 @@ __all__ = [
     "MonitorSummary",
     "PathClass",
     "SCHEMA_VERSION",
+    "SERVER_ADDR",
     "SnapshotWriter",
     "TapDatagram",
     "TrafficConfig",

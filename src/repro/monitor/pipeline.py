@@ -16,6 +16,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Callable, Iterable
 
+from repro.core.flow_resolver import FlowKeyResolver
 from repro.core.flow_table import FlowRecord, SpinFlowTable
 from repro.core.observer import StreamingSpinObserver
 from repro.monitor.aggregate import WindowAggregator, WindowConfig, WindowSnapshot
@@ -33,6 +34,15 @@ class MonitorConfig:
     idle_timeout_ms: float = 30_000.0
     overflow_policy: str = "evict-lru"
     window: WindowConfig = field(default_factory=WindowConfig)
+    #: Attach a :class:`~repro.core.flow_resolver.FlowKeyResolver`:
+    #: flow keys survive NAT rebinds / CID rotations and non-QUIC
+    #: datagrams are classified.  Off by default — the resolver-less
+    #: pipeline emits byte-identical snapshots to pre-migration builds.
+    track_migration: bool = False
+    #: With tracking on, whether unknown CIDs may be linked to live
+    #: flows via 4-tuple continuity; ``False`` is the degraded control
+    #: arm (``analyze --section migration`` compares the two).
+    cid_linkage: bool = True
 
 
 @dataclass
@@ -53,8 +63,16 @@ class MonitorSummary:
     peak_flows: int
     spin_flows: int
     samples: dict
+    #: Migration/classification counters; present only when the run
+    #: tracked migration (keeps legacy summaries byte-identical).
+    migration: dict | None = None
 
     def as_dict(self) -> dict:
+        if self.migration is not None:
+            return {**self._base_dict(), "migration": self.migration}
+        return self._base_dict()
+
+    def _base_dict(self) -> dict:
         return {
             "duration_ms": round(self.duration_ms, 3),
             "windows": self.windows,
@@ -99,6 +117,11 @@ class MonitorPipeline:
         #: ``monitor.rtt_ms`` series — zero per-sample hot-path cost.
         self.telemetry = telemetry
         self.aggregator = WindowAggregator(self.config.window)
+        self.resolver = (
+            FlowKeyResolver(cid_linkage=self.config.cid_linkage)
+            if self.config.track_migration
+            else None
+        )
         self.table = SpinFlowTable(
             short_dcid_length=self.config.short_dcid_length,
             max_flows=self.config.max_flows,
@@ -108,6 +131,7 @@ class MonitorPipeline:
             observer_factory=self._make_observer,
             on_retire=self._on_retire,
             on_packet=self._on_packet,
+            resolver=self.resolver,
             metrics=telemetry.registry if telemetry is not None else None,
         )
         self._last_time_ms = 0.0
@@ -115,7 +139,7 @@ class MonitorPipeline:
 
     # -- ingestion ------------------------------------------------------
 
-    def process(self, time_ms: float, data: bytes) -> None:
+    def process(self, time_ms: float, data: bytes, tuple4: tuple | None = None) -> None:
         """Ingest one tapped server-to-client datagram."""
         aggregator = self.aggregator
         for snapshot in aggregator.roll(time_ms, self._table_health()):
@@ -130,7 +154,7 @@ class MonitorPipeline:
         evicted_before = stats.flows_evicted
         expired_before = stats.flows_expired
         drops_before = stats.overflow_drops
-        table.on_server_datagram(time_ms, data)
+        table.on_server_datagram(time_ms, data, tuple4)
         window.datagrams += 1
         window.packets += stats.packets - packets_before
         window.parse_errors += stats.parse_errors - errors_before
@@ -143,7 +167,7 @@ class MonitorPipeline:
         """Consume an entire tap stream and return the final summary."""
         process = self.process
         for tap in stream:
-            process(tap.time_ms, tap.data)
+            process(tap.time_ms, tap.data, getattr(tap, "tuple4", None))
         return self.finish()
 
     def finish(self) -> MonitorSummary:
@@ -171,6 +195,9 @@ class MonitorPipeline:
             peak_flows=stats.peak_flows,
             spin_flows=spin_flows,
             samples=self.aggregator.lifetime.summary(),
+            migration=(
+                self.resolver.counters() if self.resolver is not None else None
+            ),
         )
         if self.telemetry is not None:
             registry = self.telemetry.registry
@@ -191,6 +218,21 @@ class MonitorPipeline:
                 metric.hist = self.config.window.make_histogram()
             metric.hist.merge(lifetime)
             registry.counter("monitor.spin_flows").inc(spin_flows)
+            if self.resolver is not None:
+                resolver = self.resolver
+                registry.counter("monitor.flows_migrated").inc(
+                    resolver.flows_migrated
+                )
+                registry.counter("monitor.flows_split").inc(resolver.flows_split)
+                registry.counter("monitor.rebinds_seen").inc(resolver.rebinds_seen)
+                for transport, count in (
+                    ("quic", resolver.quic_datagrams),
+                    ("tcp", resolver.tcp_datagrams),
+                    ("unparseable", resolver.unparseable_datagrams),
+                ):
+                    registry.counter(
+                        "monitor.transport_datagrams", transport=transport
+                    ).inc(count)
             self.telemetry.tracer.event(
                 "monitor.summary",
                 time_ms=summary.duration_ms,
@@ -203,12 +245,16 @@ class MonitorPipeline:
             # One span for the whole monitor run, stamped with stream
             # time — the monitor's deterministic clock — so span logs
             # cover the on-path pipeline alongside the scan plane.
-            monitor_span = self.telemetry.spans.span(
-                "monitor",
-                windows=summary.windows,
-                datagrams=summary.datagrams,
-                spin_flows=spin_flows,
-            )
+            span_attrs = {
+                "windows": summary.windows,
+                "datagrams": summary.datagrams,
+                "spin_flows": spin_flows,
+            }
+            if self.resolver is not None:
+                span_attrs["flows_migrated"] = self.resolver.flows_migrated
+                span_attrs["flows_split"] = self.resolver.flows_split
+                span_attrs["rebinds_seen"] = self.resolver.rebinds_seen
+            monitor_span = self.telemetry.spans.span("monitor", **span_attrs)
             monitor_span.end(summary.duration_ms)
         return summary
 
@@ -241,7 +287,7 @@ class MonitorPipeline:
     def _table_health(self) -> dict:
         """Gauges + cumulative counters at this instant."""
         stats = self.table.stats
-        return {
+        health = {
             "active_flows": len(self.table.flows),
             "peak_flows": stats.peak_flows,
             "flows_created": stats.flows_created,
@@ -251,3 +297,8 @@ class MonitorPipeline:
             "parse_errors": stats.parse_errors,
             "idle_sweeps": stats.idle_sweeps,
         }
+        if self.resolver is not None:
+            # Only-when-present: resolver-less window snapshots stay
+            # byte-identical to pre-migration builds.
+            health["migration"] = self.resolver.counters()
+        return health

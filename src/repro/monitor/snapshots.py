@@ -15,6 +15,11 @@ Schema (one JSON object per line, ``sort_keys`` for stable diffs):
   for the whole run (see
   :class:`repro.monitor.pipeline.MonitorSummary`).
 
+Migration-tracking runs add a ``migration`` block (resolver counters
+plus the generator's injected ground truth) to the summary and to each
+window's ``table`` health dict; resolver-less runs emit byte-identical
+output to pre-migration builds.
+
 Everything is keyed to *simulated stream time*; no wall-clock values
 appear, so two runs with the same seed produce byte-identical files —
 the property ``repro monitor``'s determinism guarantee rests on.
@@ -22,6 +27,7 @@ the property ``repro monitor``'s determinism guarantee rests on.
 
 from __future__ import annotations
 
+import dataclasses
 import json
 import sys
 from typing import IO
@@ -79,6 +85,14 @@ def run_monitor(
     an on-path monitor needs.
     """
     writer = SnapshotWriter(out) if out is not None else None
+    mixed_transport = traffic.migration_active or traffic.tcp_flows > 0
+    if mixed_transport and monitor is not None and not monitor.track_migration:
+        # Injected chaos without a resolver would silently shatter
+        # flows; tracking is an output-side addition (extra counters),
+        # so auto-enabling cannot perturb the non-chaos byte streams.
+        monitor = dataclasses.replace(monitor, track_migration=True)
+    elif mixed_transport and monitor is None:
+        monitor = MonitorConfig(track_migration=True)
     pipeline = MonitorPipeline(
         monitor,
         on_snapshot=writer.write_window if writer else None,
@@ -101,6 +115,10 @@ def run_monitor(
                 derive_rng(traffic.seed, "monitor", "faults"),
             )
     summary = pipeline.process_stream(stream)
+    if summary.migration is not None and mixed_transport:
+        # Ground truth from the generator side, so snapshot consumers
+        # can compare observed counters against what was injected.
+        summary.migration["injected"] = mux.injected_summary()
     if writer is not None:
         writer.write_summary(summary)
     if verbose:
@@ -115,4 +133,15 @@ def run_monitor(
             + f", {summary.windows} windows, peak {summary.peak_flows} flows",
             file=sys.stderr,
         )
+        if summary.migration is not None:
+            migration = summary.migration
+            mix = migration.get("transport_mix", {})
+            print(
+                f"migration: {migration.get('flows_migrated', 0)} migrated, "
+                f"{migration.get('rebinds_seen', 0)} rebinds, "
+                f"{migration.get('flows_split', 0)} split; transport mix "
+                f"quic={mix.get('quic', 0)} tcp={mix.get('tcp', 0)} "
+                f"unparseable={mix.get('unparseable', 0)}",
+                file=sys.stderr,
+            )
     return summary

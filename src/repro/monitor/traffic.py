@@ -27,7 +27,9 @@ from repro._util.stats import weighted_choice
 from repro.core.spin import SpinPolicy, resolve_connection_policy
 from repro.netsim.delays import LogNormalDelay, UniformDelay
 from repro.netsim.events import Simulator
+from repro.netsim.migration import DrawnMigration, MigrationPlan, draw_client_addr
 from repro.netsim.path import PathProfile
+from repro.netsim.tcp import draw_tcp_flow_spec, schedule_tcp_flow
 from repro.quic.connection import ConnectionConfig
 from repro.web.http3 import ResponsePlan, build_exchange
 from repro.web.server_profiles import stack_by_name
@@ -42,13 +44,26 @@ __all__ = [
     "TrafficMux",
 ]
 
+#: The monitored origin as the tap addresses it; client addresses are
+#: drawn per flow, so the 4-tuple's entropy lives entirely client-side.
+SERVER_ADDR = ("198.18.0.1", 443)
+
 
 class TapDatagram(NamedTuple):
-    """One server-to-client datagram as seen by the mid-path tap."""
+    """One server-to-client datagram as seen by the mid-path tap.
+
+    ``tuple4`` is the datagram's addressing as the tap observed it —
+    ``(client_ip, client_port, server_ip, server_port)`` — and changes
+    mid-flow under NAT rebinds and path migrations.  ``transport`` is
+    the *ground truth* of what was sent (the monitor must classify from
+    the bytes, never from this field).
+    """
 
     time_ms: float
     flow_index: int
     data: bytes
+    tuple4: tuple | None = None
+    transport: str = "quic"
 
 
 @dataclass(frozen=True)
@@ -114,6 +129,13 @@ class TrafficConfig:
     drain_window_ms: float = 250.0
     #: Event-cascade runaway guard; ``None`` scales with ``flows``.
     max_events: int | None = None
+    #: Connection-migration chaos (repro.netsim.migration); ``None`` or
+    #: an all-zero plan leaves every flow's event cascade — and so the
+    #: tap stream's payload bytes — untouched.
+    migration: MigrationPlan | None = None
+    #: TCP-with-spin-signal flows multiplexed into the tap stream
+    #: (repro.netsim.tcp); their indices follow the QUIC flows'.
+    tcp_flows: int = 0
 
     def __post_init__(self) -> None:
         if self.flows < 1:
@@ -122,6 +144,12 @@ class TrafficConfig:
             raise ValueError("arrival_window_ms must be non-negative")
         if self.drain_window_ms <= 0:
             raise ValueError("drain_window_ms must be positive")
+        if self.tcp_flows < 0:
+            raise ValueError("tcp_flows must be non-negative")
+
+    @property
+    def migration_active(self) -> bool:
+        return self.migration is not None and not self.migration.is_empty
 
     @property
     def event_budget(self) -> int:
@@ -180,6 +208,27 @@ def _spec_for(config: TrafficConfig, prefix: SeedPrefix, index: int) -> FlowSpec
     )
 
 
+class _FlowWire:
+    """Mutable per-flow wire context the tap reads at append time.
+
+    The tap lambda captures this holder, not a tuple value, so a
+    scheduled NAT rebind swaps ``tuple4`` mid-flow and every later
+    datagram is stamped with the new path — exactly what a mid-path tap
+    would observe.
+    """
+
+    __slots__ = ("tuple4",)
+
+    def __init__(self, tuple4: tuple):
+        self.tuple4 = tuple4
+
+
+#: Retry cadence/cap for a CID switch racing the NEW_CONNECTION_ID
+#: flight (the alternates may still be in the air at the drawn time).
+_MIGRATE_RETRY_MS = 50.0
+_MIGRATE_RETRY_MAX = 40
+
+
 class TrafficMux:
     """N concurrent flows, one time-ordered interleaved tap stream.
 
@@ -191,6 +240,13 @@ class TrafficMux:
     windows — so the generator yields a strictly time-ordered stream
     while only ever buffering one window's worth of datagrams and the
     state of currently-active connections.
+
+    Migration chaos and TCP flows ride the same determinism scheme from
+    their own derived streams — ``(seed, "monitor", "tuple", index)``
+    for client addresses, ``(seed, "monitor", "migration", index)`` for
+    migration draws, ``(seed, "monitor", "tcp", index)`` for TCP flow
+    shapes — so enabling them never perturbs the QUIC flow draws, and a
+    disabled plan leaves the stream byte-identical.
     """
 
     def __init__(self, config: TrafficConfig | None = None, metrics=None):
@@ -203,13 +259,46 @@ class TrafficMux:
             _spec_for(self.config, prefix, index)
             for index in range(self.config.flows)
         ]
+        #: Ground truth: flow index -> drawn migration (linkable or not).
+        self.migrations: dict[int, DrawnMigration] = {}
+        if self.config.migration_active:
+            for spec in self.specs:
+                rng = derive_rng(self.config.seed, "monitor", "migration", spec.index)
+                drawn = self.config.migration.draw(rng, spec.start_ms)
+                if drawn is not None:
+                    self.migrations[spec.index] = drawn
+        #: Migrations actually applied during the last :meth:`stream` /
+        #: :meth:`replay_single` run (a drawn migration is a no-op when
+        #: the flow finishes first).
+        self.migration_log: list[dict] = []
+
+    def client_tuple(self, index: int) -> tuple:
+        """Flow ``index``'s initial 4-tuple (client side drawn per flow)."""
+        rng = derive_rng(self.config.seed, "monitor", "tuple", index)
+        ip, port = draw_client_addr(rng)
+        return (ip, port, *SERVER_ADDR)
+
+    def injected_summary(self) -> dict:
+        """Ground-truth migration/TCP injection counts (for snapshots)."""
+        kinds: dict[str, int] = {}
+        for drawn in self.migrations.values():
+            kinds[drawn.kind.value] = kinds.get(drawn.kind.value, 0) + 1
+        return {
+            "flows_drawn": len(self.migrations),
+            "by_kind": dict(sorted(kinds.items())),
+            "applied": len(self.migration_log),
+            "tcp_flows": self.config.tcp_flows,
+        }
 
     def stream(self) -> Iterator[TapDatagram]:
         """Yield the interleaved server-to-client stream in time order."""
         simulator = Simulator(metrics=self.metrics)
         buffer: list[TapDatagram] = []
+        self.migration_log = []
         for spec in self.specs:
             self._launch(simulator, spec, buffer, metrics=self.metrics)
+        for tcp_index in range(self.config.tcp_flows):
+            self._launch_tcp(simulator, tcp_index, buffer)
         budget = self.config.event_budget
         window = self.config.drain_window_ms
         while simulator.pending_events:
@@ -225,10 +314,12 @@ class TrafficMux:
         Returns exactly the flow's datagrams from the interleaved
         stream (same payloads, same tap times): flow randomness is
         per-flow derived and flows share no simulator state beyond the
-        event queue, so isolation does not perturb the flow.
+        event queue, so isolation does not perturb the flow — including
+        its migration draw, which is re-derived from the same stream.
         """
         simulator = Simulator()
         buffer: list[TapDatagram] = []
+        self.migration_log = []
         self._launch(simulator, self.specs[index], buffer)
         simulator.run(max_events=self.config.event_budget)
         return buffer
@@ -250,6 +341,12 @@ class TrafficMux:
             reorder_extra_delay=LogNormalDelay(median_ms=5.0, sigma=1.2),
         )
         stack = stack_by_name(spec.stack_name)
+        migration = self.migrations.get(spec.index)
+        client_config = None
+        if migration is not None and migration.kind.changes_cid:
+            # The client must issue alternates or a downlink CID switch
+            # has nothing to switch to (RFC 9000 5.1.1).
+            client_config = ConnectionConfig(issue_alternate_cids=2)
         handle = build_exchange(
             simulator,
             spec.host,
@@ -259,6 +356,7 @@ class TrafficMux:
             profile,
             profile,
             derive_rng(spec.exchange_seed, "exchange"),
+            client_config=client_config,
             server_config=ConnectionConfig(
                 flush_dispatch_ms=self.config.server_flush_dispatch_ms,
                 version=stack.supported_versions[0],
@@ -270,9 +368,76 @@ class TrafficMux:
             start_ms=spec.start_ms,
             metrics=metrics,
         )
+        wire = _FlowWire(self.client_tuple(spec.index))
         handle.downlink.install_tap(
-            lambda time_ms, data, index=spec.index: buffer.append(
-                TapDatagram(time_ms, index, data)
+            lambda time_ms, data, index=spec.index, wire=wire: buffer.append(
+                TapDatagram(time_ms, index, data, wire.tuple4)
             ),
             position=0.5,
+        )
+        if migration is not None:
+            self._schedule_migration(simulator, spec.index, migration, handle, wire)
+
+    def _schedule_migration(
+        self, simulator, index: int, migration: DrawnMigration, handle, wire: _FlowWire
+    ) -> None:
+        kind = migration.kind
+        new_tuple = (
+            (*migration.new_client_addr, *SERVER_ADDR)
+            if migration.new_client_addr is not None
+            else None
+        )
+
+        def log(at_ms: float) -> None:
+            self.migration_log.append(
+                {"flow_index": index, "kind": kind.value, "time_ms": at_ms}
+            )
+
+        if not kind.changes_cid:
+            # NAT rebind: pure wire-level path change, endpoints unaware.
+            def rebind() -> None:
+                if handle.server.closed:
+                    return
+                wire.tuple4 = new_tuple
+                log(simulator.now_ms)
+
+            simulator.schedule_at(migration.at_ms, rebind)
+            return
+
+        # CID rotation / path migration: the server re-addresses its
+        # short headers to a client-issued alternate.  The alternates may
+        # still be in flight at the drawn time, so retry on a fixed
+        # deterministic cadence.  For a path migration the tuple swaps in
+        # the same instant the CID does — the unlinkability RFC 9000 9.5
+        # demands — never before.
+        def attempt(retries: int = 0) -> None:
+            if handle.server.closed:
+                return
+            switched = handle.server.migrate_to_alternate_cid()
+            if switched is not None:
+                if new_tuple is not None:
+                    wire.tuple4 = new_tuple
+                log(simulator.now_ms)
+            elif retries < _MIGRATE_RETRY_MAX:
+                simulator.schedule(
+                    _MIGRATE_RETRY_MS, lambda: attempt(retries + 1)
+                )
+
+        simulator.schedule_at(migration.at_ms, attempt)
+
+    def _launch_tcp(
+        self, simulator: Simulator, tcp_index: int, buffer: list[TapDatagram]
+    ) -> None:
+        flow_index = self.config.flows + tcp_index
+        rng = derive_rng(self.config.seed, "monitor", "tcp", tcp_index)
+        spec = draw_tcp_flow_spec(rng, flow_index, self.config.arrival_window_ms)
+        client_ip, client_port = draw_client_addr(rng)
+        tuple4 = (client_ip, client_port, *SERVER_ADDR)
+        schedule_tcp_flow(
+            simulator,
+            spec,
+            client_port,
+            lambda time_ms, data: buffer.append(
+                TapDatagram(time_ms, flow_index, data, tuple4, "tcp")
+            ),
         )

@@ -16,13 +16,32 @@ from repro.netsim.delays import (
     UniformDelay,
 )
 from repro.netsim.events import Simulator
+from repro.netsim.migration import (
+    DrawnMigration,
+    MigrationKind,
+    MigrationPlan,
+    MigrationSpec,
+    parse_migration_plan,
+)
 from repro.netsim.path import Path, PathProfile, PathStats, duplex_paths
+from repro.netsim.tcp import (
+    TcpFlowSpec,
+    TcpSegment,
+    decode_tcp_segment,
+    draw_tcp_flow_spec,
+    encode_tcp_segment,
+    schedule_tcp_flow,
+)
 
 __all__ = [
     "ConstantDelay",
     "DelayModel",
+    "DrawnMigration",
     "ExponentialDelay",
     "LogNormalDelay",
+    "MigrationKind",
+    "MigrationPlan",
+    "MigrationSpec",
     "Path",
     "PathProfile",
     "PathStats",
@@ -30,6 +49,13 @@ __all__ = [
     "ShiftedDelay",
     "SimClock",
     "Simulator",
+    "TcpFlowSpec",
+    "TcpSegment",
     "UniformDelay",
+    "decode_tcp_segment",
+    "draw_tcp_flow_spec",
     "duplex_paths",
+    "encode_tcp_segment",
+    "parse_migration_plan",
+    "schedule_tcp_flow",
 ]

@@ -141,6 +141,13 @@ class ConnectionConfig:
     #: nonzero transport error after sending N 1-RTT packets — the
     #: mid-exchange reset failure mode.  ``None`` disables.
     reset_after_packets: int | None = None
+    #: Issue N alternate connection IDs to the peer (one
+    #: NEW_CONNECTION_ID frame each, in a single 1-RTT packet) once the
+    #: handshake is confirmed.  Client-side this is what makes a
+    #: *downlink* CID switch observable: the server can only re-address
+    #: its short headers to a client-issued alternate.  0 disables (the
+    #: default, preserving pre-migration byte streams).
+    issue_alternate_cids: int = 0
 
 
 @dataclass
@@ -447,7 +454,14 @@ class QuicEndpoint:
         elif isinstance(frame, NewConnectionIdFrame):
             self._peer_issued_cids.append(ConnectionId(frame.connection_id))
         elif isinstance(frame, HandshakeDoneFrame):
+            first_confirm = not self.handshake_confirmed
             self.handshake_confirmed = True
+            if (
+                first_confirm
+                and self.role is EndpointRole.CLIENT
+                and self.config.issue_alternate_cids > 0
+            ):
+                self._issue_alternate_cids()
         elif isinstance(frame, ConnectionCloseFrame):
             self.closed = True
             self.peer_close_error_code = frame.error_code
@@ -760,6 +774,52 @@ class QuicEndpoint:
             ],
         )
         self._transmit_datagram([handshake_ack, done])
+
+    # ------------------------------------------------------------------
+    # Connection migration (RFC 9000 Section 5.1.1 / 9)
+    # ------------------------------------------------------------------
+
+    def _issue_alternate_cids(self) -> None:
+        """Send the peer ``issue_alternate_cids`` fresh CIDs in one packet.
+
+        Sequence numbers start at 1: per RFC 9000 5.1.1 they are scoped
+        to the issuer, and this endpoint's handshake CID implicitly holds
+        sequence number 0.
+        """
+        frames: list[Frame] = []
+        for sequence in range(1, self.config.issue_alternate_cids + 1):
+            alternate = ConnectionId.generate(self.rng, self.config.cid_length)
+            frames.append(
+                NewConnectionIdFrame(
+                    sequence_number=sequence,
+                    retire_prior_to=0,
+                    connection_id=bytes(alternate),
+                )
+            )
+        self._send_packet(PacketSpace.APPLICATION, frames)
+
+    def migrate_to_alternate_cid(self) -> ConnectionId | None:
+        """Switch outgoing short headers to a peer-issued alternate CID.
+
+        Returns the CID now in use, or ``None`` when the connection is
+        closed or the peer never issued one (the caller retries later:
+        the NEW_CONNECTION_ID flight may still be in flight).  The old
+        CID is implicitly retired — it is never reused.
+        """
+        if self.closed or not self._peer_issued_cids:
+            return None
+        previous = self.remote_cid
+        self.remote_cid = self._peer_issued_cids.pop(0)
+        self._cid_rotated = True
+        if self.recorder is not None:
+            self.recorder.metadata.setdefault("cid_updates", []).append(
+                {
+                    "time_ms": self.simulator.now_ms,
+                    "previous": previous.hex if previous is not None else None,
+                    "current": self.remote_cid.hex,
+                }
+            )
+        return self.remote_cid
 
     # ------------------------------------------------------------------
     # Stream handling

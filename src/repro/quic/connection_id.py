@@ -31,10 +31,19 @@ class ConnectionId:
 
     @classmethod
     def generate(cls, rng: random.Random, length: int = 8) -> "ConnectionId":
-        """Generate a random connection ID of ``length`` bytes."""
+        """Generate a random connection ID of ``length`` bytes.
+
+        One ``rng.randbytes`` draw rather than a per-byte
+        ``getrandbits(8)`` loop: a single underlying ``getrandbits``
+        call instead of ``length`` of them.  Note this consumes the RNG
+        stream differently than the per-byte form did, so CID values
+        (and everything downstream of the same ``random.Random``
+        instance) differ from pre-change runs at the same seed — see the
+        seed-compatibility note in ``tests/test_connection_id.py``.
+        """
         if not 0 <= length <= cls.MAX_LENGTH:
             raise ValueError(f"invalid connection ID length: {length}")
-        return cls(bytes(rng.getrandbits(8) for _ in range(length)))
+        return cls(rng.randbytes(length))
 
     def __len__(self) -> int:
         return len(self.value)

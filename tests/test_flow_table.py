@@ -267,6 +267,154 @@ class TestRealTraffic:
         assert observation.rtts_received_ms == tee.observation().rtts_received_ms
 
 
+class TestZeroLengthCid:
+    def test_zero_length_cids_keyed_by_tuple(self):
+        """Regression: two zero-length-CID connections from different
+        client tuples must not collapse into one "(empty)" flow."""
+        from repro.core.flow_table import tuple_flow_key
+
+        table = SpinFlowTable(short_dcid_length=0)
+        tuple_a = ("10.0.0.1", 40000, "198.18.0.1", 443)
+        tuple_b = ("10.0.0.2", 40001, "198.18.0.1", 443)
+        for pn in range(4):
+            table.on_server_datagram(pn * 40.0, datagram(b"", pn, pn % 2 == 1), tuple_a)
+            table.on_server_datagram(pn * 100.0, datagram(b"", pn, pn % 2 == 1), tuple_b)
+        assert len(table.flows) == 2
+        assert set(table.flows) == {tuple_flow_key(tuple_a), tuple_flow_key(tuple_b)}
+        observations = table.observations()
+        assert observations[tuple_flow_key(tuple_a)].rtts_received_ms == pytest.approx(
+            [40.0, 40.0]
+        )
+        assert observations[tuple_flow_key(tuple_b)].rtts_received_ms == pytest.approx(
+            [100.0, 100.0]
+        )
+
+    def test_zero_length_cid_without_tuple_falls_back(self):
+        """No tap tuple available: the legacy "(empty)" key still works."""
+        table = SpinFlowTable(short_dcid_length=0)
+        table.on_server_datagram(0.0, datagram(b"", 0, False))
+        assert set(table.flows) == {"(empty)"}
+
+
+class TestResolverIntegration:
+    """SpinFlowTable + FlowKeyResolver: migration-aware keying."""
+
+    TUPLE = ("10.1.2.3", 50000, "198.18.0.1", 443)
+    TUPLE2 = ("10.9.9.9", 61000, "198.18.0.1", 443)
+
+    @staticmethod
+    def make_table(cid_linkage=True, **kwargs):
+        from repro.core.flow_resolver import FlowKeyResolver
+
+        resolver = FlowKeyResolver(cid_linkage=cid_linkage)
+        table = SpinFlowTable(
+            short_dcid_length=8, resolver=resolver, **kwargs
+        )
+        return table, resolver
+
+    def test_cid_rotation_stays_one_flow(self):
+        """Resolver counterpart of the rotation test below: the same
+        logical connection survives a DCID change as ONE flow."""
+        table, resolver = self.make_table()
+        for pn in range(6):
+            cid = CID_A if pn < 3 else CID_B
+            table.on_server_datagram(pn * 30.0, datagram(cid, pn, pn % 2 == 1), self.TUPLE)
+        flows = table.all_flows()
+        assert len(flows) == 1
+        assert resolver.flows_migrated == 1
+        assert resolver.flows_split == 0
+        # The un-split stream reconstructs the full edge series.
+        assert len(flows[0].observation().edges_received) == 5
+
+    def test_cid_rotation_without_linkage_splits(self):
+        table, resolver = self.make_table(cid_linkage=False)
+        for pn in range(6):
+            cid = CID_A if pn < 3 else CID_B
+            table.on_server_datagram(pn * 30.0, datagram(cid, pn, pn % 2 == 1), self.TUPLE)
+        assert len(table.all_flows()) == 2
+        assert resolver.flows_migrated == 0
+        assert resolver.flows_split == 1
+
+    def test_nat_rebind_keeps_flow_and_counts(self):
+        """Same CID from a new tuple: one flow, one rebind counted."""
+        table, resolver = self.make_table()
+        table.on_server_datagram(0.0, datagram(CID_A, 0, False), self.TUPLE)
+        table.on_server_datagram(40.0, datagram(CID_A, 1, True), self.TUPLE)
+        table.on_server_datagram(80.0, datagram(CID_A, 2, False), self.TUPLE2)
+        table.on_server_datagram(120.0, datagram(CID_A, 3, True), self.TUPLE2)
+        assert len(table.flows) == 1
+        assert resolver.rebinds_seen == 1
+        assert resolver.flows_migrated == 0
+        flow = next(iter(table.flows.values()))
+        assert flow.observation().rtts_received_ms == pytest.approx([40.0, 40.0])
+
+    def test_first_seen_preserved_across_migration(self):
+        """Migration must not reset flow age (first_seen_ms)."""
+        table, _ = self.make_table()
+        table.on_server_datagram(10.0, datagram(CID_A, 0, False), self.TUPLE)
+        table.on_server_datagram(500.0, datagram(CID_B, 1, True), self.TUPLE)
+        flow = next(iter(table.flows.values()))
+        assert flow.first_seen_ms == 10.0
+        assert flow.last_seen_ms == 500.0
+        assert flow.packets == 2
+
+    def test_retired_flow_releases_resolver_state(self):
+        """Linkage state is keyed to live flows: after idle expiry the
+        tuple and CIDs are free, and a reappearing CID opens a NEW flow
+        rather than resurrecting retired state."""
+        table, resolver = self.make_table(idle_timeout_ms=100.0, retain_retired=True)
+        table.on_server_datagram(0.0, datagram(CID_A, 0, False), self.TUPLE)
+        # Unrelated traffic far in the future expires the first flow.
+        table.on_server_datagram(1000.0, datagram(CID_B, 0, False), self.TUPLE2)
+        assert table.stats.flows_expired == 1
+        # Same CID again: a fresh flow, no split counted (tuple was free).
+        table.on_server_datagram(1001.0, datagram(CID_A, 0, False), self.TUPLE)
+        assert resolver.flows_split == 0
+        assert table.stats.flows_created == 3
+        live = {flow.flow_key for flow in table.flows.values()}
+        assert len(live) == 2
+
+    def test_eviction_churn_under_migration(self):
+        """LRU eviction with migrated flows: counters stay consistent
+        and the resolver never resurrects an evicted flow's linkage."""
+        table, resolver = self.make_table(max_flows=2)
+        tuples = [("10.0.0.%d" % i, 40000 + i, "198.18.0.1", 443) for i in range(4)]
+        cids = [bytes([i] * 8) for i in range(4)]
+        # Two flows, the first migrates to a new CID (stays one flow).
+        table.on_server_datagram(0.0, datagram(cids[0], 0, False), tuples[0])
+        table.on_server_datagram(1.0, datagram(cids[1], 0, False), tuples[1])
+        table.on_server_datagram(2.0, datagram(cids[2], 1, False), tuples[0])
+        assert resolver.flows_migrated == 1
+        assert len(table.flows) == 2
+        # A third flow evicts the LRU (flow B at tuples[1]).
+        table.on_server_datagram(3.0, datagram(cids[3], 0, False), tuples[2])
+        assert table.stats.flows_evicted == 1
+        # Flow B's CID now opens a brand-new flow (state was released).
+        table.on_server_datagram(4.0, datagram(cids[1], 1, False), tuples[3])
+        assert table.stats.flows_created == 4
+        assert resolver.flows_split == 0
+
+    def test_transport_classification_instead_of_parse_errors(self):
+        """A TCP segment on the tap is classified, not counted as a
+        QUIC parse error; true garbage still is."""
+        from repro.netsim.tcp import TcpSegment, encode_tcp_segment
+
+        table, resolver = self.make_table()
+        table.on_server_datagram(0.0, datagram(CID_A, 0, False), self.TUPLE)
+        segment = encode_tcp_segment(
+            TcpSegment(443, 50000, 1, 1, True, 0x10, 40)
+        )
+        table.on_server_datagram(1.0, segment, self.TUPLE2)
+        table.on_server_datagram(2.0, b"\x00\x01\x02", self.TUPLE2)
+        assert table.parse_errors == 1  # garbage only
+        assert resolver.tcp_datagrams == 1
+        assert resolver.quic_datagrams == 1
+        assert resolver.unparseable_datagrams == 1
+        assert resolver.counters()["transport_mix"] == {
+            "quic": 1, "tcp": 1, "unparseable": 1,
+        }
+
+
 class TestCidRotation:
     def test_client_rotation_transparent_to_endpoints(self):
         """The client rotates to a server-issued CID mid-connection;
