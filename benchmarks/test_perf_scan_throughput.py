@@ -1,4 +1,4 @@
-"""Scan-engine throughput: sequential vs. sharded worker pool.
+"""Scan-engine throughput: sequential vs. the work-stealing pool.
 
 The paper's weekly measurement covers >200 M domains; the reproduction's
 throughput ceiling therefore *is* the scan engine.  This benchmark
@@ -9,10 +9,13 @@ writes ``BENCH_scan_throughput.json`` at the repo root so subsequent
 PRs can track the perf trajectory (``scripts/bench.sh`` appends each
 run to ``BENCH_history.jsonl``).
 
-Speedup expectations are hardware-conditional: the ≥2x-at-4-workers
-assertion only applies where 4 cores are actually available — on a
-single-core runner the parallel engine cannot beat the GIL-free
-sequential path and the numbers are recorded without the assertion.
+Honesty rules: every arm records the host's ``cpu_count``, how many
+workers were actually *usable* (``min(workers, cpu_count)``), and its
+``speedup_vs_sequential`` ratio; a workers arm that could not get the
+cores it asked for is marked ``"constrained": true`` instead of
+silently reporting a ~1.0x "speedup" that is really the in-process
+fallback.  The ≥2x-at-4-workers assertion only applies where 4 cores
+are actually available.
 """
 
 from __future__ import annotations
@@ -50,25 +53,40 @@ def _best_of(runs: int, fn):
 def test_scan_throughput(population):
     domains = population.domains[:BENCH_DOMAINS]
     config = ScanConfig(qlog_sample_rate=0.05)
+    cpu_count = os.cpu_count() or 1
 
-    def scan_with(workers: int):
+    def scan_with(scanner):
+        return scanner.scan(week_label="cw20-2023", ip_version=4, domains=domains)
+
+    sequential_scanner = Scanner(
+        population, config, parallel=ParallelScanConfig(workers=1)
+    )
+    sequential, seq_elapsed = _best_of(2, lambda: scan_with(sequential_scanner))
+    results = {"sequential": {"elapsed_s": seq_elapsed, "usable_workers": 1}}
+    for workers in (1, 2, 4):
         scanner = Scanner(
             population, config, parallel=ParallelScanConfig(workers=workers)
         )
-        return scanner.scan(week_label="cw20-2023", ip_version=4, domains=domains)
-
-    sequential, seq_elapsed = _best_of(2, lambda: scan_with(1))
-    results = {"sequential": {"elapsed_s": seq_elapsed}}
-    for workers in (1, 2, 4):
-        dataset, elapsed = _best_of(2, lambda: scan_with(workers))
+        try:
+            dataset, elapsed = _best_of(2, lambda: scan_with(scanner))
+        finally:
+            scanner.close()
         assert dataset == sequential, f"{workers}-worker merge diverged"
-        results[f"workers_{workers}"] = {"elapsed_s": elapsed}
+        usable = min(workers, cpu_count)
+        entry = {"elapsed_s": elapsed, "usable_workers": usable}
+        if workers > 1 and usable < workers:
+            # The host could not grant the cores this arm asked for:
+            # the engine fell back in-process and the number measures
+            # the fallback, not a pool win.
+            entry["constrained"] = True
+        results[f"workers_{workers}"] = entry
 
     for entry in results.values():
         entry["domains_per_sec"] = round(BENCH_DOMAINS / entry["elapsed_s"], 1)
+        entry["cpu_count"] = cpu_count
+        entry["speedup_vs_sequential"] = round(seq_elapsed / entry["elapsed_s"], 2)
         entry["elapsed_s"] = round(entry["elapsed_s"], 3)
 
-    cpu_count = os.cpu_count() or 1
     payload = {
         "benchmark": "scan_throughput",
         "bench_domains": BENCH_DOMAINS,
@@ -80,9 +98,11 @@ def test_scan_throughput(population):
     print()
     print(f"scan throughput over {BENCH_DOMAINS} domains ({cpu_count} CPU(s)):")
     for label, entry in results.items():
+        flag = "  [constrained]" if entry.get("constrained") else ""
         print(
             f"  {label:12s} {entry['domains_per_sec']:8.1f} domains/s "
-            f"({entry['elapsed_s']:.3f} s)"
+            f"({entry['elapsed_s']:.3f} s, "
+            f"{entry['speedup_vs_sequential']:.2f}x){flag}"
         )
 
     seq_rate = results["sequential"]["domains_per_sec"]
@@ -92,18 +112,21 @@ def test_scan_throughput(population):
         f"single-worker overhead too high: {w1_rate} vs {seq_rate} domains/s"
     )
     # On machines where a pool cannot help (too few cores) the engine
-    # now falls back in-process, so workers=2 must never regress below
-    # the sequential path; on multi-core machines a real pool runs and
-    # the same bound holds because start-up costs are amortized.
+    # falls back in-process, so workers=2 must never regress below the
+    # sequential path; on multi-core machines a real pool runs and the
+    # same bound holds because start-up costs are amortized.
     w2_rate = results["workers_2"]["domains_per_sec"]
     assert w2_rate >= seq_rate * (1.0 - OVERHEAD_LIMIT), (
         f"two-worker regression: {w2_rate} vs {seq_rate} domains/s"
     )
     if cpu_count >= 4:
-        w4_rate = results["workers_4"]["domains_per_sec"]
-        assert w4_rate >= 2.0 * seq_rate, (
+        w4 = results["workers_4"]
+        assert "constrained" not in w4
+        assert w4["speedup_vs_sequential"] >= 2.0, (
             f"expected >=2x speedup at 4 workers on {cpu_count} cores: "
-            f"{w4_rate} vs {seq_rate} domains/s"
+            f"{w4['domains_per_sec']} vs {seq_rate} domains/s"
         )
     else:
+        assert results["workers_2"].get("constrained") is True
+        assert results["workers_4"].get("constrained") is True
         print(f"  ({cpu_count} core(s): 4-worker speedup assertion not applicable)")

@@ -52,6 +52,36 @@ PY
 echo "== scan-throughput benchmark =="
 python -m pytest -q -s benchmarks/test_perf_scan_throughput.py
 
+echo "== scan scaling gate =="
+# The work-stealing pool must actually scale where the hardware allows
+# it: >=2x sequential at 4 workers on a >=4-core host.  On smaller
+# hosts the arm is constrained (in-process fallback) and the gate is
+# skipped with a notice rather than asserting a number the machine
+# cannot produce.
+python - <<'PY'
+import json
+import sys
+
+result = json.loads(open("BENCH_scan_throughput.json", encoding="utf-8").read())
+cpu_count = result["cpu_count"]
+arm = result["results"]["workers_4"]
+speedup = arm["speedup_vs_sequential"]
+if cpu_count >= 4:
+    if arm.get("constrained"):
+        sys.exit(f"scaling gate FAILED: workers_4 constrained on {cpu_count} cores")
+    if speedup < 2.0:
+        sys.exit(
+            f"scaling gate FAILED: workers_4 speedup {speedup:.2f}x < 2.0x "
+            f"sequential on {cpu_count} cores"
+        )
+    print(f"scaling gate OK: workers_4 {speedup:.2f}x sequential on {cpu_count} cores")
+else:
+    print(
+        f"scaling gate SKIPPED ({cpu_count} core(s)): workers_4 ran "
+        f"constrained at {speedup:.2f}x; >=4 cores required to assert >=2.0x"
+    )
+PY
+
 echo "== monitor-throughput benchmark =="
 python -m pytest -q -s benchmarks/test_perf_monitor_throughput.py
 

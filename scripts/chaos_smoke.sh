@@ -3,7 +3,8 @@
 # assert the robustness guarantees hold end to end:
 #
 #   1. the scan completes (exit 0) with a nonzero fault plan,
-#   2. datasets and qlogs are byte-identical at --workers 1 vs 4,
+#   2. datasets and qlogs are byte-identical at --workers 1 vs the
+#      4-worker work-stealing pool (--force-pool), batch and --stream,
 #   3. the failure-taxonomy summary is byte-identical across workers,
 #   4. a checkpointed campaign with a deleted shard resumes to the same
 #      merged dataset as an uninterrupted run,
@@ -32,10 +33,14 @@ COMMON=(--czds 600 --toplist 100 --seed 417 --fault "$FAULTS"
         --breaker-threshold 4 --breaker-cooldown 6
         --qlog-sample-rate 0.05)
 
-echo "== chaos smoke: faulted scan, workers 1 vs 4 =="
+echo "== chaos smoke: faulted scan, workers 1 vs 4 (work-stealing pool) =="
+# --force-pool makes the 4-worker arm run the real work-stealing pool
+# (cbr IPC, cost-aware shards, straggler splitting) even on hosts with
+# too few cores for the engine to pick it on its own — the identity
+# guarantee must hold through the scheduler, not just the fallback.
 python -m repro.cli scan "${COMMON[@]}" --workers 1 \
     --out "$WORK/w1.jsonl" --qlog-out "$WORK/w1-qlog.jsonl" 2>"$WORK/w1.err"
-python -m repro.cli scan "${COMMON[@]}" --workers 4 \
+python -m repro.cli scan "${COMMON[@]}" --workers 4 --force-pool \
     --out "$WORK/w4.jsonl" --qlog-out "$WORK/w4-qlog.jsonl" 2>"$WORK/w4.err"
 cmp "$WORK/w1.jsonl" "$WORK/w4.jsonl"
 cmp "$WORK/w1-qlog.jsonl" "$WORK/w4-qlog.jsonl"
@@ -54,10 +59,22 @@ echo "== chaos smoke: checkpoint / crash / resume =="
 python -m repro.cli scan "${COMMON[@]}" --chunk-size 128 \
     --checkpoint-dir "$WORK/ckpt" --out "$WORK/ckpt-full.jsonl" 2>/dev/null
 rm "$WORK/ckpt/shard-00002.cbr"   # simulate a crash losing one shard
-python -m repro.cli scan "${COMMON[@]}" --chunk-size 128 --workers 4 \
+python -m repro.cli scan "${COMMON[@]}" --chunk-size 128 --workers 4 --force-pool \
     --checkpoint-dir "$WORK/ckpt" --out "$WORK/ckpt-resumed.jsonl" 2>/dev/null
 cmp "$WORK/ckpt-full.jsonl" "$WORK/ckpt-resumed.jsonl"
 cmp "$WORK/ckpt-full.jsonl" "$WORK/w1.jsonl"
+
+echo "== chaos smoke: streaming scan matches batch under faults =="
+# The streaming population + bounded-window scan must emit identical
+# records at any worker count, faults and all (no breaker: the
+# breaker's post-merge pass needs the full result list).
+STREAM=(--czds 600 --toplist 100 --seed 417 --fault "$FAULTS"
+        --connect-timeout-ms 20000 --retries 1 --qlog-sample-rate 0.05)
+python -m repro.cli scan "${STREAM[@]}" --stream --workers 1 \
+    --out "$WORK/stream1.jsonl" 2>/dev/null
+python -m repro.cli scan "${STREAM[@]}" --stream --workers 4 --force-pool \
+    --out "$WORK/stream4.jsonl" 2>/dev/null
+cmp "$WORK/stream1.jsonl" "$WORK/stream4.jsonl"
 
 echo "== chaos smoke: checkpoint merge via frame copy =="
 python -m repro.cli convert "$WORK/ckpt" "$WORK/merged.cbr" 2>/dev/null

@@ -75,7 +75,18 @@ def find_violations(root: Path) -> list[tuple[Path, int, str]]:
                 if pattern.search(line) and pragma not in line:
                     violations.append((path, number, line.strip()))
                     break
-    for hot_layer in ("analysis", "service", "obs", "monitor", "netsim"):
+    for hot_layer in (
+        "analysis",
+        "service",
+        "obs",
+        "monitor",
+        "netsim",
+        # The scan engine's hot path: shard scheduler, cbr IPC, and the
+        # checkpoint writer must never fall back to per-record JSON.
+        "web",
+        "internet",
+        "faults",
+    ):
         layer_root = root / "repro" / hot_layer
         if layer_root.is_dir():
             violations.extend(find_json_loop_violations(layer_root))

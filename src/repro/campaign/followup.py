@@ -96,6 +96,16 @@ class FollowUpStudy:
         self.population = population
         self.scanner = Scanner(population, scan_config, parallel=parallel)
 
+    def close(self) -> None:
+        """Release the study's scanner (and its worker pool)."""
+        self.scanner.close()
+
+    def __enter__(self) -> "FollowUpStudy":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close()
+
     def identify_candidates(
         self, week_label: str = "cw20-2023", ip_version: int = 4
     ) -> tuple[ScanDataset, list[DomainRecord]]:

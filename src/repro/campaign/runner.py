@@ -69,6 +69,22 @@ class CampaignRunner:
         self.campaign = campaign
         self.scanner = Scanner(population, scan_config, parallel=parallel)
 
+    def close(self) -> None:
+        """Release the campaign's scanner (and its worker pool).
+
+        A longitudinal campaign reuses one pool across every weekly
+        scan; closing the runner shuts it down deterministically at
+        campaign end instead of leaking worker processes until garbage
+        collection.
+        """
+        self.scanner.close()
+
+    def __enter__(self) -> "CampaignRunner":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close()
+
     def run_week(
         self, week: CalendarWeek, ip_version: int = 4, verbose: bool = False
     ) -> ScanDataset:

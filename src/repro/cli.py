@@ -78,6 +78,20 @@ def _build_parser() -> argparse.ArgumentParser:
         help="domains per worker shard (default: auto)",
     )
     scan.add_argument(
+        "--force-pool",
+        action="store_true",
+        help="always dispatch through the worker pool, even when the "
+        "engine would fall back in-process (single core / single shard)",
+    )
+    scan.add_argument(
+        "--stream",
+        action="store_true",
+        help="bounded-memory mode: generate the population on demand and "
+        "stream results shard by shard (no full domain list in any "
+        "process); incompatible with --checkpoint-dir, --qlog-out, and "
+        "the circuit breaker",
+    )
+    scan.add_argument(
         "--out", required=True, help="output artifact path ('-' for stdout)"
     )
     scan.add_argument(
@@ -623,14 +637,18 @@ def _save_telemetry(telemetry, telemetry_out: str | None) -> None:
     print(f"telemetry written to {telemetry_out}", file=sys.stderr)
 
 
-def _parallel_config(workers: int, chunk_size: int | None = None):
+def _parallel_config(
+    workers: int, chunk_size: int | None = None, force_pool: bool = False
+):
     from repro.web.parallel import ParallelScanConfig
 
     try:
         if workers == 0:
             auto = ParallelScanConfig.auto()
-            return ParallelScanConfig(workers=auto.workers, chunk_size=chunk_size)
-        return ParallelScanConfig(workers=workers, chunk_size=chunk_size)
+            workers = auto.workers
+        return ParallelScanConfig(
+            workers=workers, chunk_size=chunk_size, force_pool=force_pool
+        )
     except ValueError as error:
         raise SystemExit(f"repro: error: {error}")
 
@@ -655,12 +673,14 @@ def _cmd_scan(args: argparse.Namespace) -> int:
         )
     except ValueError as error:
         raise SystemExit(f"repro: error: {error}")
+    if args.stream:
+        return _run_stream_scan(args, scan_config)
     population = build_population(
         PopulationConfig(
             toplist_domains=args.toplist, czds_domains=args.czds, seed=args.seed
         )
     )
-    parallel = _parallel_config(args.workers, args.chunk_size)
+    parallel = _parallel_config(args.workers, args.chunk_size, args.force_pool)
     print(
         f"scanning {len(population.domains)} domains "
         f"(week {args.week}, IPv{args.ip_version}, "
@@ -672,20 +692,23 @@ def _cmd_scan(args: argparse.Namespace) -> int:
         population, config=scan_config, parallel=parallel, telemetry=telemetry
     )
     try:
-        dataset = scanner.scan(
-            week_label=args.week,
-            ip_version=args.ip_version,
-            verbose=True,
-            checkpoint_dir=args.checkpoint_dir,
-        )
-    except CheckpointError as error:
-        raise SystemExit(f"repro: error: {error}")
-    try:
-        count = write_records(
-            dataset.connection_records(), args.out, format=args.artifact_format
-        )
-    except (OSError, ValueError) as error:
-        raise SystemExit(f"repro: error: cannot write {args.out}: {error}")
+        try:
+            dataset = scanner.scan(
+                week_label=args.week,
+                ip_version=args.ip_version,
+                verbose=True,
+                checkpoint_dir=args.checkpoint_dir,
+            )
+        except CheckpointError as error:
+            raise SystemExit(f"repro: error: {error}")
+        try:
+            count = write_records(
+                dataset.connection_records(), args.out, format=args.artifact_format
+            )
+        except (OSError, ValueError) as error:
+            raise SystemExit(f"repro: error: cannot write {args.out}: {error}")
+    finally:
+        scanner.close()
     if args.qlog_out:
         documents = [
             record.qlog
@@ -714,6 +737,86 @@ def _cmd_scan(args: argparse.Namespace) -> int:
         from repro.faults import failure_summary
 
         summary = failure_summary(dataset.connection_records())
+        kinds = ", ".join(f"{k}={v}" for k, v in summary["kinds"].items())
+        print(
+            f"failures: {summary['failed']}/{summary['total']} connections"
+            + (f" ({kinds})" if kinds else ""),
+            file=sys.stderr,
+        )
+    _save_telemetry(telemetry, args.telemetry_out)
+    print(f"exported {count} connection records", file=sys.stderr)
+    return 0
+
+
+def _run_stream_scan(args: argparse.Namespace, scan_config) -> int:
+    """``repro scan --stream``: bounded-memory population + export.
+
+    The population is a :class:`StreamingPopulation` (records generated
+    per index, never a full list), the scan is
+    :meth:`Scanner.scan_stream` (a bounded window of shards in flight),
+    and results flow straight into the artifact writer — no process
+    ever holds the dataset.  Features that need the full merged dataset
+    (checkpointing, buffered qlog export, the circuit breaker) are
+    rejected up front with the usual one-line error.
+    """
+    from repro.artifacts import write_records
+    from repro.faults.taxonomy import FailureFold
+    from repro.internet.population import PopulationConfig
+    from repro.internet.streaming import StreamingPopulation
+    from repro.web.scanner import Scanner
+
+    if args.checkpoint_dir:
+        raise SystemExit(
+            "repro: error: --stream cannot checkpoint (the manifest "
+            "fingerprint walks the full target list); drop --checkpoint-dir"
+        )
+    if args.qlog_out:
+        raise SystemExit(
+            "repro: error: --stream cannot buffer qlog documents; "
+            "drop --qlog-out"
+        )
+    if args.breaker_threshold is not None:
+        raise SystemExit(
+            "repro: error: --stream cannot apply the circuit breaker "
+            "(a post-merge pass); drop --breaker-threshold"
+        )
+    population = StreamingPopulation(
+        PopulationConfig(
+            toplist_domains=args.toplist, czds_domains=args.czds, seed=args.seed
+        )
+    )
+    parallel = _parallel_config(args.workers, args.chunk_size, args.force_pool)
+    print(
+        f"streaming scan of {population.domain_count} domains "
+        f"(week {args.week}, IPv{args.ip_version}, "
+        f"{parallel.workers} worker(s)) ...",
+        file=sys.stderr,
+    )
+    telemetry = _make_telemetry(args.telemetry_out)
+    scanner = Scanner(
+        population, config=scan_config, parallel=parallel, telemetry=telemetry
+    )
+    fold = FailureFold() if scan_config.faults_active else None
+
+    def connection_stream():
+        for result in scanner.scan_stream(
+            week_label=args.week, ip_version=args.ip_version, verbose=True
+        ):
+            if fold is not None:
+                fold.update_many(result.connections)
+            yield from result.connections
+
+    try:
+        try:
+            count = write_records(
+                connection_stream(), args.out, format=args.artifact_format
+            )
+        except (OSError, ValueError) as error:
+            raise SystemExit(f"repro: error: cannot write {args.out}: {error}")
+    finally:
+        scanner.close()
+    if fold is not None:
+        summary = fold.finish()
         kinds = ", ".join(f"{k}={v}" for k, v in summary["kinds"].items())
         print(
             f"failures: {summary['failed']}/{summary['total']} connections"
@@ -940,15 +1043,17 @@ def _cmd_compliance(args: argparse.Namespace) -> int:
     population = build_population(
         PopulationConfig(toplist_domains=0, czds_domains=args.czds, seed=args.seed)
     )
-    runner = CampaignRunner(
-        population, DEFAULT_CAMPAIGN, parallel=_parallel_config(args.workers)
-    )
     quic_domains = [d for d in population.domains if d.quic_enabled]
     print(
         f"scanning {len(quic_domains)} QUIC domains in {args.weeks} spread weeks ...",
         file=sys.stderr,
     )
-    result = runner.run_longitudinal(args.weeks, domains=quic_domains, verbose=True)
+    with CampaignRunner(
+        population, DEFAULT_CAMPAIGN, parallel=_parallel_config(args.workers)
+    ) as runner:
+        result = runner.run_longitudinal(
+            args.weeks, domains=quic_domains, verbose=True
+        )
     print(render_compliance_histogram(compliance_histogram(result)))
     return 0
 
@@ -1203,9 +1308,8 @@ def _cmd_profile(args: argparse.Namespace) -> int:
         file=sys.stderr,
     )
     started = time.perf_counter()  # wallclock-ok: coverage denominator (stderr only)
-    dataset = Scanner(population, telemetry=telemetry).scan(
-        week_label=args.week, ip_version=args.ip_version
-    )
+    with Scanner(population, telemetry=telemetry) as scanner:
+        dataset = scanner.scan(week_label=args.week, ip_version=args.ip_version)
     elapsed_ms = (time.perf_counter() - started) * 1000.0  # wallclock-ok: coverage denominator (stderr only)
     if args.analyze:
         from repro.analysis.engine import AnalysisEngine, build_record_folds

@@ -21,8 +21,15 @@ across worker counts.
 """
 
 from repro.faults.breaker import BreakerPolicy, CircuitBreaker, apply_circuit_breaker
-from repro.faults.checkpoint import CheckpointError, CheckpointStore, scan_fingerprint
+from repro.faults.checkpoint import (
+    CheckpointError,
+    CheckpointStore,
+    encode_domain_results,
+    results_from_cbr_payload,
+    scan_fingerprint,
+)
 from repro.faults.resilience import ResilienceConfig
+from repro.faults.shardwriter import AsyncCheckpointWriter
 from repro.faults.retry import RetryPolicy
 from repro.faults.spec import (
     BlackholeImpairment,
@@ -46,6 +53,7 @@ from repro.faults.taxonomy import (
 )
 
 __all__ = [
+    "AsyncCheckpointWriter",
     "BlackholeImpairment",
     "BreakerPolicy",
     "BurstLossImpairment",
@@ -65,9 +73,11 @@ __all__ = [
     "apply_circuit_breaker",
     "classify_exchange",
     "corrupt_datagram_stream",
+    "encode_domain_results",
     "failure_summary",
     "parse_fault_plan",
     "render_failure_table",
+    "results_from_cbr_payload",
     "scan_fingerprint",
     "truncate_jsonl_lines",
 ]

@@ -32,7 +32,13 @@ if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from repro.internet.population import DomainRecord
     from repro.web.scanner import DomainScanResult
 
-__all__ = ["CheckpointError", "CheckpointStore", "scan_fingerprint"]
+__all__ = [
+    "CheckpointError",
+    "CheckpointStore",
+    "encode_domain_results",
+    "results_from_cbr_payload",
+    "scan_fingerprint",
+]
 
 _MANIFEST_SCHEMA = 1
 
@@ -69,6 +75,80 @@ def scan_fingerprint(
         "targets_digest": names,
         "config_digest": config_digest,
     }
+
+
+def encode_domain_results(results: Sequence["DomainScanResult"]) -> bytes:
+    """Encode domain results as one cbr ``KIND_DOMAINS`` byte stream.
+
+    The format shared by checkpoint shard files and the parallel
+    engine's worker→parent IPC payloads: both sides of the process
+    boundary speak compact columnar frames instead of pickled object
+    graphs, and a worker payload can become a shard file (or half of
+    one) by CRC-verified frame copy.
+    """
+    import io
+
+    from repro.artifacts.cbr import KIND_DOMAINS, CbrWriter
+
+    buffer = io.BytesIO()
+    writer = CbrWriter(buffer, kind=KIND_DOMAINS)
+    for result in results:
+        writer.write_domain_result(result)
+    writer.close()
+    return buffer.getvalue()
+
+
+def results_from_cbr_payload(
+    payload: bytes, targets: Sequence["DomainRecord"], strict: bool = False
+) -> "list[DomainScanResult] | None":
+    """Decode a ``KIND_DOMAINS`` cbr payload back to scan results.
+
+    Each decoded domain is re-bound to the caller's
+    :class:`DomainRecord` (the payload carries only the name).  With
+    ``strict=False`` any damage — torn frames, a count or name mismatch
+    — returns ``None`` (checkpoint semantics: re-scan); with
+    ``strict=True`` it raises, because a corrupt in-memory IPC payload
+    is a bug, not a crash artifact.
+    """
+    import io
+
+    from repro.artifacts.cbr import CbrFormatError, CbrReader
+    from repro.web.scanner import DomainScanResult
+
+    try:
+        reader = CbrReader(io.BytesIO(payload))
+        domains = [data for batch in reader.domain_batches() for data in batch]
+    except (ValueError, CbrFormatError):
+        if strict:
+            raise
+        return None
+    if len(domains) != len(targets):
+        if strict:
+            raise CheckpointError(
+                f"shard payload holds {len(domains)} domains, "
+                f"expected {len(targets)}"
+            )
+        return None  # interrupted mid-write before the rename
+    results = []
+    for domain, data in zip(targets, domains):
+        if data.name != domain.name:
+            if strict:
+                raise CheckpointError(
+                    f"shard payload domain {data.name!r} != target "
+                    f"{domain.name!r}"
+                )
+            return None
+        results.append(
+            DomainScanResult(
+                domain=domain,
+                resolved=data.resolved,
+                quic_support=data.quic_support,
+                resolved_ip=data.resolved_ip,
+                connections=data.connections,
+                failure=data.failure,
+            )
+        )
+    return results
 
 
 class CheckpointStore:
@@ -123,16 +203,33 @@ class CheckpointStore:
         chunks), so ``repro convert`` can merge a checkpoint directory
         into one artifact by frame concatenation — no re-decode.
         """
+        _atomic_write_bytes(
+            self.shard_path(shard_index), encode_domain_results(results)
+        )
+        self.shards_saved += 1
+
+    def save_shard_payloads(
+        self, shard_index: int, payloads: Sequence[bytes]
+    ) -> None:
+        """Persist a shard from pre-encoded cbr payloads (frame copy).
+
+        The parallel engine's workers already encode their sub-ranges to
+        cbr bytes for IPC; a shard assembled from one or more of those
+        payloads (a split shard arrives in pieces) is written by
+        CRC-verified frame concatenation — the parent never re-encodes
+        what a worker produced.
+        """
         import io
 
-        from repro.artifacts.cbr import KIND_DOMAINS, CbrWriter
+        if len(payloads) == 1:
+            payload = payloads[0]
+        else:
+            from repro.artifacts.cbr import concat_frames
 
-        buffer = io.BytesIO()
-        writer = CbrWriter(buffer, kind=KIND_DOMAINS)
-        for result in results:
-            writer.write_domain_result(result)
-        writer.close()
-        _atomic_write_bytes(self.shard_path(shard_index), buffer.getvalue())
+            buffer = io.BytesIO()
+            concat_frames([io.BytesIO(part) for part in payloads], buffer)
+            payload = buffer.getvalue()
+        _atomic_write_bytes(self.shard_path(shard_index), payload)
         self.shards_saved += 1
 
     def load_shard(
@@ -156,36 +253,11 @@ class CheckpointStore:
     def _load_shard_cbr(
         path: Path, targets: Sequence["DomainRecord"]
     ) -> "list[DomainScanResult] | None":
-        from repro.artifacts.cbr import CbrFormatError, CbrReader
-        from repro.web.scanner import DomainScanResult
-
         try:
-            with open(path, "rb") as stream:
-                reader = CbrReader(stream)
-                domains = [
-                    data
-                    for batch in reader.domain_batches()
-                    for data in batch
-                ]
-        except (OSError, ValueError, CbrFormatError):
+            payload = path.read_bytes()
+        except OSError:
             return None
-        if len(domains) != len(targets):
-            return None  # interrupted mid-write before the rename
-        results = []
-        for domain, data in zip(targets, domains):
-            if data.name != domain.name:
-                return None
-            results.append(
-                DomainScanResult(
-                    domain=domain,
-                    resolved=data.resolved,
-                    quic_support=data.quic_support,
-                    resolved_ip=data.resolved_ip,
-                    connections=data.connections,
-                    failure=data.failure,
-                )
-            )
-        return results
+        return results_from_cbr_payload(payload, targets)
 
     @staticmethod
     def _load_shard_jsonl(
@@ -197,7 +269,7 @@ class CheckpointStore:
                 return None  # interrupted mid-write before the rename
             results = []
             for domain, line in zip(targets, lines):
-                data = json.loads(line)
+                data = json.loads(line)  # jsonl-ok: legacy shard format is JSONL
                 if data.get("domain") != domain.name:
                     return None
                 results.append(_domain_result_from_dict(data, domain))

@@ -252,6 +252,53 @@ class Population:
         return [d for d in self.domains if d.in_com_net_org]
 
     # ------------------------------------------------------------------
+    # Range-addressed access (shared surface with StreamingPopulation)
+    # ------------------------------------------------------------------
+
+    @property
+    def domain_count(self) -> int:
+        """Total domains, without forcing materialization."""
+        return len(self.domains)
+
+    def materialize_range(self, start: int, stop: int) -> list[DomainRecord]:
+        """The domains at positions ``[start, stop)``.
+
+        For a materialized population this is a plain slice; a
+        :class:`~repro.internet.streaming.StreamingPopulation` generates
+        the records on demand.  The parallel scan engine addresses all
+        work through this method so task descriptors can ship ranges
+        instead of pickled records.
+        """
+        return self.domains[start:stop]
+
+    def iter_targets(self, batch: int = 1024):
+        """Yield every domain in population order, ``batch`` at a time.
+
+        Bounded-memory iteration surface: callers that only stream
+        (exports, streaming scans) never need ``.domains`` and so work
+        identically over a streaming population.
+        """
+        total = self.domain_count
+        for start in range(0, total, batch):
+            yield from self.materialize_range(start, min(start + batch, total))
+
+    def trim_caches(self, limit: int = 200_000) -> None:
+        """Drop stack/persistence caches once they exceed ``limit``.
+
+        Vhost serving entities are per-domain, so over a 10 M-domain
+        streaming scan these caches would otherwise grow without bound.
+        Entries are pure functions of ``(seed, entity, epoch)`` — any
+        evicted value is re-derived bit-identically on the next lookup —
+        so trimming can never change results, only timing.  A no-op for
+        ordinary campaign-scale populations, which stay far below the
+        cap.
+        """
+        if len(self._stack_cache) > limit:
+            self._stack_cache.clear()
+        if len(self._persistence_cache) > limit:
+            self._persistence_cache.clear()
+
+    # ------------------------------------------------------------------
     # Internals
     # ------------------------------------------------------------------
 
@@ -312,16 +359,25 @@ class Population:
         return stack
 
 
-def _check_prefix_capacity(prefix: str, needed: int, provider_name: str) -> None:
-    """Fail loudly when a pool outgrows its provider's prefix."""
-    network = ipaddress.ip_network(prefix)
-    capacity = network.num_addresses
-    if needed > capacity:
+def _fit_to_prefix(
+    prefix: str, offset: int, size: int, stride: int, provider_name: str
+) -> int:
+    """Clamp a host pool to its provider's prefix capacity.
+
+    At paper-scale populations (10M+ zone domains) the long-tail
+    aggregate's one-host-per-/24 layout outgrows its /12; beyond that
+    point additional domains share the existing hosts (a higher
+    effective domains-per-IP) instead of failing the build.  Pools
+    that fit are returned unchanged, so every previously-buildable
+    population is bit-identical.
+    """
+    capacity = ipaddress.ip_network(prefix).num_addresses
+    available = (capacity - offset) // stride
+    if available < 1:
         raise ValueError(
-            f"{provider_name}: host pool needs {needed} addresses but "
-            f"{prefix} holds {capacity}; reduce the population scale or "
-            "raise zone_density_scale"
+            f"{provider_name}: prefix {prefix} exhausted at offset {offset}"
         )
+    return min(size, available)
 
 
 _PROVIDER_INDEX = {p.name: p for p in (*PROVIDERS, *NO_QUIC_PROVIDERS)}
@@ -485,8 +541,11 @@ def _build_pools(population: Population, config: PopulationConfig) -> None:
                 # (a /24 for IPv4, a /64-aligned block for IPv6).
                 stride_v4 = 256 if provider.asn == 0 else 1
                 stride_v6 = (1 << 64) if provider.asn == 0 else 1
-                _check_prefix_capacity(
-                    provider.v4_prefix, offset_v4 + size_v4 * stride_v4, provider.name
+                size_v4 = _fit_to_prefix(
+                    provider.v4_prefix, offset_v4, size_v4, stride_v4, provider.name
+                )
+                size_v6 = _fit_to_prefix(
+                    provider.v6_prefix, offset_v6, size_v6, stride_v6, provider.name
                 )
                 population._pools[(provider.name, group, 4)] = _HostPool(
                     provider=provider,

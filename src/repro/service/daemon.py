@@ -99,6 +99,17 @@ class CampaignDaemon:
         self._population = None
         self._scanner = None
 
+    def close(self) -> None:
+        """Shut down the daemon's scanner pool deterministically."""
+        if self._scanner is not None:
+            self._scanner.close()
+
+    def __enter__(self) -> "CampaignDaemon":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close()
+
     def campaign_trace_id(self) -> str:
         """The campaign's deterministic trace identity."""
         config = self.config

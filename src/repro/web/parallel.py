@@ -7,31 +7,53 @@ independently derived from ``(population seed, week, ip_version,
 domain, probe)`` (see :mod:`repro._util.rng`), so no state flows
 between domains and the target list can be sharded freely.
 
-This module fans domain shards out over a process pool and merges the
-per-shard :class:`~repro.web.scanner.DomainScanResult` lists back in
-original domain order.  Because each domain's stream depends only on
-the derivation labels, the merged dataset is **bit-identical** to the
-sequential scan — same classifications, same RTT series, same sampled
-qlogs — which the test suite verifies record by record.
+This module schedules domain shards over a process pool with three
+mechanisms the naive ``pool.map`` dispatch lacked:
 
-Workers ship back only the reduced per-connection records (never
-recorders or full traces), so IPC volume stays proportional to the
-artifact size, exactly like the sequential path's memory profile.
+* **Work stealing.**  Shards are priced by a deterministic cost model
+  (:mod:`repro.web.shardplan`: fault draws, provider delay) and
+  dispatched longest-first via ``submit``; when free workers outnumber
+  the queued shards at the tail, the costliest queued shard is *split*
+  and its halves dispatched separately, so a straggler never idles the
+  rest of the pool.
+* **cbr-frame IPC.**  Workers encode finished shards to columnar
+  ``cbr`` bytes (:func:`repro.faults.checkpoint.encode_domain_results`)
+  instead of pickling ``DomainScanResult`` object graphs; the parent
+  decodes once and, under a checkpoint, persists shards by CRC-verified
+  frame copy — a worker payload becomes a shard file without re-encode.
+* **Bounded-memory streaming.**  :func:`scan_stream_sharded` drives the
+  same pool from a range-addressed population: task descriptors carry
+  ``(start, count)`` instead of pickled domain records, workers
+  materialize their own slice, and the parent holds at most a small
+  window of in-flight shards — a 10 M+ domain scan runs in bounded
+  memory on both sides of the process boundary.
+
+The merge is positional, so the merged dataset is **bit-identical** to
+the sequential scan at any worker count, split layout, or completion
+order — same classifications, same RTT series, same sampled qlogs —
+which the test suite verifies record by record.
 """
 
 from __future__ import annotations
 
 import os
 import weakref
-from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
 from dataclasses import dataclass
-from typing import TYPE_CHECKING, Sequence
+from typing import TYPE_CHECKING, Iterator, Sequence
+
+from repro.web.shardplan import ShardCostModel, ShardRange, plan_shards, split_shard
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from repro.internet.population import DomainRecord, Population
     from repro.web.scanner import DomainScanResult, ScanConfig, Scanner
 
-__all__ = ["ParallelScanConfig", "scan_sharded"]
+__all__ = [
+    "ParallelScanConfig",
+    "close_pool",
+    "scan_sharded",
+    "scan_stream_sharded",
+]
 
 
 @dataclass(frozen=True)
@@ -79,58 +101,97 @@ class ParallelScanConfig:
 
 
 # ----------------------------------------------------------------------
-# Worker side.  The population and scan config are shipped once per
-# worker via the pool initializer; each task then carries only its
-# domain shard, so task payloads stay small.
+# Worker side.  The population (or, for a streaming population, just its
+# config) and the scan config are shipped once per worker via the pool
+# initializer; each task then carries only a range descriptor — or, for
+# ad-hoc target lists, its domain records — so task payloads stay small.
 # ----------------------------------------------------------------------
 
 _WORKER_SCANNER: "Scanner | None" = None
 _WORKER_TELEMETRY_ENABLED = False
 
 
+def _population_payload(population: "Population"):
+    """What the pool initializer ships: spec for streaming, else object.
+
+    A streaming population regenerates any domain from its config, so
+    pickling the object graph (10 M+ records) through the initializer
+    would defeat its whole point; the workers rebuild it from the
+    config instead.
+    """
+    spawn = getattr(population, "spawn_spec", None)
+    if spawn is not None:
+        return spawn()
+    return ("object", population)
+
+
 def _init_worker(
-    population: "Population",
+    population_payload,
     scan_config: "ScanConfig",
     telemetry_enabled: bool = False,
 ) -> None:
     global _WORKER_SCANNER, _WORKER_TELEMETRY_ENABLED
     from repro.web.scanner import Scanner
 
+    kind, value = population_payload
+    if kind == "streaming":
+        from repro.internet.streaming import StreamingPopulation
+
+        population = StreamingPopulation(value)
+    else:
+        population = value
     _WORKER_SCANNER = Scanner(population, scan_config)
     _WORKER_TELEMETRY_ENABLED = telemetry_enabled
 
 
-def _scan_shard(task: tuple[int, Sequence["DomainRecord"], str, int, int]):
-    """Scan one shard; ships back results plus the shard's telemetry.
+def _scan_unit(task):
+    """Scan one unit (a shard or a split half); returns cbr bytes.
 
-    When telemetry is enabled each shard records into a *fresh*
-    :class:`~repro.telemetry.Telemetry` bundle (registry + trace
-    events); the parent folds the bundles back in shard order, which
-    reproduces the sequential emission order exactly.
+    ``task`` is ``(start, count, domains, week_label, ip_version,
+    probe)``; ``domains=None`` means "materialize ``[start, start +
+    count)`` from the worker's own population" (range descriptors ship
+    no records at all).  The results cross back to the parent as one
+    ``KIND_DOMAINS`` cbr payload — compact columnar frames instead of a
+    pickled object graph — plus the unit's telemetry bundle.
+
+    When telemetry is enabled each unit records into a *fresh*
+    :class:`~repro.telemetry.Telemetry` bundle; the parent folds the
+    bundles back in target order, which reproduces the sequential
+    emission order exactly.
     """
-    shard_index, domains, week_label, ip_version, probe = task
+    start, count, domains, week_label, ip_version, probe = task
     scanner = _WORKER_SCANNER
     assert scanner is not None, "worker pool not initialized"
+    from repro.faults.checkpoint import encode_domain_results
+
+    if domains is None:
+        domains = scanner.population.materialize_range(start, start + count)
     if _WORKER_TELEMETRY_ENABLED:
         from repro.telemetry import Telemetry
 
         scanner.telemetry = Telemetry()
     results = scanner.scan_sequential(domains, week_label, ip_version, probe)
+    payload = encode_domain_results(results)
+    scanner.population.trim_caches()
+    telem = None
     if scanner.telemetry is not None:
-        shard_telemetry = scanner.telemetry
+        bundle = scanner.telemetry
         scanner.telemetry = None
-        return (
-            shard_index,
-            results,
-            shard_telemetry.registry,
-            shard_telemetry.tracer.events,
-            shard_telemetry.tracer.diag_events,
-            # Span records are path-relative to the shard; the parent's
+        telem = (
+            bundle.registry,
+            bundle.tracer.events,
+            bundle.tracer.diag_events,
+            # Span records are path-relative to the unit; the parent's
             # absorb re-roots them under its open scan span.
-            shard_telemetry.spans.records,
-            shard_telemetry.spans.diag_records,
+            bundle.spans.records,
+            bundle.spans.diag_records,
         )
-    return shard_index, results, None, (), (), (), ()
+    return start, count, payload, telem
+
+
+# ----------------------------------------------------------------------
+# Pool lifecycle.
+# ----------------------------------------------------------------------
 
 
 def _pool_for(
@@ -141,30 +202,58 @@ def _pool_for(
     Pool start-up (process forks + population pickling through the
     initializer) dominated short scans when every ``scan()`` call built
     a fresh executor; campaigns run many weekly scans over one scanner,
-    so the pool is cached on the scanner and reused.  A finalizer tears
-    it down when the scanner is collected.
+    so the pool is cached on the scanner and reused.  A shape change
+    shuts the old pool down *deterministically* (``wait=True`` — no
+    orphaned workers lingering through the rest of a campaign); the
+    owning scanner's ``close()`` does the same, and a GC finalizer
+    remains only as a backstop for scanners that are never closed.
     """
     key = (workers, telemetry_enabled)
     cached = getattr(scanner, "_shard_pool", None)
     if cached is not None:
         if cached[0] == key:
             return cached[1]
-        cached[1].shutdown(wait=False)
+        scanner._shard_pool = None
+        cached[1].shutdown(wait=True)
     pool = ProcessPoolExecutor(
         max_workers=workers,
         initializer=_init_worker,
-        initargs=(scanner.population, scanner.config, telemetry_enabled),
+        initargs=(
+            _population_payload(scanner.population),
+            scanner.config,
+            telemetry_enabled,
+        ),
     )
     scanner._shard_pool = (key, pool)
     weakref.finalize(scanner, pool.shutdown, wait=False)
     return pool
 
 
+def close_pool(scanner: "Scanner") -> None:
+    """Deterministically shut down the scanner's cached worker pool.
+
+    Blocks until every worker process has exited (``wait=True``), so a
+    long campaign that closes its scanner releases all pool resources
+    at that point instead of at garbage-collection time.  Idempotent;
+    a later scan on the same scanner simply builds a fresh pool.
+    """
+    cached = getattr(scanner, "_shard_pool", None)
+    if cached is not None:
+        scanner._shard_pool = None
+        cached[1].shutdown(wait=True)
+
+
 def _drop_pool(scanner: "Scanner") -> None:
+    """Discard a (possibly broken) pool without waiting on it."""
     cached = getattr(scanner, "_shard_pool", None)
     if cached is not None:
         scanner._shard_pool = None
         cached[1].shutdown(wait=False)
+
+
+# ----------------------------------------------------------------------
+# Batch path: scan a materialized target list.
+# ----------------------------------------------------------------------
 
 
 def scan_sharded(
@@ -178,17 +267,20 @@ def scan_sharded(
 ) -> list["DomainScanResult"]:
     """Scan ``targets`` over a worker pool; results in original order.
 
-    The deterministic merge is trivial: shards are indexed at submit
-    time and reassembled by index, so the concatenation equals the
-    sequential iteration order regardless of completion order.
+    The deterministic merge is positional: every unit is a contiguous
+    ``(start, count)`` slice of ``targets`` and reassembles by
+    ``start``, so the concatenation equals the sequential iteration
+    order regardless of completion order, dispatch order, or how often
+    the scheduler split a shard.
 
-    With a ``checkpoint`` (:class:`repro.faults.CheckpointStore`),
-    shards already on disk are loaded instead of scanned and fresh
-    shards are saved as they complete; the shard size then comes from
-    the store (fixed at campaign start) so a resume may use a different
-    worker count and still merge bit-identically.  Loaded shards
-    contribute no telemetry — their events belong to the run that
-    produced them.
+    With a ``checkpoint`` (:class:`repro.faults.CheckpointStore` or its
+    async writer facade), shards already on disk are loaded instead of
+    scanned and fresh shards are saved as they complete; the shard
+    boundaries then come from the store's fixed chunk (set at campaign
+    start) so a resume may use a different worker count — and a
+    different split layout — and still merge bit-identically.  Loaded
+    shards contribute no telemetry — their events belong to the run
+    that produced them.
 
     When a pool cannot win — one pending shard, or at most one usable
     core — the shards run in-process instead (identical results *and*
@@ -201,118 +293,379 @@ def scan_sharded(
         if checkpoint is not None
         else parallel.resolve_chunk_size(len(targets))
     )
-    tasks = [
-        (shard_index, targets[start : start + chunk], week_label, ip_version, probe)
-        for shard_index, start in enumerate(range(0, len(targets), chunk))
-    ]
     telemetry = scanner.telemetry
-    merged: list[list["DomainScanResult"] | None] = [None] * len(tasks)
-    shard_telemetry: list[tuple | None] = [None] * len(tasks)
-    pending = []
-    if checkpoint is not None:
-        for task in tasks:
-            loaded = checkpoint.load_shard(task[0], task[1])
-            if loaded is None:
-                pending.append(task)
-            else:
-                merged[task[0]] = loaded
-    else:
-        pending = tasks
     usable = min(parallel.workers, os.cpu_count() or 1)
+    n_shards = -(-len(targets) // chunk) if targets else 0
+
+    cost_model = None
+    costs: list[float] | None = None
+    if parallel.force_pool or (usable > 1 and n_shards > 1):
+        # Only a pool dispatch consults prices; the sequential fallback
+        # runs shards in order no matter what they cost.
+        cost_model = ShardCostModel(
+            scanner.population, scanner.config, week_label, ip_version, probe
+        )
+        costs = [cost_model.domain_cost(domain) for domain in targets]
+
+    shards = plan_shards(
+        len(targets),
+        chunk,
+        cost_of=(costs.__getitem__ if costs is not None else None),
+        # Checkpoint shard files must cover identical ranges across
+        # resumes, so their boundaries stay chunk-aligned; cost pricing
+        # still drives dispatch order and tail splitting.
+        fixed=checkpoint is not None,
+    )
+    merged: list[list["DomainScanResult"] | None] = [None] * len(shards)
+    telem_buffer: list[tuple[int, tuple]] = []
+    pending: list[ShardRange] = []
+    if checkpoint is not None:
+        for shard in shards:
+            loaded = checkpoint.load_shard(
+                shard.index, targets[shard.start : shard.stop]
+            )
+            if loaded is None:
+                pending.append(shard)
+            else:
+                merged[shard.index] = loaded
+    else:
+        pending = list(shards)
+
     use_pool = parallel.force_pool or (usable > 1 and len(pending) > 1)
     if pending and not use_pool:
-        _run_shards_inline(scanner, pending, merged, shard_telemetry, checkpoint)
+        _run_shards_inline(
+            scanner, targets, pending, week_label, ip_version, probe,
+            merged, telem_buffer, checkpoint,
+        )
     elif pending:
         workers = parallel.workers if parallel.force_pool else usable
-        pool = _pool_for(scanner, workers, telemetry is not None)
-        # chunksize batches several shard tasks per IPC message, cutting
-        # the per-task pickling round trips that dominated small shards.
-        chunksize = max(1, len(pending) // (workers * 4))
-        try:
-            for (
-                shard_index,
-                results,
-                registry,
-                events,
-                diag_events,
-                spans,
-                diag_spans,
-            ) in pool.map(_scan_shard, pending, chunksize=chunksize):
-                merged[shard_index] = results
-                if checkpoint is not None:
-                    checkpoint.save_shard(shard_index, results)
-                if registry is not None:
-                    shard_telemetry[shard_index] = (
-                        registry,
-                        events,
-                        diag_events,
-                        spans,
-                        diag_spans,
-                    )
-        except Exception:
-            # A broken pool must not poison later scans on this scanner.
-            _drop_pool(scanner)
-            raise
+        _run_shards_pool(
+            scanner, targets, pending, costs, week_label, ip_version, probe,
+            workers, telemetry is not None, merged, telem_buffer, checkpoint,
+        )
     if telemetry is not None:
-        # Absorb in shard order — completion order must not leak into
-        # the trace — and note the shard layout as diagnostics only.
-        for shard_index, shard in enumerate(shard_telemetry):
-            if shard is None:
-                continue
-            registry, events, diag_events, spans, diag_spans = shard
-            telemetry.absorb_shard(
-                registry, events, diag_events, spans, diag_spans
-            )
-            telemetry.tracer.event(
-                "scan.shard",
-                diag=True,
-                shard=shard_index,
-                domains=len(tasks[shard_index][1]),
-            )
-            # The shard's existence is a sharding artifact, so its span
-            # lives in the diag stream, never the deterministic one.
-            telemetry.spans.span(
-                f"shard:{shard_index}",
-                diag=True,
-                domains=len(tasks[shard_index][1]),
-            ).end()
+        _absorb_in_order(telemetry, shards, telem_buffer)
     return [result for shard in merged for result in shard]  # type: ignore[union-attr]
+
+
+def _absorb_in_order(telemetry, shards: list[ShardRange], telem_buffer) -> None:
+    """Fold unit telemetry back in target order (= sequential order).
+
+    Units are contiguous slices, so absorbing their bundles by ``start``
+    offset concatenates events exactly as a sequential scan would have
+    emitted them — completion order and split layout never leak into
+    the deterministic streams.  The shard layout itself is noted as
+    diagnostics only (``diag=True``), interleaved after each shard's
+    bundles just as the one-bundle-per-shard absorb always did.
+    """
+    by_start = sorted(telem_buffer, key=lambda item: item[0])
+    position = 0
+    for shard in shards:
+        absorbed = False
+        while position < len(by_start) and by_start[position][0] < shard.stop:
+            registry, events, diag_events, spans, diag_spans = by_start[position][1]
+            telemetry.absorb_shard(registry, events, diag_events, spans, diag_spans)
+            absorbed = True
+            position += 1
+        if not absorbed:
+            continue  # loaded from checkpoint: no telemetry of ours
+        telemetry.tracer.event(
+            "scan.shard", diag=True, shard=shard.index, domains=shard.count
+        )
+        # The shard's existence is a sharding artifact, so its span
+        # lives in the diag stream, never the deterministic one.
+        telemetry.spans.span(
+            f"shard:{shard.index}", diag=True, domains=shard.count
+        ).end()
 
 
 def _run_shards_inline(
     scanner: "Scanner",
-    pending: list,
+    targets: Sequence["DomainRecord"],
+    pending: list[ShardRange],
+    week_label: str,
+    ip_version: int,
+    probe: int,
     merged: list,
-    shard_telemetry: list,
+    telem_buffer: list,
     checkpoint,
 ) -> None:
     """Run pending shards in-process, mimicking the pool's semantics.
 
     Results are trivially identical (per-domain randomness is derived,
     not threaded); telemetry matches byte-for-byte because each shard
-    still records into a fresh bundle, absorbed in shard order by the
-    caller — exactly what the pool workers do.
+    still records into a fresh bundle, absorbed in target order by the
+    caller — exactly what the pool workers produce.
     """
     telemetry = scanner.telemetry
     try:
-        for task in pending:
-            shard_index, domains, week_label, ip_version, probe = task
+        for shard in pending:
+            domains = targets[shard.start : shard.stop]
             if telemetry is not None:
                 from repro.telemetry import Telemetry
 
                 scanner.telemetry = Telemetry()
-            results = scanner.scan_sequential(domains, week_label, ip_version, probe)
-            merged[shard_index] = results
+            results = scanner.scan_sequential(
+                domains, week_label, ip_version, probe
+            )
+            merged[shard.index] = results
             if checkpoint is not None:
-                checkpoint.save_shard(shard_index, results)
+                checkpoint.save_shard(shard.index, results)
             if telemetry is not None:
                 bundle = scanner.telemetry
-                shard_telemetry[shard_index] = (
-                    bundle.registry,
-                    bundle.tracer.events,
-                    bundle.tracer.diag_events,
-                    bundle.spans.records,
-                    bundle.spans.diag_records,
+                telem_buffer.append(
+                    (
+                        shard.start,
+                        (
+                            bundle.registry,
+                            bundle.tracer.events,
+                            bundle.tracer.diag_events,
+                            bundle.spans.records,
+                            bundle.spans.diag_records,
+                        ),
+                    )
                 )
     finally:
         scanner.telemetry = telemetry
+
+
+def _run_shards_pool(
+    scanner: "Scanner",
+    targets: Sequence["DomainRecord"],
+    pending: list[ShardRange],
+    costs: list[float] | None,
+    week_label: str,
+    ip_version: int,
+    probe: int,
+    workers: int,
+    telemetry_enabled: bool,
+    merged: list,
+    telem_buffer: list,
+    checkpoint,
+) -> None:
+    """Work-stealing dispatch: longest-first submit, tail splitting.
+
+    The queue holds priced units sorted by descending cost (classic
+    longest-processing-time-first, which bounds makespan); whenever the
+    pool has more free slots than queued units — the tail — the
+    costliest splittable unit is cut at its cost midpoint and both
+    halves dispatched, so the last heavy shard is shared between
+    workers instead of idling all but one of them.  Results flow back
+    as cbr payloads; a checkpoint shard whose units have all arrived is
+    persisted by frame copy on the background writer.
+    """
+    from repro.faults.checkpoint import results_from_cbr_payload
+
+    range_tasks = targets is getattr(scanner.population, "domains", None)
+    pool = _pool_for(scanner, workers, telemetry_enabled)
+
+    def priced(unit: ShardRange) -> tuple:
+        return (-unit.cost, unit.start)
+
+    queue = sorted(pending, key=priced)
+    inflight: dict = {}
+    parts: dict[int, dict[int, tuple[list, bytes]]] = {
+        shard.index: {} for shard in pending
+    }
+    outstanding = {shard.index: shard.count for shard in pending}
+    splits = 0
+    try:
+        while queue or inflight:
+            free = workers - len(inflight)
+            # Tail splitting: free workers outnumber queued units, so
+            # cut the costliest splittable unit and dispatch its halves.
+            while free > len(queue):
+                candidates = [unit for unit in queue if unit.count >= 2]
+                if not candidates:
+                    break
+                biggest = min(candidates, key=priced)
+                queue.remove(biggest)
+                left, right = split_shard(biggest, costs)
+                queue.extend((left, right))
+                queue.sort(key=priced)
+                splits += 1
+            while queue and len(inflight) < workers:
+                unit = queue.pop(0)
+                task = (
+                    unit.start,
+                    unit.count,
+                    None if range_tasks else tuple(
+                        targets[unit.start : unit.stop]
+                    ),
+                    week_label,
+                    ip_version,
+                    probe,
+                )
+                inflight[pool.submit(_scan_unit, task)] = unit
+            if not inflight:
+                continue
+            done, _ = wait(inflight, return_when=FIRST_COMPLETED)
+            for future in done:
+                unit = inflight.pop(future)
+                start, count, payload, telem = future.result()
+                results = results_from_cbr_payload(
+                    payload, targets[start : start + count], strict=True
+                )
+                parts[unit.index][start] = (results, payload)
+                if telem is not None:
+                    telem_buffer.append((start, telem))
+                outstanding[unit.index] -= count
+                if outstanding[unit.index] == 0:
+                    ordered = sorted(parts.pop(unit.index).items())
+                    merged[unit.index] = [
+                        result for _, (results_, _) in ordered
+                        for result in results_
+                    ]
+                    if checkpoint is not None:
+                        checkpoint.save_shard_payloads(
+                            unit.index,
+                            [payload_ for _, (_, payload_) in ordered],
+                        )
+    except Exception:
+        # A broken pool must not poison later scans on this scanner.
+        _drop_pool(scanner)
+        raise
+    scanner.last_scan_stats = {
+        "units": len(pending) + splits,
+        "splits": splits,
+        "workers": workers,
+    }
+
+
+# ----------------------------------------------------------------------
+# Streaming path: scan a range-addressed population in bounded memory.
+# ----------------------------------------------------------------------
+
+
+def scan_stream_sharded(
+    scanner: "Scanner",
+    week_label: str,
+    ip_version: int,
+    probe: int,
+    parallel: ParallelScanConfig,
+    stats: dict | None = None,
+) -> Iterator["DomainScanResult"]:
+    """Yield every domain's result in population order, bounded memory.
+
+    Tasks are pure range descriptors — workers materialize their own
+    slice from the (streaming) population, scan it, and return cbr
+    bytes — and the parent keeps at most ``workers * 3`` shards
+    outstanding (in flight or completed-but-not-yet-emittable), so peak
+    RSS is proportional to the window, never the population.  Emission
+    order is strictly ascending shard order, making the stream
+    bit-identical to a sequential scan at any worker count.
+
+    ``stats``, when given, is filled with the run's shape (shard count,
+    chunk, max outstanding window) for diagnostics and tests.
+    """
+    population = scanner.population
+    total = population.domain_count
+    chunk = parallel.resolve_chunk_size(total)
+    n_shards = -(-total // chunk) if total else 0
+    telemetry = scanner.telemetry
+    usable = min(parallel.workers, os.cpu_count() or 1)
+    use_pool = parallel.force_pool or (usable > 1 and n_shards > 1)
+    workers = parallel.workers if parallel.force_pool else usable
+    window = max(2, workers * 3)
+    if stats is not None:
+        stats.update(
+            {
+                "shards": n_shards,
+                "chunk": chunk,
+                "pool": bool(use_pool),
+                "workers": workers if use_pool else 1,
+                "max_outstanding": 0,
+            }
+        )
+
+    def emit_shard(ordinal: int, results: list) -> Iterator["DomainScanResult"]:
+        population.trim_caches()
+        yield from results
+
+    if not use_pool:
+        for ordinal in range(n_shards):
+            start = ordinal * chunk
+            stop = min(start + chunk, total)
+            domains = population.materialize_range(start, stop)
+            telem = None
+            if telemetry is not None:
+                from repro.telemetry import Telemetry
+
+                scanner.telemetry = Telemetry()
+            try:
+                results = scanner.scan_sequential(
+                    domains, week_label, ip_version, probe
+                )
+            finally:
+                if telemetry is not None:
+                    bundle = scanner.telemetry
+                    telem = (
+                        bundle.registry,
+                        bundle.tracer.events,
+                        bundle.tracer.diag_events,
+                        bundle.spans.records,
+                        bundle.spans.diag_records,
+                    )
+                    scanner.telemetry = telemetry
+            _absorb_stream_shard(telemetry, ordinal, len(domains), telem)
+            if stats is not None:
+                stats["max_outstanding"] = max(stats["max_outstanding"], 1)
+            yield from emit_shard(ordinal, results)
+        return
+
+    from repro.faults.checkpoint import results_from_cbr_payload
+
+    pool = _pool_for(scanner, workers, telemetry is not None)
+    next_submit = 0
+    next_emit = 0
+    buffered: dict[int, tuple[int, int, bytes, tuple | None]] = {}
+    inflight: dict = {}
+    try:
+        while next_emit < n_shards:
+            while (
+                next_submit < n_shards
+                and len(inflight) < workers
+                and len(inflight) + len(buffered) < window
+            ):
+                start = next_submit * chunk
+                count = min(chunk, total - start)
+                task = (start, count, None, week_label, ip_version, probe)
+                inflight[pool.submit(_scan_unit, task)] = next_submit
+                next_submit += 1
+            if stats is not None:
+                stats["max_outstanding"] = max(
+                    stats["max_outstanding"], len(inflight) + len(buffered)
+                )
+            while next_emit in buffered:
+                start, count, payload, telem = buffered.pop(next_emit)
+                domains = population.materialize_range(start, start + count)
+                results = results_from_cbr_payload(
+                    payload, domains, strict=True
+                )
+                _absorb_stream_shard(telemetry, next_emit, count, telem)
+                ordinal = next_emit
+                next_emit += 1
+                yield from emit_shard(ordinal, results)
+            if next_emit >= n_shards or not inflight:
+                continue
+            done, _ = wait(inflight, return_when=FIRST_COMPLETED)
+            for future in done:
+                ordinal = inflight.pop(future)
+                start, count, payload, telem = future.result()
+                buffered[ordinal] = (start, count, payload, telem)
+    except Exception:
+        _drop_pool(scanner)
+        raise
+
+
+def _absorb_stream_shard(
+    telemetry, ordinal: int, count: int, telem: tuple | None
+) -> None:
+    if telemetry is None or telem is None:
+        return
+    registry, events, diag_events, spans, diag_spans = telem
+    telemetry.absorb_shard(registry, events, diag_events, spans, diag_spans)
+    telemetry.tracer.event(
+        "scan.shard", diag=True, shard=ordinal, domains=count
+    )
+    telemetry.spans.span(f"shard:{ordinal}", diag=True, domains=count).end()

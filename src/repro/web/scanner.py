@@ -40,7 +40,12 @@ from repro.quic.connection import ConnectionConfig
 from repro.qlog.writer import recorder_to_qlog
 from repro.telemetry import Telemetry
 from repro.web.http3 import run_exchange
-from repro.web.parallel import ParallelScanConfig, scan_sharded
+from repro.web.parallel import (
+    ParallelScanConfig,
+    close_pool,
+    scan_sharded,
+    scan_stream_sharded,
+)
 from repro.web.server_profiles import ServerStackProfile, stack_by_name
 
 
@@ -223,6 +228,23 @@ class Scanner:
         #: worker count (parallel shards are absorbed in shard order).
         self.telemetry = telemetry
 
+    def close(self) -> None:
+        """Release the scanner's worker pool, deterministically.
+
+        Blocks until every pool worker has exited.  Idempotent, and the
+        scanner stays usable — a later ``scan()`` simply builds a fresh
+        pool.  Long-lived callers (campaign runner, CLI, service
+        daemon) close their scanner when a campaign ends instead of
+        leaking live worker processes until garbage collection.
+        """
+        close_pool(self)
+
+    def __enter__(self) -> "Scanner":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close()
+
     def scan(
         self,
         week_label: str = "cw20-2023",
@@ -255,18 +277,25 @@ class Scanner:
         store = None
         if checkpoint_dir is not None:
             from repro.faults.checkpoint import CheckpointStore, scan_fingerprint
+            from repro.faults.shardwriter import AsyncCheckpointWriter
 
-            store = CheckpointStore(
-                checkpoint_dir,
-                fingerprint=scan_fingerprint(
-                    self.population.config.seed,
-                    week_label,
-                    ip_version,
-                    probe,
-                    targets,
-                    repr(self.config),
-                ),
-                chunk=self.parallel.chunk_size or 256,
+            # The async facade moves shard persistence onto a writer
+            # thread so checkpoint disk I/O overlaps scan compute; its
+            # close() below guarantees every finished shard is on disk
+            # before scan() returns (or re-raises).
+            store = AsyncCheckpointWriter(
+                CheckpointStore(
+                    checkpoint_dir,
+                    fingerprint=scan_fingerprint(
+                        self.population.config.seed,
+                        week_label,
+                        ip_version,
+                        probe,
+                        targets,
+                        repr(self.config),
+                    ),
+                    chunk=self.parallel.chunk_size or 256,
+                )
             )
         started = time.perf_counter()  # wallclock-ok: stderr diagnostics only
         scan_span = None
@@ -300,15 +329,26 @@ class Scanner:
                 ip_version=ip_version,
                 domains=len(targets),
             )
-        if workers > 1:
-            results = scan_sharded(
-                self, targets, week_label, ip_version, probe, self.parallel,
-                checkpoint=store,
-            )
-        else:
-            results = self.scan_sequential(
-                targets, week_label, ip_version, probe, checkpoint=store
-            )
+        try:
+            if workers > 1:
+                results = scan_sharded(
+                    self, targets, week_label, ip_version, probe, self.parallel,
+                    checkpoint=store,
+                )
+            else:
+                results = self.scan_sequential(
+                    targets, week_label, ip_version, probe, checkpoint=store
+                )
+        except BaseException:
+            # A crashed scan still persists every shard that completed:
+            # drain the writer (suppressing secondary write errors, the
+            # scan failure is what the caller must see) before
+            # propagating.
+            if store is not None:
+                store.close(suppress_errors=True)
+            raise
+        if store is not None:
+            store.close()
         if scan_span is not None:
             # The merge marker closes the scan stage of the pipeline in
             # both execution paths (the sequential path "merges" one
@@ -347,6 +387,81 @@ class Scanner:
         return ScanDataset(
             week_label=week_label, ip_version=ip_version, results=results
         )
+
+    def scan_stream(
+        self,
+        week_label: str = "cw20-2023",
+        ip_version: int = 4,
+        probe: int = 0,
+        verbose: bool = False,
+        stats: dict | None = None,
+    ):
+        """Scan the whole population as a bounded-memory result stream.
+
+        Yields one :class:`DomainScanResult` per domain, in population
+        order, bit-identical to ``scan()`` over the same targets — but
+        never holds more than a small window of shards in memory, so a
+        10 M+ domain :class:`~repro.internet.streaming.
+        StreamingPopulation` scan runs in bounded RSS (the parent
+        re-materializes each shard's records on demand; workers
+        regenerate their own slices from range descriptors).
+
+        Streaming trades away the post-merge passes: the circuit
+        breaker (which needs the full merged result order) and
+        checkpointing (whose fingerprint walks the full target list)
+        are rejected up front.  Telemetry works as usual and stays
+        byte-identical across worker counts.
+        """
+        resilience = self.config.resilience
+        if resilience is not None and resilience.breaker is not None:
+            raise ValueError(
+                "streaming scans cannot apply the circuit breaker "
+                "(a post-merge pass over the full result order); "
+                "drop the breaker or use scan()"
+            )
+        total = self.population.domain_count
+        started = time.perf_counter()  # wallclock-ok: stderr diagnostics only
+        scan_span = None
+        if self.telemetry is not None:
+            self.telemetry.tracer.event(
+                "scan.begin",
+                week=week_label,
+                ip_version=ip_version,
+                domains=total,
+            )
+            spans = self.telemetry.spans
+            if spans.trace_id is None:
+                spans.trace_id = trace_id_for(
+                    "scan",
+                    self.population.config.seed,
+                    week_label,
+                    ip_version,
+                    probe,
+                )
+            scan_span = spans.span(
+                f"scan:{week_label}", ip_version=ip_version, domains=total
+            )
+        emitted = 0
+        quic = 0
+        for result in scan_stream_sharded(
+            self, week_label, ip_version, probe, self.parallel, stats=stats
+        ):
+            emitted += 1
+            if result.quic_support:
+                quic += 1
+            yield result
+        if scan_span is not None:
+            self.telemetry.spans.span("merge", domains=emitted).end()
+            scan_span.annotate(quic=quic)
+            scan_span.end()
+        if verbose:
+            elapsed = time.perf_counter() - started  # wallclock-ok: diagnostics
+            rate = emitted / elapsed if elapsed > 0 else float("inf")
+            print(
+                f"scanned {emitted} domains in {elapsed:.1f} s "
+                f"({rate:.0f} domains/s, streaming)",
+                file=sys.stderr,
+            )
 
     def scan_sequential(
         self,

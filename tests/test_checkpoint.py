@@ -270,3 +270,138 @@ class TestLegacyShards:
         )
         resumed = scanner.scan(domains=targets, checkpoint_dir=directory)
         assert _dataset_dicts(resumed) == _dataset_dicts(plain_dataset)
+
+
+def _pool_scanner(population, workers: int) -> Scanner:
+    return Scanner(
+        population,
+        CONFIG,
+        parallel=ParallelScanConfig(
+            workers=workers, chunk_size=CHUNK, force_pool=True
+        ),
+    )
+
+
+class TestWorkStealingResume:
+    """Crash-resume through the real submit/steal pool scheduler.
+
+    Checkpoint under workers=4, lose shards, resume under workers=2:
+    shard files are chunk-aligned regardless of how the scheduler split
+    the work, so the mixed-worker merge stays bit-identical to an
+    uninterrupted sequential run.
+    """
+
+    def test_checkpoint_4_workers_resume_2_workers(
+        self, tiny_population, targets, plain_dataset, tmp_path
+    ):
+        first = _pool_scanner(tiny_population, workers=4)
+        try:
+            first.scan(domains=targets, checkpoint_dir=tmp_path)
+        finally:
+            first.close()
+        shard_files = sorted(p.name for p in tmp_path.glob("shard-*.cbr"))
+        assert len(shard_files) == -(-N_DOMAINS // CHUNK)
+
+        # Simulated crash: two shards never made it to disk.
+        (tmp_path / "shard-00001.cbr").unlink()
+        (tmp_path / "shard-00003.cbr").unlink()
+        untouched = (tmp_path / "shard-00002.cbr").read_bytes()
+
+        second = _pool_scanner(tiny_population, workers=2)
+        try:
+            resumed = second.scan(domains=targets, checkpoint_dir=tmp_path)
+        finally:
+            second.close()
+        assert _dataset_dicts(resumed) == _dataset_dicts(plain_dataset)
+        # The surviving shard was loaded, not rewritten.
+        assert (tmp_path / "shard-00002.cbr").read_bytes() == untouched
+        # The lost shards are back, re-persisted from worker payloads.
+        assert sorted(p.name for p in tmp_path.glob("shard-*.cbr")) == shard_files
+
+    def test_split_shard_files_load_back(self, tiny_population, tmp_path):
+        """A shard persisted from several split payloads (frame concat)
+        must load back identically to one saved in a single piece."""
+        from repro.faults.checkpoint import (
+            CheckpointStore,
+            encode_domain_results,
+            scan_fingerprint,
+        )
+
+        targets = tiny_population.domains[:CHUNK]
+        results = _scanner(tiny_population).scan_sequential(
+            targets, "cw20-2023", 4
+        )
+        store = CheckpointStore(
+            tmp_path,
+            fingerprint=scan_fingerprint(
+                tiny_population.config.seed, "cw20-2023", 4, 0, targets, "cfg"
+            ),
+            chunk=CHUNK,
+        )
+        store.save_shard_payloads(
+            0,
+            [
+                encode_domain_results(results[:20]),
+                encode_domain_results(results[20:45]),
+                encode_domain_results(results[45:]),
+            ],
+        )
+        loaded = store.load_shard(0, targets)
+        assert loaded is not None
+        assert [record_to_dict(c) for r in loaded for c in r.connections] == [
+            record_to_dict(c) for r in results for c in r.connections
+        ]
+
+
+class TestAsyncWriter:
+    """The background checkpoint writer's durability and error contract."""
+
+    def test_saves_are_durable_after_close(self, tiny_population, tmp_path):
+        from repro.faults import AsyncCheckpointWriter
+
+        targets = tiny_population.domains[:10]
+        results = _scanner(tiny_population).scan_sequential(
+            targets, "cw20-2023", 4
+        )
+        store = CheckpointStore(
+            tmp_path,
+            fingerprint=scan_fingerprint(
+                tiny_population.config.seed, "cw20-2023", 4, 0, targets, "cfg"
+            ),
+            chunk=10,
+        )
+        writer = AsyncCheckpointWriter(store)
+        writer.save_shard(0, results)
+        writer.close()
+        assert (tmp_path / "shard-00000.cbr").is_file()
+        assert store.load_shard(0, targets) is not None
+        writer.close()  # idempotent
+        with pytest.raises(RuntimeError):
+            writer.save_shard(1, results)
+
+    def test_write_errors_surface_at_close(self, tmp_path):
+        from repro.faults import AsyncCheckpointWriter
+
+        class ExplodingStore:
+            chunk = 10
+
+            def save_shard(self, shard_index, results):
+                raise OSError("disk full")
+
+        writer = AsyncCheckpointWriter(ExplodingStore())
+        writer.save_shard(0, [])
+        with pytest.raises(OSError, match="disk full"):
+            writer.close()
+
+    def test_close_can_suppress_errors(self, tmp_path):
+        from repro.faults import AsyncCheckpointWriter
+
+        class ExplodingStore:
+            chunk = 10
+
+            def save_shard_payloads(self, shard_index, payloads):
+                raise OSError("disk full")
+
+        writer = AsyncCheckpointWriter(ExplodingStore())
+        writer.save_shard_payloads(0, [b""])
+        writer.close(suppress_errors=True)

@@ -183,3 +183,227 @@ class TestVerboseSummary:
         assert "scanned 5 domains" in err
         assert "domains/s" in err
         assert "1 worker(s)" in err
+
+
+class TestShardPlan:
+    """The planner's invariants: count, coverage, purity, splitting."""
+
+    def test_plan_always_ceil_shards(self):
+        from repro.web.shardplan import plan_shards
+
+        for n, chunk in ((1, 64), (20, 64), (300, 64), (300, 7), (128, 128)):
+            expected = -(-n // chunk)
+            costs = [1.0 + (i % 9) for i in range(n)]
+            assert len(plan_shards(n, chunk)) == expected
+            assert len(plan_shards(n, chunk, costs.__getitem__)) == expected
+            assert len(plan_shards(n, chunk, costs.__getitem__, fixed=True)) == expected
+        assert plan_shards(0, 64) == []
+
+    def test_plan_covers_targets_contiguously(self):
+        from repro.web.shardplan import plan_shards
+
+        costs = [10.0 if i % 11 == 0 else 0.1 for i in range(257)]
+        shards = plan_shards(257, 32, costs.__getitem__)
+        position = 0
+        for index, shard in enumerate(shards):
+            assert shard.index == index
+            assert shard.start == position
+            assert shard.count >= 1
+            position = shard.stop
+        assert position == 257
+
+    def test_cost_aware_boundaries_balance_cost(self):
+        from repro.web.shardplan import plan_shards
+
+        # All the expensive domains sit at the front: a fixed plan puts
+        # them in one shard, the cost plan spreads the boundary.
+        costs = [100.0] * 10 + [0.1] * 90
+        balanced = plan_shards(100, 25, costs.__getitem__)
+        fixed = plan_shards(100, 25, costs.__getitem__, fixed=True)
+        assert max(s.cost for s in balanced) < max(s.cost for s in fixed)
+        assert fixed[0].count == 25
+        assert balanced[0].count < 25
+
+    def test_plan_is_pure(self):
+        from repro.web.shardplan import plan_shards
+
+        costs = [float((i * 37) % 13 + 1) for i in range(301)]
+        assert plan_shards(301, 40, costs.__getitem__) == plan_shards(
+            301, 40, costs.__getitem__
+        )
+
+    def test_split_shares_index_and_covers_range(self):
+        from repro.web.shardplan import ShardRange, split_shard
+
+        costs = [5.0, 1.0, 1.0, 1.0, 1.0, 1.0]
+        shard = ShardRange(index=3, start=0, count=6, cost=10.0)
+        left, right = split_shard(shard, costs)
+        assert left.index == right.index == 3
+        assert left.start == 0
+        assert right.stop == 6
+        assert left.count + right.count == 6
+        assert left.count >= 1 and right.count >= 1
+        # Cost midpoint: the expensive first domain pulls the cut left.
+        assert left.count < 6 // 2 + 1
+
+    def test_split_refuses_single_domain(self):
+        from repro.web.shardplan import ShardRange, split_shard
+
+        assert split_shard(ShardRange(index=0, start=4, count=1, cost=1.0)) is None
+
+    def test_cost_model_prices_fault_draws(self, population):
+        from repro.faults import parse_fault_plan
+        from repro.web.shardplan import ShardCostModel
+
+        plan = parse_fault_plan("blackhole:0.2")
+        model = ShardCostModel(
+            population,
+            ScanConfig(faults=plan),
+            "cw20-2023",
+            4,
+            0,
+        )
+        plain = ShardCostModel(population, ScanConfig(), "cw20-2023", 4, 0)
+        quic = [d for d in population.domains if d.quic_enabled]
+        faulted_total = sum(model.domain_cost(d) for d in quic)
+        plain_total = sum(plain.domain_cost(d) for d in quic)
+        assert faulted_total > plain_total
+        # Unresolved domains never pay a fault surcharge.
+        dead = next(d for d in population.domains if not d.resolves)
+        assert model.domain_cost(dead) == plain.domain_cost(dead)
+
+
+class TestWorkStealingIdentity:
+    """Property-style sweep: (workers, chunk, fault plan) x force_pool.
+
+    force_pool=True routes through the real submit/FIRST_COMPLETED
+    scheduler (with tail splitting) even on a single-core host; every
+    combination must merge record-by-record identical to sequential.
+    """
+
+    @pytest.mark.parametrize("workers", (2, 4))
+    @pytest.mark.parametrize("chunk_size", (7, None))
+    def test_pool_merge_identity(
+        self, population, sequential_dataset, workers, chunk_size
+    ):
+        scanner = Scanner(
+            population,
+            ScanConfig(qlog_sample_rate=0.2),
+            parallel=ParallelScanConfig(
+                workers=workers, chunk_size=chunk_size, force_pool=True
+            ),
+        )
+        try:
+            dataset = scanner.scan(week_label="cw20-2023", ip_version=4)
+        finally:
+            scanner.close()
+        for got, want in zip(dataset.results, sequential_dataset.results):
+            assert got == want
+        assert dataset == sequential_dataset
+
+    @pytest.mark.parametrize("workers,chunk_size", ((2, 13), (4, None)))
+    def test_pool_merge_identity_with_faults(self, population, workers, chunk_size):
+        from repro.faults import ResilienceConfig, RetryPolicy, parse_fault_plan
+
+        config = ScanConfig(
+            faults=parse_fault_plan("blackhole:0.05,reset:0.08,slow-server:0.1"),
+            resilience=ResilienceConfig(
+                connect_timeout_ms=15_000, retry=RetryPolicy(max_attempts=2)
+            ),
+        )
+        sequential = Scanner(population, config).scan(
+            week_label="cw21-2023", ip_version=4
+        )
+        scanner = Scanner(
+            population,
+            config,
+            parallel=ParallelScanConfig(
+                workers=workers, chunk_size=chunk_size, force_pool=True
+            ),
+        )
+        try:
+            pooled = scanner.scan(week_label="cw21-2023", ip_version=4)
+        finally:
+            scanner.close()
+        assert pooled == sequential
+
+    def test_scheduler_records_stats(self, population):
+        scanner = Scanner(
+            population,
+            parallel=ParallelScanConfig(workers=4, chunk_size=100, force_pool=True),
+        )
+        try:
+            scanner.scan(week_label="cw20-2023", ip_version=4)
+        finally:
+            scanner.close()
+        stats = scanner.last_scan_stats
+        assert stats["workers"] == 4
+        # 300 domains / chunk 100 = 3 planned shards for 4 workers: the
+        # tail must have been split at least once.
+        assert stats["splits"] >= 1
+        assert stats["units"] >= 4
+
+
+class TestPoolLifecycle:
+    """Explicit close(), context manager, deterministic shape change."""
+
+    def test_close_shuts_pool_down(self, population):
+        scanner = Scanner(
+            population,
+            parallel=ParallelScanConfig(workers=2, chunk_size=64, force_pool=True),
+        )
+        scanner.scan(week_label="cw20-2023", domains=population.domains[:40])
+        assert scanner._shard_pool is not None
+        pool = scanner._shard_pool[1]
+        scanner.close()
+        assert scanner._shard_pool is None
+        with pytest.raises(RuntimeError):
+            pool.submit(int)
+        # Idempotent, and the scanner stays usable afterwards.
+        scanner.close()
+        dataset = scanner.scan(
+            week_label="cw20-2023", domains=population.domains[:40]
+        )
+        assert len(dataset.results) == 40
+        scanner.close()
+
+    def test_context_manager_closes(self, population):
+        with Scanner(
+            population,
+            parallel=ParallelScanConfig(workers=2, chunk_size=64, force_pool=True),
+        ) as scanner:
+            scanner.scan(week_label="cw20-2023", domains=population.domains[:40])
+            assert scanner._shard_pool is not None
+        assert scanner._shard_pool is None
+
+    def test_shape_change_shuts_old_pool_down(self, population):
+        scanner = Scanner(
+            population,
+            parallel=ParallelScanConfig(workers=2, chunk_size=64, force_pool=True),
+        )
+        try:
+            scanner.scan(week_label="cw20-2023", domains=population.domains[:40])
+            old_pool = scanner._shard_pool[1]
+            scanner.parallel = ParallelScanConfig(
+                workers=3, chunk_size=64, force_pool=True
+            )
+            scanner.scan(week_label="cw20-2023", domains=population.domains[:40])
+            assert scanner._shard_pool[1] is not old_pool
+            with pytest.raises(RuntimeError):
+                old_pool.submit(int)
+        finally:
+            scanner.close()
+
+    def test_campaign_runner_close(self, population):
+        from repro.campaign.runner import CampaignRunner
+        from repro.campaign.schedule import DEFAULT_CAMPAIGN
+
+        with CampaignRunner(
+            population,
+            DEFAULT_CAMPAIGN,
+            parallel=ParallelScanConfig(workers=2, chunk_size=64, force_pool=True),
+        ) as runner:
+            week = DEFAULT_CAMPAIGN.weeks()[0]
+            runner.run_week(week)
+            assert runner.scanner._shard_pool is not None
+        assert runner.scanner._shard_pool is None
